@@ -1,0 +1,76 @@
+"""Ablation (Section 4.8): the sliding-window optimisation.
+
+With uniform descents the kernel keeps only ``window + 1`` partitions
+resident; when they fit in shared memory the table's global-memory
+latency disappears ("almost eliminating the significant latency to
+global memory"). This bench prices the same Smith-Waterman kernel with
+the optimisation on and off across problem sizes, and shows the
+crossover where the window no longer fits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.domain import Domain
+from repro.apps.smith_waterman import smith_waterman_function
+from repro.gpu.spec import GTX480
+from repro.gpu.timing import kernel_cost, window_fits_shared
+from repro.ir.kernel import build_kernel
+from repro.schedule.schedule import Schedule
+
+from conftest import write_table
+
+SIZES = (128, 256, 512, 1024, 2048, 4096, 8192)
+
+
+def test_window_ablation_report(benchmark):
+    kernel = build_kernel(smith_waterman_function(),
+                          Schedule.of(i=1, j=1))
+    assert kernel.window == 2  # d(i-1, j-1) is two diagonals back
+
+    def compute():
+        rows = []
+        for size in SIZES:
+            domain = Domain.of(i=size + 1, j=size + 1)
+            with_window = kernel_cost(
+                kernel, domain, GTX480, use_window=True
+            )
+            without = kernel_cost(
+                kernel, domain, GTX480, use_window=False
+            )
+            rows.append(
+                (
+                    size,
+                    with_window.seconds,
+                    without.seconds,
+                    without.seconds / with_window.seconds,
+                    "shared" if with_window.window_in_shared
+                    else "global",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    write_table(
+        "ablation_window",
+        "Ablation - sliding window (Section 4.8): Smith-Waterman "
+        "kernel,\nwindow on vs off (seconds; NxN problems)",
+        ("N", "window on", "window off", "speedup", "table lives in"),
+        rows,
+    )
+
+    # While the window fits, it wins clearly; once the diagonal
+    # outgrows shared memory the two coincide.
+    fits = [r for r in rows if r[4] == "shared"]
+    spills = [r for r in rows if r[4] == "global"]
+    assert fits and spills, "sweep should straddle the crossover"
+    for row in fits:
+        assert row[3] > 1.5, row
+    for row in spills:
+        assert row[3] == pytest.approx(1.0)
+
+    # The crossover sits where 3 diagonal rows x 8B outgrow 48 KiB.
+    limit = GTX480.shared_memory_bytes / (3 * 8)
+    boundary = max(r[0] for r in fits)
+    assert boundary <= limit <= spills[0][0] * 2

@@ -1,0 +1,105 @@
+"""Extension benchmark: mutual-recursion scheduling (Section 9).
+
+Times the joint schedule search across group shapes and verifies the
+derived schedules against brute-force call-graph enumeration; also
+reports the interleaved schedules of the RNA structure grammar (the
+application Section 9 names).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.domain import Domain
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import check_program
+from repro.schedule.mutual_rec import (
+    brute_force_mutual_valid,
+    find_mutual_schedules,
+)
+
+from conftest import write_table
+
+GROUPS = {
+    "ping-pong": (
+        "int f(int n) = if n == 0 then 0 else g(n - 1) + 1\n"
+        "int g(int n) = if n == 0 then 0 else f(n - 1) + 2",
+        ("f", "g"),
+        {"f": Domain.of(n=50), "g": Domain.of(n=50)},
+    ),
+    "same-step": (
+        "int f(int n) = if n == 0 then 0 else g(n) + 1\n"
+        "int g(int n) = if n == 0 then 0 else f(n - 1) + 2",
+        ("f", "g"),
+        {"f": Domain.of(n=50), "g": Domain.of(n=50)},
+    ),
+    "three-way": (
+        "int a(int n) = if n == 0 then 0 else b(n - 1)\n"
+        "int b(int n) = if n == 0 then 1 else c(n - 1)\n"
+        "int c(int n) = if n == 0 then 2 else a(n - 1)",
+        ("a", "b", "c"),
+        {n: Domain.of(n=30) for n in ("a", "b", "c")},
+    ),
+    "rna-grammar": (None, ("struct", "paired"), None),
+    "gotoh-affine-gap": (None, ("m", "x", "y"), None),
+}
+
+
+def _resolve(name):
+    src, names, domains = GROUPS[name]
+    if name == "rna-grammar":
+        from repro.apps.rna_grammar import grammar_program
+
+        checked = grammar_program()
+        funcs = {n: checked.function(n) for n in names}
+        domains = {n: Domain.of(i=25, j=25) for n in names}
+        return funcs, domains
+    if name == "gotoh-affine-gap":
+        from repro.apps.gotoh import GotohAligner
+
+        funcs = GotohAligner().funcs
+        domains = {n: Domain.of(i=40, j=40) for n in names}
+        return funcs, domains
+    checked = check_program(parse_program(src))
+    return {n: checked.function(n) for n in names}, domains
+
+
+@pytest.mark.parametrize("case", list(GROUPS), ids=list(GROUPS))
+def test_joint_search_speed(benchmark, case):
+    funcs, domains = _resolve(case)
+    bound = 1 if case == "gotoh-affine-gap" else 2
+
+    def solve():
+        return find_mutual_schedules(funcs, domains, coeff_bound=bound,
+                                     offset_bound=bound)
+
+    mutual = benchmark(solve)
+    small = {
+        name: Domain(d.dims, tuple(min(6, e) for e in d.extents))
+        for name, d in domains.items()
+    }
+    assert brute_force_mutual_valid(mutual, funcs, small)
+
+
+def test_mutual_report(benchmark):
+    def compute():
+        rows = []
+        for case in GROUPS:
+            funcs, domains = _resolve(case)
+            bound = 1 if case == "gotoh-affine-gap" else 2
+            mutual = find_mutual_schedules(
+                funcs, domains, coeff_bound=bound, offset_bound=bound
+            )
+            rows.append(
+                (case, str(mutual), mutual.total_partitions(domains))
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    write_table(
+        "ext_mutual_recursion",
+        "Extension - mutual recursion (Section 9): jointly derived "
+        "schedules",
+        ("group", "schedules", "global partitions"),
+        rows,
+    )

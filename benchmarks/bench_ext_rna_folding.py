@@ -1,0 +1,72 @@
+"""Extension benchmark: RNA folding (Nussinov) at scale.
+
+Not a paper figure — the paper names RNA secondary structure as future
+work (Section 9) and sanctions looping extensions (Section 5); this
+bench quantifies what the synthesised wavefront achieves on it, and
+why the win is smaller than for the windowed workloads (ranged
+descents admit no sliding window, so the kernel stays global-memory
+bound).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.domain import Domain
+from repro.apps.rna_folding import RNA, RnaFolding, nussinov_function
+from repro.gpu.spec import GTX480, XEON_E5520
+from repro.gpu.timing import cpu_cost_seconds, kernel_cost
+from repro.ir.kernel import build_kernel
+from repro.runtime.values import Sequence
+from repro.schedule.schedule import Schedule
+
+from conftest import write_table
+
+LENGTHS = (100, 200, 400, 800, 1600)
+
+
+def test_rna_report(benchmark):
+    kernel = build_kernel(nussinov_function(), Schedule.of(i=-1, j=1))
+    assert kernel.window is None  # no window for ranged descents
+
+    def compute():
+        rows = []
+        for n in LENGTHS:
+            domain = Domain.of(i=n + 1, j=n + 1)
+            degree = max(1.0, n / 3)  # mean bifurcation length
+            gpu = kernel_cost(
+                kernel, domain, GTX480, mean_degree=degree
+            ).seconds
+            cpu = cpu_cost_seconds(
+                kernel, domain, XEON_E5520, mean_degree=degree
+            )
+            rows.append((n, cpu, gpu, cpu / gpu))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    write_table(
+        "ext_rna_folding",
+        "Extension - Nussinov RNA folding: one sequence of length N\n"
+        "(no sliding window possible: ranged descents, Section 4.8)",
+        ("N", "CPU (s)", "ours (s)", "speedup"),
+        rows,
+    )
+    for row in rows:
+        assert row[3] > 1.5  # the wavefront still wins...
+        assert row[3] < 20   # ...but far less than windowed kernels.
+    # O(n^3) growth on both sides.
+    assert rows[-1][1] > rows[-2][1] * 6
+
+
+def test_functional_fold_benchmark(benchmark):
+    folder = RnaFolding()
+    import random
+
+    rng = random.Random(3)
+    seq = Sequence("".join(rng.choices("acgu", k=40)), RNA)
+
+    def run():
+        return folder.fold(seq).score
+
+    score = benchmark(run)
+    assert score > 0

@@ -1,0 +1,98 @@
+"""Figure 13: gene-finding performance vs. database size.
+
+Paper setup: the gene-finder HMM scoring DNA sequence sets of growing
+size; our synthesised GPU code against HMMoC's single-threaded CPU
+code. Reported shape: "a significant performance increase ... at
+larger database sizes, when we are using the GPU to its full extent,
+the performance increase is about x60" (Section 6.2). At small sizes
+the GPU's fixed setup overheads eat into the win — the curves
+converge towards the origin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.domain import Domain
+from repro.apps.baselines.hmm_tools import HmmocBaseline
+from repro.apps.gene_finder import GeneFinder, build_gene_finder_hmm
+from repro.apps.hmm_algorithms import forward_function
+from repro.gpu.spec import GTX480
+from repro.gpu.timing import kernel_cost, problems_per_sm
+from repro.ir.kernel import build_kernel
+from repro.runtime.sequences import random_dna
+from repro.schedule.schedule import Schedule
+
+from conftest import write_table
+
+SEQUENCE_COUNTS = (500, 1_000, 2_000, 5_000, 10_000, 20_000, 40_000)
+SEQ_LENGTH = 500
+
+
+def _our_seconds(kernel, hmm, count):
+    domain = Domain.of(s=hmm.n_states, i=SEQ_LENGTH + 1)
+    per_problem = kernel_cost(
+        kernel,
+        domain,
+        GTX480,
+        mean_degree=hmm.mean_in_degree(),
+    ).seconds
+    packing = problems_per_sm(kernel, domain, GTX480)
+    slots = GTX480.sm_count * packing
+    batches = -(-count // slots)  # ceil: packed SMs run in parallel
+    return (
+        per_problem * batches
+        + GTX480.launch_overhead_s
+        + GTX480.transfer_seconds(count * SEQ_LENGTH)
+    )
+
+
+def test_figure13_report(benchmark):
+    hmm = build_gene_finder_hmm()
+    kernel = build_kernel(
+        forward_function(), Schedule.of(s=0, i=1), "logspace"
+    )
+    hmmoc = HmmocBaseline(kernel)
+
+    def compute():
+        rows = []
+        speedups = []
+        for count in SEQUENCE_COUNTS:
+            cpu = hmmoc.seconds(hmm, [SEQ_LENGTH] * count)
+            gpu = _our_seconds(kernel, hmm, count)
+            speedups.append(cpu / gpu)
+            rows.append((count, cpu, gpu, cpu / gpu))
+        return rows, speedups
+
+    rows, speedups = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    write_table(
+        "fig13_gene_finding",
+        "Figure 13 - Gene finding: execution time (s) vs number of "
+        f"sequences\n({SEQ_LENGTH}nt DNA reads; HMMoC on one CPU core "
+        "vs ours on the simulated GTX 480)",
+        ("sequences", "HMMoC (s)", "ours (s)", "speedup"),
+        rows,
+    )
+
+    # The paper's shape: speedup grows with database size and reaches
+    # the x60 class once the GPU is saturated.
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 30
+    assert speedups[-1] < 200
+    # Both curves are (asymptotically) linear in the database size.
+    assert rows[-1][1] == pytest.approx(
+        rows[-2][1] * 2, rel=0.05
+    )
+
+
+def test_functional_scan_benchmark(benchmark):
+    """pytest-benchmark: a real (functional) scan of short reads."""
+    finder = GeneFinder()
+    reads = [random_dna(160, seed=k) for k in range(8)]
+
+    def run():
+        return finder.scan(reads).likelihoods
+
+    likelihoods = benchmark(run)
+    assert len(likelihoods) == 8

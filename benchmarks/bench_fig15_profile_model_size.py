@@ -1,0 +1,93 @@
+"""Figure 15: profile-HMM forward search vs. model size.
+
+Paper setup: "Performance on a dataset of 13,355 sequences, on models
+of a varying size" (the Pfam-style workload of Section 6.3). Same tool
+set and expected ordering as Figure 14; every tool's cost grows
+linearly with the number of model positions (states), so the *slopes*
+order the tools.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.baselines.hmm_tools import (
+    GpuHmmerBaseline,
+    Hmmer3Baseline,
+    HmmocBaseline,
+)
+from repro.apps.hmm_algorithms import forward_function
+from repro.apps.profile_hmm import ProfileSearch, random_profile
+from repro.ir.kernel import build_kernel
+from repro.runtime.sequences import random_protein
+from repro.schedule.schedule import Schedule
+
+from bench_fig14_profile_sequences import our_seconds
+from conftest import write_table
+
+MODEL_POSITIONS = (5, 10, 20, 40, 80, 160)
+SEQUENCE_COUNT = 13_355  # the paper's dataset size
+SEQ_LENGTH = 400
+
+
+def test_figure15_report(benchmark):
+    kernel = build_kernel(
+        forward_function(), Schedule.of(s=0, i=1), "logspace"
+    )
+    hmmoc = HmmocBaseline(kernel)
+    gpu_hmmer = GpuHmmerBaseline(kernel)
+    hmmer3 = Hmmer3Baseline(kernel)
+    lengths = [SEQ_LENGTH] * SEQUENCE_COUNT
+
+    def compute():
+        rows = []
+        series = {"hmmoc": [], "ours": [], "ghmmer": [], "h3": []}
+        for positions in MODEL_POSITIONS:
+            hmm = random_profile(positions, seed=positions)
+            t_hmmoc = hmmoc.seconds(hmm, lengths)
+            t_ours = our_seconds(kernel, hmm, SEQUENCE_COUNT)
+            t_ghmmer = gpu_hmmer.seconds(hmm, lengths)
+            t_h3 = hmmer3.seconds(hmm, lengths)
+            series["hmmoc"].append(t_hmmoc)
+            series["ours"].append(t_ours)
+            series["ghmmer"].append(t_ghmmer)
+            series["h3"].append(t_h3)
+            rows.append((positions, t_hmmoc, t_ours, t_ghmmer, t_h3))
+        return rows, series
+
+    rows, series = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    write_table(
+        "fig15_profile_model_size",
+        "Figure 15 - Profile HMM forward: execution time (s) vs model "
+        f"size\n(dataset of {SEQUENCE_COUNT} sequences x {SEQ_LENGTH}aa)",
+        ("positions", "HMMoC", "ours", "GPU-HMMeR", "HMMeR 3 --max"),
+        rows,
+    )
+
+    for name, curve in series.items():
+        # Monotone growth with model size...
+        assert curve == sorted(curve), name
+        # ... and roughly linear (doubling positions ~ doubles time).
+        assert curve[-1] == pytest.approx(curve[-2] * 2, rel=0.35), name
+
+    for k in range(len(MODEL_POSITIONS)):
+        assert series["hmmoc"][k] > 10 * series["ours"][k]
+        assert 1 / 3 < series["ours"][k] / series["ghmmer"][k] < 3
+        assert series["h3"][k] < series["ours"][k]
+
+
+def test_functional_model_sizes_benchmark(benchmark):
+    """pytest-benchmark: real kernels across two model sizes."""
+    database = [random_protein(40, seed=k) for k in range(4)]
+
+    def run():
+        results = []
+        for positions in (5, 15):
+            search = ProfileSearch(random_profile(positions,
+                                                  seed=positions))
+            results.append(search.search(database).likelihoods)
+        return results
+
+    results = benchmark(run)
+    assert len(results) == 2

@@ -1,0 +1,64 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each ``bench_figNN_*`` module regenerates one table/figure of the
+paper's evaluation: it sweeps the paper's x-axis, prices every tool on
+the simulated hardware (see DESIGN.md §2 for the substitution
+argument), prints the series in a paper-style table, saves it under
+``benchmarks/results/``, and asserts the qualitative *shape* the paper
+reports. ``pytest benchmarks/ --benchmark-only`` also times the real
+(functional) kernels on scaled-down workloads via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_table(
+    name: str,
+    title: str,
+    header: Sequence[str],
+    rows: List[Sequence[object]],
+) -> str:
+    """Render, print and persist one paper-style table."""
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[k])) for r in rows))
+        for k, h in enumerate(header)
+    ]
+    lines = [title, ""]
+    lines.append(
+        "  ".join(str(h).rjust(w) for h, w in zip(header, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(v).rjust(w) for v, w in zip(row, widths))
+        )
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return text
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,14 @@
+// The paper's running example (Figure 7): edit distance.
+// Run:  python -m repro examples/scripts/edit_distance.dsl --time
+alphabet en = "abcdefghijklmnopqrstuvwxyz"
+
+int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i-1] == t[j-1] then d(i-1, j-1)
+  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1
+
+let q = "kitten"
+let r = "sitting"
+print d(q, |q|, r, |r|)
+print d(q, |q|, q, |q|)

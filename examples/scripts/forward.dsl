@@ -1,0 +1,28 @@
+// Figure 11: the forward algorithm in the HMM extension (Section 5.2).
+// Run:  python -m repro examples/scripts/forward.dsl --prob-mode logspace
+alphabet dna = "acgt"
+
+hmm cpg [dna] {
+  state begin : start
+  state island emits { a: 0.15, c: 0.35, g: 0.35, t: 0.15 }
+  state sea    emits { a: 0.30, c: 0.20, g: 0.20, t: 0.30 }
+  state finish : end
+  trans begin -> island : 0.5
+  trans begin -> sea    : 0.5
+  trans island -> island : 0.85
+  trans island -> sea    : 0.10
+  trans island -> finish : 0.05
+  trans sea -> sea    : 0.85
+  trans sea -> island : 0.10
+  trans sea -> finish : 0.05
+}
+
+prob forward(hmm h, state[h] s, seq[*] x, index[x] i) =
+  if i == 0 then
+    (if s.isstart then 1.0 else 0.0)
+  else
+    (if s.isend then 1.0 else s.emission[x[i-1]])
+    * sum(t in s.transitionsto : t.prob * forward(t.start, i - 1))
+
+let x = "cgcgcgatatatcgcg"
+print forward(cpg, cpg.end, x, |x|)

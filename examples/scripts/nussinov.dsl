@@ -1,0 +1,24 @@
+// Nussinov RNA folding through the script path: the Section 5
+// looping extension (bounded range reductions) end to end.
+// Run:  python -m repro examples/scripts/nussinov.dsl --time
+alphabet rna = "acgu"
+
+int nuss(seq[rna] x, index[x] i, index[x] j) =
+  if j < i + 2 then 0
+  else (
+    nuss(i+1, j)
+    max nuss(i, j-1)
+    max (nuss(i+1, j-1) +
+         (if x[i] == 'a' then (if x[j-1] == 'u' then 1 else 0)
+          else if x[i] == 'u' then
+            (if x[j-1] == 'a' then 1 else (if x[j-1] == 'g' then 1 else 0))
+          else if x[i] == 'c' then (if x[j-1] == 'g' then 1 else 0)
+          else (if x[j-1] == 'c' then 1 else (if x[j-1] == 'u' then 1 else 0))))
+    max max(k in i+1 .. j-1 : nuss(i, k) + nuss(k, j))
+  )
+
+let hairpin = "gggaaaccc"
+print nuss(hairpin, 0, |hairpin|)
+
+let stem = "ggcgcaaagcgcc"
+print nuss(stem, 0, |stem|)

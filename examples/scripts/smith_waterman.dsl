@@ -1,0 +1,26 @@
+// Smith-Waterman with the substitution-matrix extension (Section 5.1).
+// Run:  python -m repro examples/scripts/smith_waterman.dsl --time --cuda
+alphabet dna = "acgt"
+
+matrix score[dna, dna] {
+  header a c g t
+  row a :  2 -1 -1 -1
+  row c : -1  2 -1 -1
+  row g : -1 -1  2 -1
+  row t : -1 -1 -1  2
+}
+
+int sw(matrix[dna, dna] m, seq[dna] q, index[q] i,
+       seq[dna] d, index[d] j) =
+  if i == 0 then 0
+  else if j == 0 then 0
+  else 0 max (sw(i-1, j-1) + m[q[i-1], d[j-1]])
+         max (sw(i-1, j) - 2)
+         max (sw(i, j-1) - 2)
+
+// The paper's Section 4.5 user-schedule path: verified, not searched.
+schedule sw : i + j
+
+let a = "acgtacgtta"
+let b = "ttacgtaacg"
+print sw(score, a, |a|, b, |b|)

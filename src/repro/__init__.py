@@ -1,0 +1,62 @@
+"""repro: synthesising graphics card programs from DSLs.
+
+A complete reproduction of Cartey, Lyngsø & de Moor (PLDI 2012): a
+small DSL for recursive (dynamic-programming) problems, automatic
+schedule derivation via dependence criteria and a CSP, CLooG-style
+polyhedral loop generation, domain extensions (substitution matrices,
+HMMs), and synthesis of massively-parallel programs — executed and
+priced on a simulated CUDA-class device (see DESIGN.md).
+
+Quickstart::
+
+    from repro import Engine, check_function, parse_function, Sequence
+    from repro.runtime import ENGLISH
+
+    src = '''int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+      if i == 0 then j else if j == 0 then i
+      else if s[i-1] == t[j-1] then d(i-1, j-1)
+      else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1'''
+    func = check_function(parse_function(src), {"en": ENGLISH.chars})
+    result = Engine().run(func, {"s": Sequence("kitten", ENGLISH),
+                                 "t": Sequence("sitting", ENGLISH)})
+    assert result.value == 3
+"""
+
+from .lang import (
+    CheckedFunction,
+    CheckedProgram,
+    DslError,
+    check_function,
+    check_program,
+    parse_expr,
+    parse_function,
+    parse_program,
+)
+from .analysis import Domain
+from .runtime import Engine, Sequence, Alphabet, Bindings
+from .runtime.program import ProgramRunner, ScriptResult, run_script
+from .schedule import Schedule, find_schedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckedFunction",
+    "CheckedProgram",
+    "DslError",
+    "check_function",
+    "check_program",
+    "parse_expr",
+    "parse_function",
+    "parse_program",
+    "Domain",
+    "Engine",
+    "Sequence",
+    "Alphabet",
+    "Bindings",
+    "ProgramRunner",
+    "ScriptResult",
+    "run_script",
+    "Schedule",
+    "find_schedule",
+    "__version__",
+]

@@ -1,0 +1,201 @@
+"""Affine functions over named dimensions.
+
+Both schedules and descent functions are restricted to affine integer
+functions of the recursive parameters (Sections 4.2 and 4.4) — this is
+what keeps the analysis tractable and the generated code efficient.
+This module provides the shared representation, plus abstract
+evaluation of DSL expressions into affine form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..lang import ast
+from ..lang.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class Affine:
+    """An affine integer function ``sum_k coeffs[k] * k + const``.
+
+    ``coeffs`` is stored as a sorted tuple of ``(dim, coefficient)``
+    pairs with zero coefficients dropped, so equal functions compare
+    equal.
+    """
+
+    coeffs: Tuple[Tuple[str, int], ...]
+    const: int = 0
+
+    @staticmethod
+    def of(mapping: Mapping[str, int], const: int = 0) -> "Affine":
+        """Build from a dim->coefficient mapping plus constant."""
+        items = tuple(
+            sorted((d, c) for d, c in mapping.items() if c != 0)
+        )
+        return Affine(items, const)
+
+    @staticmethod
+    def constant(value: int) -> "Affine":
+        """The constant affine function ``value``."""
+        return Affine((), value)
+
+    @staticmethod
+    def variable(name: str) -> "Affine":
+        """The identity function of one dimension."""
+        return Affine(((name, 1),), 0)
+
+    @property
+    def is_constant(self) -> bool:
+        """True when no dimension has a non-zero coefficient."""
+        return not self.coeffs
+
+    def as_dict(self) -> Dict[str, int]:
+        """The coefficients as a plain dict (zeros absent)."""
+        return dict(self.coeffs)
+
+    def coefficient(self, dim: str) -> int:
+        """The coefficient of ``dim`` (0 when absent)."""
+        return self.as_dict().get(dim, 0)
+
+    def dims(self) -> Tuple[str, ...]:
+        """The dimensions with non-zero coefficients, sorted."""
+        return tuple(d for d, _ in self.coeffs)
+
+    def __add__(self, other: "Affine") -> "Affine":
+        merged = self.as_dict()
+        for dim, coeff in other.coeffs:
+            merged[dim] = merged.get(dim, 0) + coeff
+        return Affine.of(merged, self.const + other.const)
+
+    def __neg__(self) -> "Affine":
+        return Affine(
+            tuple((d, -c) for d, c in self.coeffs), -self.const
+        )
+
+    def __sub__(self, other: "Affine") -> "Affine":
+        return self + (-other)
+
+    def scale(self, factor: int) -> "Affine":
+        """Multiply every coefficient and the constant by ``factor``."""
+        if factor == 0:
+            return Affine.constant(0)
+        return Affine(
+            tuple((d, c * factor) for d, c in self.coeffs),
+            self.const * factor,
+        )
+
+    def evaluate(self, values: Mapping[str, int]) -> int:
+        """The value at a concrete point."""
+        total = self.const
+        for dim, coeff in self.coeffs:
+            total += coeff * values[dim]
+        return total
+
+    def substitute(self, bindings: Mapping[str, "Affine"]) -> "Affine":
+        """Replace each dimension with an affine expression."""
+        result = Affine.constant(self.const)
+        for dim, coeff in self.coeffs:
+            replacement = bindings.get(dim, Affine.variable(dim))
+            result = result + replacement.scale(coeff)
+        return result
+
+    def min_over_box(self, extents: Mapping[str, int]) -> int:
+        """Minimum over the box ``0 <= dim < extents[dim]``.
+
+        An affine function attains its extrema at box corners; each
+        term is minimised independently (Section 4.6's observation).
+        """
+        total = self.const
+        for dim, coeff in self.coeffs:
+            top = extents[dim] - 1
+            total += min(0, coeff * top)
+        return total
+
+    def max_over_box(self, extents: Mapping[str, int]) -> int:
+        """Maximum over the box ``0 <= dim < extents[dim]``."""
+        total = self.const
+        for dim, coeff in self.coeffs:
+            top = extents[dim] - 1
+            total += max(0, coeff * top)
+        return total
+
+    def __str__(self) -> str:
+        parts = []
+        for dim, coeff in self.coeffs:
+            if coeff == 1:
+                parts.append(dim)
+            elif coeff == -1:
+                parts.append(f"-{dim}")
+            else:
+                parts.append(f"{coeff}*{dim}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        text = " + ".join(parts)
+        return text.replace("+ -", "- ")
+
+
+def vector_to_affine(
+    dims: Sequence[str], coefficients: Sequence[int], const: int = 0
+) -> Affine:
+    """Build an affine function from a coefficient vector over ``dims``."""
+    if len(dims) != len(coefficients):
+        raise ValueError("dims and coefficients must have equal length")
+    return Affine.of(dict(zip(dims, coefficients)), const)
+
+
+def affine_from_expr(
+    expr: ast.Expr,
+    dims: Iterable[str],
+    free_vars: Iterable[str] = (),
+) -> Optional[Affine]:
+    """Abstractly evaluate ``expr`` to an affine function of ``dims``.
+
+    Returns ``None`` when the expression is not affine (a product of
+    two dimensions, a table lookup, a reference to a ``free_vars``
+    binder...). Non-affine is not an error here — the caller decides
+    whether to reject (schedules) or treat as *free* (descent through
+    HMM fields, Section 5.2).
+    """
+    dim_set = frozenset(dims)
+    free_set = frozenset(free_vars)
+
+    def go(node: ast.Expr) -> Optional[Affine]:
+        if isinstance(node, ast.IntLit):
+            return Affine.constant(node.value)
+        if isinstance(node, ast.Var):
+            if node.name in dim_set:
+                return Affine.variable(node.name)
+            if node.name in free_set:
+                return None
+            raise AnalysisError(
+                f"variable {node.name!r} is not a recursion dimension; "
+                f"descent and schedule expressions may only use "
+                f"{sorted(dim_set)}",
+                node.span,
+            )
+        if isinstance(node, ast.BinOp):
+            if node.op == ast.BinOpKind.ADD:
+                left, right = go(node.left), go(node.right)
+                if left is None or right is None:
+                    return None
+                return left + right
+            if node.op == ast.BinOpKind.SUB:
+                left, right = go(node.left), go(node.right)
+                if left is None or right is None:
+                    return None
+                return left - right
+            if node.op == ast.BinOpKind.MUL:
+                left, right = go(node.left), go(node.right)
+                if left is None or right is None:
+                    return None
+                if left.is_constant:
+                    return right.scale(left.const)
+                if right.is_constant:
+                    return left.scale(right.const)
+                return None
+            return None
+        return None
+
+    return go(expr)

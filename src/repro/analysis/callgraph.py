@@ -1,0 +1,73 @@
+"""Call graphs over program functions.
+
+Identifies the recursive groups of a checked program: a function on
+its own (self-recursion — the paper's base case) or a strongly
+connected component of mutually recursive functions (the Section 9
+extension, scheduled by :mod:`repro.schedule.mutual_rec`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+import networkx as nx
+
+from ..lang import ast
+from ..lang.typecheck import CheckedFunction, CheckedProgram
+
+
+def call_graph(
+    functions: Mapping[str, CheckedFunction]
+) -> "nx.DiGraph":
+    """Edges ``caller -> callee`` over the given functions."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(functions)
+    for name, func in functions.items():
+        for node in ast.walk(func.body):
+            if isinstance(node, ast.Call) and node.func in functions:
+                graph.add_edge(name, node.func)
+    return graph
+
+
+def recursive_groups(
+    functions: Mapping[str, CheckedFunction]
+) -> List[Tuple[str, ...]]:
+    """The recursive components, in reverse-topological order.
+
+    Singleton components without a self-loop (non-recursive functions)
+    are excluded; singletons with a self-loop are ordinary recursions;
+    larger components are mutual groups.
+    """
+    graph = call_graph(functions)
+    groups: List[Tuple[str, ...]] = []
+    for component in nx.strongly_connected_components(graph):
+        names = tuple(sorted(component))
+        if len(names) > 1 or graph.has_edge(names[0], names[0]):
+            groups.append(names)
+    # Reverse topological order of the condensation: callees first.
+    condensation = nx.condensation(graph)
+    order: Dict[frozenset, int] = {}
+    for position, node in enumerate(
+        nx.topological_sort(condensation)
+    ):
+        members = frozenset(condensation.nodes[node]["members"])
+        order[members] = position
+    groups.sort(key=lambda g: -order.get(frozenset(g), 0))
+    return groups
+
+
+def is_mutual_group(
+    functions: Mapping[str, CheckedFunction], names: Tuple[str, ...]
+) -> bool:
+    """Is this recursive group larger than one function?"""
+    return len(names) > 1
+
+
+def group_of(
+    checked: CheckedProgram, name: str
+) -> Tuple[str, ...]:
+    """The recursive group containing ``name`` (possibly singleton)."""
+    for group in recursive_groups(checked.functions):
+        if name in group:
+            return group
+    return (name,)

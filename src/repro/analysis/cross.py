@@ -1,0 +1,121 @@
+"""Cross-function descent extraction (the Section 9 extension).
+
+For every call site in a mutual group, the descent maps the *caller's*
+dimensions onto the *callee's* argument tuple. Components reuse the
+single-function classification machinery, except that "uniform" is
+only meaningful positionally (same dimension passed through with a
+constant offset is still just an affine component here — the mutual
+criteria always work with the runtime extents).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Set, Tuple
+
+from ..lang import ast
+from ..lang.errors import AnalysisError
+from ..lang.typecheck import CheckedFunction
+from .affine import affine_from_expr
+from .descent import (
+    BinderBound,
+    Component,
+    _binders_in_scope,
+    _mentions_untracked,
+    _resolve_binder_bounds,
+)
+
+
+@dataclass(frozen=True)
+class CrossDescent:
+    """One call site ``caller -> callee`` with its argument map.
+
+    ``components[k]`` describes the callee's ``k``-th dimension as a
+    function of the caller's dimensions (plus any range binders).
+    """
+
+    caller: str
+    callee: str
+    call: ast.Call
+    callee_dims: Tuple[str, ...]
+    components: Tuple[Component, ...]
+    binders: Tuple[BinderBound, ...] = ()
+
+    def __str__(self) -> str:
+        parts = "; ".join(
+            f"{dim} <- {'*' if comp.is_free else comp.affine}"
+            for dim, comp in zip(self.callee_dims, self.components)
+        )
+        text = f"{self.caller} -> {self.callee}: {parts}"
+        if self.binders:
+            text += " where " + ", ".join(str(b) for b in self.binders)
+        return text
+
+
+def extract_cross_descents(
+    func: CheckedFunction,
+    signatures: Mapping[str, CheckedFunction],
+) -> Tuple[CrossDescent, ...]:
+    """All descents of ``func``, including calls to other functions."""
+    caller_dims = func.dim_names
+    descents: List[CrossDescent] = []
+    for node in ast.walk(func.body):
+        if not isinstance(node, ast.Call):
+            continue
+        if node.func not in signatures:
+            raise AnalysisError(
+                f"{func.name!r} calls unknown function {node.func!r}",
+                node.span,
+            )
+        callee = signatures[node.func]
+        opaque, range_reduces = _binders_in_scope(func, node)
+        binder_bounds = _resolve_binder_bounds(
+            caller_dims, range_reduces, opaque
+        )
+        range_names = {b.name for b in binder_bounds}
+        components: List[Component] = []
+        used: Set[str] = set()
+        for callee_dim, arg in zip(callee.dim_names, node.args):
+            component = _classify_cross(
+                callee_dim, arg, caller_dims, opaque, range_names
+            )
+            components.append(component)
+            if component.affine is not None:
+                used.update(
+                    d for d in component.affine.dims()
+                    if d in range_names
+                )
+        descents.append(
+            CrossDescent(
+                func.name,
+                callee.name,
+                node,
+                callee.dim_names,
+                tuple(components),
+                tuple(b for b in binder_bounds if b.name in used),
+            )
+        )
+    return tuple(descents)
+
+
+def _classify_cross(
+    callee_dim: str,
+    arg: ast.Expr,
+    caller_dims: Tuple[str, ...],
+    opaque: Set[str],
+    range_names: Set[str],
+) -> Component:
+    if _mentions_untracked(arg, opaque):
+        return Component(callee_dim, "free")
+    affine = affine_from_expr(
+        arg, tuple(caller_dims) + tuple(range_names), free_vars=opaque
+    )
+    if affine is None:
+        raise AnalysisError(
+            f"recursive argument for dimension {callee_dim!r} is not "
+            f"an affine function of the caller's dimensions: {arg}",
+            arg.span,
+        )
+    if any(d in range_names for d in affine.dims()):
+        return Component(callee_dim, "ranged", affine)
+    return Component(callee_dim, "affine", affine)

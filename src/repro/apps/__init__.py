@@ -1,0 +1,54 @@
+"""The paper's case-study applications (Section 6)."""
+
+from .gene_finder import GeneFinder, build_gene_finder_hmm
+from .hmm_algorithms import (
+    backward_function,
+    forward_function,
+    viterbi_function,
+)
+from .gotoh import GotohAligner, gotoh_reference
+from .posterior import PosteriorDecoder
+from .rna_grammar import GRAMMAR_SOURCE, RnaGrammar
+from .viterbi_decode import ViterbiDecoder
+from .rna_folding import (
+    RnaFolding,
+    nussinov_function,
+    nussinov_reference,
+    nussinov_source,
+)
+from .profile_hmm import (
+    ProfileSearch,
+    build_profile_hmm,
+    random_profile,
+    tk_model,
+)
+from .smith_waterman import (
+    SmithWaterman,
+    smith_waterman_function,
+    smith_waterman_source,
+)
+
+__all__ = [
+    "GeneFinder",
+    "build_gene_finder_hmm",
+    "backward_function",
+    "forward_function",
+    "viterbi_function",
+    "ProfileSearch",
+    "build_profile_hmm",
+    "random_profile",
+    "tk_model",
+    "SmithWaterman",
+    "smith_waterman_function",
+    "smith_waterman_source",
+    "RnaFolding",
+    "PosteriorDecoder",
+    "GotohAligner",
+    "gotoh_reference",
+    "ViterbiDecoder",
+    "RnaGrammar",
+    "GRAMMAR_SOURCE",
+    "nussinov_function",
+    "nussinov_reference",
+    "nussinov_source",
+]

@@ -1,0 +1,31 @@
+"""Reimplemented comparators from the paper's evaluation."""
+
+from .cudasw import (
+    CudaSWHybrid,
+    CudaSWInter,
+    CudaSWIntra,
+    HYBRID_LENGTH_THRESHOLD,
+)
+from .hmm_tools import (
+    GpuHmmerBaseline,
+    Hmmer2Baseline,
+    Hmmer3Baseline,
+    HmmocBaseline,
+    forward_reference,
+)
+from .ssearch import SSearchBaseline, sw_score, sw_table
+
+__all__ = [
+    "CudaSWHybrid",
+    "CudaSWInter",
+    "CudaSWIntra",
+    "HYBRID_LENGTH_THRESHOLD",
+    "GpuHmmerBaseline",
+    "Hmmer2Baseline",
+    "Hmmer3Baseline",
+    "HmmocBaseline",
+    "forward_reference",
+    "SSearchBaseline",
+    "sw_score",
+    "sw_table",
+]

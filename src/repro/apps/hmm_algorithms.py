@@ -1,0 +1,75 @@
+"""The canonical HMM recursions, written in the DSL (Figure 11).
+
+Both case-study applications (the gene finder and profile-HMM search)
+instantiate these sources; the automatic analysis schedules them on
+the sequence position (``S = i``), putting all states of one position
+in one partition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..lang.parser import parse_function
+from ..lang.typecheck import CheckedFunction, check_function
+
+#: Figure 11(b): the forward algorithm in the HMM extension.
+FORWARD_SOURCE = """\
+prob forward(hmm h, state[h] s, seq[*] x, index[x] i) =
+  if i == 0 then
+    (if s.isstart then 1.0 else 0.0)
+  else
+    // The end state is silent
+    (if s.isend then 1.0 else s.emission[x[i-1]])
+    * sum(t in s.transitionsto : t.prob * forward(t.start, i - 1))
+"""
+
+#: The Viterbi recursion: the same shape with max instead of sum.
+VITERBI_SOURCE = """\
+prob viterbi(hmm h, state[h] s, seq[*] x, index[x] i) =
+  if i == 0 then
+    (if s.isstart then 1.0 else 0.0)
+  else
+    (if s.isend then 1.0 else s.emission[x[i-1]])
+    * max(t in s.transitionsto : t.prob * viterbi(t.start, i - 1))
+"""
+
+#: The backward algorithm: symmetric, over outgoing transitions. The
+#: position dimension *increases* toward the base case, so the descent
+#: is ``i + 1`` and the derived schedule runs anti-wise (S = -i) —
+#: a good exercise for negative schedule coefficients.
+BACKWARD_SOURCE = """\
+prob backward(hmm h, state[h] s, seq[*] x, index[x] i, int n) =
+  // >= (not ==): the box domain also tabulates cells above the
+  // n-plane, which must not read past the sequence.
+  if i >= n then
+    (if s.isend then 1.0 else 0.0)
+  else
+    sum(t in s.transitionsfrom :
+        t.prob
+        * (if t.end.isend then 1.0 else t.end.emission[x[i]])
+        * backward(t.end, i + 1, n))
+"""
+
+_CACHE: Dict[str, CheckedFunction] = {}
+
+
+def _checked(source: str, key: str) -> CheckedFunction:
+    if key not in _CACHE:
+        _CACHE[key] = check_function(parse_function(source))
+    return _CACHE[key]
+
+
+def forward_function() -> CheckedFunction:
+    """The checked forward algorithm (shared, cached)."""
+    return _checked(FORWARD_SOURCE, "forward")
+
+
+def viterbi_function() -> CheckedFunction:
+    """The checked Viterbi recursion (shared, cached)."""
+    return _checked(VITERBI_SOURCE, "viterbi")
+
+
+def backward_function() -> CheckedFunction:
+    """The checked backward algorithm (shared, cached)."""
+    return _checked(BACKWARD_SOURCE, "backward")

@@ -1,0 +1,95 @@
+"""Posterior state decoding — forward x backward on the device.
+
+A fourth HMM workload built purely from the DSL: the posterior
+probability of being in state ``s`` while emitting position ``i`` is
+
+    ``P(s at i | x) = F(s, i) * B(s, i) / P(x)``
+
+with ``F`` Figure 11's forward algorithm and ``B`` the mirrored
+backward recursion (whose descent *increases* the position, so the
+derived schedule is ``S = -i`` — the negative-coefficient case of the
+schedule space). Both tables come off the simulated device; the
+combination is a cheap NumPy post-pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..extensions.hmm import Hmm
+from ..lang.errors import RuntimeDslError
+from ..runtime.engine import Engine
+from ..runtime.values import Sequence
+from .hmm_algorithms import backward_function, forward_function
+
+
+@dataclass
+class PosteriorResult:
+    """Per-position posterior distribution over states."""
+
+    sequence: Sequence
+    hmm: Hmm
+    likelihood: float
+    posteriors: np.ndarray  # [state, position 1..n]
+    seconds: float
+
+    def state_path(self) -> List[str]:
+        """The posterior-decoded path (argmax per position)."""
+        best = self.posteriors.argmax(axis=0)
+        return [
+            self.hmm.states[s].name
+            for s in best[1:len(self.sequence) + 1]
+        ]
+
+    def probability_of(self, state_name: str, position: int) -> float:
+        """Posterior of ``state_name`` emitting position ``position``."""
+        state = self.hmm.state(state_name)
+        return float(self.posteriors[state.index, position])
+
+
+class PosteriorDecoder:
+    """Runs forward and backward and combines the tables."""
+
+    def __init__(
+        self, hmm: Hmm, engine: Optional[Engine] = None
+    ) -> None:
+        # Posterior needs the linear-domain product F * B; the direct
+        # representation keeps the combination a plain multiply.
+        self.engine = engine or Engine(prob_mode="direct")
+        self.hmm = hmm
+        self.forward = forward_function()
+        self.backward = backward_function()
+
+    def decode(self, seq: Sequence) -> PosteriorResult:
+        """Posterior state distributions for one sequence."""
+        n = len(seq)
+        fwd = self.engine.run(
+            self.forward, {"h": self.hmm, "x": seq}
+        )
+        bwd = self.engine.run(
+            self.backward,
+            {"h": self.hmm, "x": seq},
+            initial={"n": n},
+            at={"s": self.hmm.start_state.index, "i": 0, "n": n},
+        )
+        likelihood = float(
+            fwd.table[self.hmm.end_state.index, n]
+        )
+        if likelihood <= 0.0:
+            raise RuntimeDslError(
+                "sequence has zero likelihood under the model; "
+                "posteriors are undefined"
+            )
+        # B's table is indexed [state, position, n]; slice the n plane.
+        backward_plane = bwd.table[:, :, n]
+        posteriors = fwd.table * backward_plane / likelihood
+        return PosteriorResult(
+            seq,
+            self.hmm,
+            likelihood,
+            posteriors,
+            fwd.seconds + bwd.seconds,
+        )

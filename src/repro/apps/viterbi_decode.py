@@ -1,0 +1,106 @@
+"""Viterbi decoding: the most probable state path.
+
+The Viterbi recursion is the forward algorithm with ``max`` in place
+of ``sum`` (same derived schedule, ``S = i``). The filled table
+supports a standard traceback: starting from the end state, repeatedly
+pick the incoming transition whose source achieves the cell's value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..extensions.hmm import Hmm
+from ..lang.errors import RuntimeDslError
+from ..runtime.engine import Engine
+from ..runtime.values import Sequence
+from .hmm_algorithms import viterbi_function
+
+
+@dataclass
+class ViterbiResult:
+    """The best path and its probability."""
+
+    sequence: Sequence
+    hmm: Hmm
+    probability: float
+    path: List[str]  # state names, one per emitted position
+    seconds: float
+
+    def __str__(self) -> str:
+        return " ".join(self.path)
+
+
+class ViterbiDecoder:
+    """Most-probable-path decoding on the simulated device."""
+
+    def __init__(
+        self, hmm: Hmm, engine: Optional[Engine] = None
+    ) -> None:
+        # Traceback compares products cell-by-cell; the direct
+        # representation keeps that a plain multiply. (For very long
+        # sequences a log-space traceback would compare sums instead.)
+        self.engine = engine or Engine(prob_mode="direct")
+        self.hmm = hmm
+        self.func = viterbi_function()
+
+    def decode(self, seq: Sequence) -> ViterbiResult:
+        """The most probable state path for one sequence."""
+        run = self.engine.run(self.func, {"h": self.hmm, "x": seq})
+        table = run.table
+        probability = float(
+            table[self.hmm.end_state.index, len(seq)]
+        )
+        if probability <= 0.0:
+            raise RuntimeDslError(
+                "sequence has zero probability under the model; "
+                "no Viterbi path exists"
+            )
+        path = self._traceback(seq, table)
+        return ViterbiResult(
+            seq, self.hmm, probability, path, run.seconds
+        )
+
+    def _emission(self, state, char: str) -> float:
+        if state.is_end:
+            return 1.0
+        return state.emission(char)
+
+    def _traceback(self, seq: Sequence, table: np.ndarray) -> List[str]:
+        """Walk the argmax chain backwards from (end, n)."""
+        hmm = self.hmm
+        position = len(seq)
+        state = hmm.end_state
+        reversed_path: List[str] = []
+        while position > 0:
+            target = table[state.index, position]
+            emit = self._emission(
+                state, seq[position - 1] if position else ""
+            )
+            chosen = None
+            for trans in hmm.transitions_to(state):
+                candidate = (
+                    emit
+                    * trans.prob
+                    * table[trans.source, position - 1]
+                )
+                if np.isclose(candidate, target, rtol=1e-9, atol=0.0):
+                    chosen = trans
+                    break
+            if chosen is None:
+                raise RuntimeDslError(
+                    f"traceback failed at state {state.name!r}, "
+                    f"position {position} (inconsistent table)"
+                )
+            if not state.is_end:
+                reversed_path.append(state.name)
+            position -= 1
+            state = hmm.states[chosen.source]
+        if not state.is_start:
+            # The final position was emitted by a non-start state.
+            reversed_path.append(state.name)
+        path = list(reversed(reversed_path))
+        return path

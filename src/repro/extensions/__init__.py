@@ -1,0 +1,14 @@
+"""Domain extensions (Section 5): substitution matrices and HMMs."""
+
+from .hmm import Hmm, HmmArrays, HmmBuilder, State, Transition
+from .submatrix import SubstitutionMatrix, blosum62
+
+__all__ = [
+    "Hmm",
+    "HmmArrays",
+    "HmmBuilder",
+    "State",
+    "Transition",
+    "SubstitutionMatrix",
+    "blosum62",
+]

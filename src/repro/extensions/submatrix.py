@@ -1,0 +1,148 @@
+"""Substitution matrices — the simple data extension (Section 5.1).
+
+A substitution matrix scores replacing one character with another; it
+adds a ``matrix`` calling type and the lookup expression
+``m[c1, c2]`` to the language, with no effect on the recursion
+analysis. The generated load reads a dense table indexed through the
+alphabets' index tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..lang import ast
+from ..lang.errors import RuntimeDslError
+from ..runtime.values import Alphabet
+
+
+@dataclass(frozen=True)
+class SubstitutionMatrix:
+    """A dense score table over ``row_alphabet`` x ``col_alphabet``."""
+
+    name: str
+    row_alphabet: Alphabet
+    col_alphabet: Alphabet
+    scores: np.ndarray = field(compare=False)
+
+    def __post_init__(self) -> None:
+        expected = (len(self.row_alphabet), len(self.col_alphabet))
+        if self.scores.shape != expected:
+            raise RuntimeDslError(
+                f"matrix {self.name!r}: score table shape "
+                f"{self.scores.shape} does not match alphabets {expected}"
+            )
+
+    def score(self, row_char: str, col_char: str) -> int:
+        """Look up the substitution score of a character pair."""
+        return int(
+            self.scores[
+                self.row_alphabet.index(row_char),
+                self.col_alphabet.index(col_char),
+            ]
+        )
+
+    @staticmethod
+    def from_decl(
+        decl: ast.MatrixDecl, alphabets: Mapping[str, Alphabet]
+    ) -> "SubstitutionMatrix":
+        """Materialise a parsed ``matrix`` declaration."""
+        rows = alphabets[decl.row_alphabet]
+        cols = alphabets[decl.col_alphabet]
+        header = decl.header or tuple(cols.chars)
+        default = decl.default if decl.default is not None else 0
+        table = np.full((len(rows), len(cols)), default, dtype=np.int64)
+        for row in decl.rows:
+            r = rows.index(row.char)
+            for char, value in zip(header, row.values):
+                table[r, cols.index(char)] = value
+        return SubstitutionMatrix(decl.name, rows, cols, table)
+
+    @staticmethod
+    def from_scores(
+        name: str,
+        alphabet: Alphabet,
+        scores: Mapping[Tuple[str, str], int],
+        default: int = 0,
+        symmetric: bool = True,
+    ) -> "SubstitutionMatrix":
+        """Build a square matrix from a sparse pair->score mapping."""
+        size = len(alphabet)
+        table = np.full((size, size), default, dtype=np.int64)
+        for (a, b), value in scores.items():
+            table[alphabet.index(a), alphabet.index(b)] = value
+            if symmetric:
+                table[alphabet.index(b), alphabet.index(a)] = value
+        return SubstitutionMatrix(name, alphabet, alphabet, table)
+
+    @staticmethod
+    def match_mismatch(
+        name: str,
+        alphabet: Alphabet,
+        match: int = 1,
+        mismatch: int = -1,
+    ) -> "SubstitutionMatrix":
+        """The simplest scoring scheme: match/mismatch constants."""
+        size = len(alphabet)
+        table = np.full((size, size), mismatch, dtype=np.int64)
+        np.fill_diagonal(table, match)
+        return SubstitutionMatrix(name, alphabet, alphabet, table)
+
+    def to_dsl(self) -> str:
+        """Render back to DSL ``matrix`` declaration syntax."""
+        lines = [
+            f"matrix {self.name}"
+            f"[{self.row_alphabet.name}, {self.col_alphabet.name}] {{"
+        ]
+        lines.append("  header " + " ".join(self.col_alphabet.chars))
+        for r, char in enumerate(self.row_alphabet.chars):
+            values = " ".join(str(int(v)) for v in self.scores[r])
+            lines.append(f"  row {char} : {values}")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def blosum62(alphabet: Optional[Alphabet] = None) -> SubstitutionMatrix:
+    """The BLOSUM62 matrix used by Smith-Waterman searches (Section 6.1).
+
+    Standard 20-residue table (Henikoff & Henikoff 1992).
+    """
+    from ..runtime.values import PROTEIN
+
+    alphabet = alphabet or PROTEIN
+    rows = _BLOSUM62_ROWS.strip().splitlines()
+    order = "ARNDCQEGHILKMFPSTWYV"
+    scores: Dict[Tuple[str, str], int] = {}
+    for row_char, line in zip(order, rows):
+        for col_char, value in zip(order, line.split()):
+            scores[(row_char, col_char)] = int(value)
+    return SubstitutionMatrix.from_scores(
+        "blosum62", alphabet, scores, symmetric=False
+    )
+
+
+_BLOSUM62_ROWS = """
+ 4 -1 -2 -2  0 -1 -1  0 -2 -1 -1 -1 -1 -2 -1  1  0 -3 -2  0
+-1  5  0 -2 -3  1  0 -2  0 -3 -2  2 -1 -3 -2 -1 -1 -3 -2 -3
+-2  0  6  1 -3  0  0  0  1 -3 -3  0 -2 -3 -2  1  0 -4 -2 -3
+-2 -2  1  6 -3  0  2 -1 -1 -3 -4 -1 -3 -3 -1  0 -1 -4 -3 -3
+ 0 -3 -3 -3  9 -3 -4 -3 -3 -1 -1 -3 -1 -2 -3 -1 -1 -2 -2 -1
+-1  1  0  0 -3  5  2 -2  0 -3 -2  1  0 -3 -1  0 -1 -2 -1 -2
+-1  0  0  2 -4  2  5 -2  0 -3 -3  1 -2 -3 -1  0 -1 -3 -2 -2
+ 0 -2  0 -1 -3 -2 -2  6 -2 -4 -4 -2 -3 -3 -2  0 -2 -2 -3 -3
+-2  0  1 -1 -3  0  0 -2  8 -3 -3 -1 -2 -1 -2 -1 -2 -2  2 -3
+-1 -3 -3 -3 -1 -3 -3 -4 -3  4  2 -3  1  0 -3 -2 -1 -3 -1  3
+-1 -2 -3 -4 -1 -2 -3 -4 -3  2  4 -2  2  0 -3 -2 -1 -2 -1  1
+-1  2  0 -1 -3  1  1 -2 -1 -3 -2  5 -1 -3 -1  0 -1 -3 -2 -2
+-1 -1 -2 -3 -1  0 -2 -3 -2  1  2 -1  5  0 -2 -1 -1 -1 -1  1
+-2 -3 -3 -3 -2 -3 -3 -3 -1  0  0 -3  0  6 -4 -2 -2  1  3 -1
+-1 -2 -2 -1 -3 -1 -1 -2 -2 -3 -3 -1 -2 -4  7 -1 -1 -4 -3 -2
+ 1 -1  1  0 -1  0  0  0 -1 -2 -2  0 -1 -2 -1  4  1 -3 -2 -2
+ 0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  1  5 -2 -2  0
+-3 -3 -4 -4 -2 -2 -3 -2 -2 -3 -2 -3 -1  1 -4 -3 -2 11  2 -3
+-2 -2 -2 -3 -2 -1 -2 -3  2 -1 -1 -2 -1  3 -3 -2 -2  2  7 -1
+ 0 -3 -3 -3 -1 -2 -2 -3 -3  3  1 -2  1 -1 -2 -2  0 -3 -1  4
+"""

@@ -1,0 +1,88 @@
+"""Hardware specifications for the simulated devices.
+
+The paper's testbed: an NVIDIA GTX 480 (GF100: 15 multiprocessors of
+32 cores at 1.4 GHz, 48 KiB shared memory per SM, ~177 GB/s global
+bandwidth) against an Intel Xeon E5520 (2.26 GHz Nehalem).
+
+The cost constants are *effective amortised cycles per operation per
+warp-step*: they bake in issue width, pipelining, coalescing and the
+latency hiding of a reasonably occupied SM. Absolute times are
+calibration, not measurement — the figures compare strategies and
+shapes, which these constants preserve (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A CUDA-class device for the analytic cost model."""
+
+    name: str = "NVIDIA GTX 480 (simulated)"
+    sm_count: int = 15
+    cores_per_sm: int = 32
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    #: Co-resident blocks per multiprocessor (occupancy): small
+    #: problems whose partitions underfill a warp are packed to keep
+    #: the SM busy.
+    blocks_per_sm: int = 4
+    clock_hz: float = 1.40e9
+    shared_memory_bytes: int = 48 * 1024
+
+    # Effective cycles per warp-wide operation.
+    arith_cycles: float = 1.0
+    compare_cycles: float = 1.0
+    select_cycles: float = 1.0
+    special_cycles: float = 8.0   # log/exp class transcendentals
+    global_read_cycles: float = 22.0  # amortised, coalesced
+    shared_read_cycles: float = 2.0
+    global_write_cycles: float = 10.0
+    shared_write_cycles: float = 2.0
+    sync_cycles: float = 48.0     # __syncthreads() + loop overhead
+
+    # Host-side costs (the paper's timings include setup).
+    launch_overhead_s: float = 12e-6     # per kernel launch
+    transfer_latency_s: float = 25e-6    # per memcpy
+    transfer_bandwidth: float = 6.0e9    # PCIe gen2 effective B/s
+
+    def transfer_seconds(self, num_bytes: float) -> float:
+        """Host <-> device copy time for a payload."""
+        return self.transfer_latency_s + num_bytes / self.transfer_bandwidth
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A single CPU core for the baseline cost models."""
+
+    name: str = "Intel Xeon E5520 (simulated)"
+    clock_hz: float = 2.26e9
+
+    arith_cycles: float = 1.0
+    compare_cycles: float = 1.0
+    select_cycles: float = 2.0    # branchy scalar code
+    special_cycles: float = 15.0  # libm log/exp
+    memory_read_cycles: float = 1.5   # mostly cache-resident DP rows
+    memory_write_cycles: float = 1.0
+    loop_overhead_cycles: float = 3.0  # per-cell loop/bookkeeping
+
+    # Vector/thread scaling knobs, for baselines that use them
+    # (HMMER3, SSE2 builds of ssearch).
+    simd_width: int = 1
+    threads: int = 1
+
+    def effective_speedup(self) -> float:
+        """Combined SIMD x threading speedup of this configuration."""
+        return max(1.0, 0.75 * self.simd_width) * max(1, self.threads)
+
+
+GTX480 = DeviceSpec()
+XEON_E5520 = CpuSpec()
+#: HMMER3-style configuration: SSE vectorised, multi-threaded.
+XEON_E5520_SSE = CpuSpec(
+    name="Intel Xeon E5520 (SSE2, 8 threads, simulated)",
+    simd_width=8,
+    threads=8,
+)

@@ -1,0 +1,16 @@
+"""The low-level IR (Section 3.3): kernels, lowering, backends."""
+
+from .cuda import emit_cuda
+from .kernel import Kernel, build_kernel
+from .lower import LoweredBody, lower_function
+from .pybackend import compile_kernel, emit_kernel_source
+
+__all__ = [
+    "emit_cuda",
+    "Kernel",
+    "build_kernel",
+    "LoweredBody",
+    "lower_function",
+    "compile_kernel",
+    "emit_kernel_source",
+]

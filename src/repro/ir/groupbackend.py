@@ -1,0 +1,150 @@
+"""Compiled Python backend for mutual groups (Section 9).
+
+One generated module drives a whole group: a single global time loop
+interleaves the member functions' partitions (each shifted by its
+schedule offset), with every function's space loops inlined in a
+per-partition step function. Cross-calls read the callee's table
+directly — all writes from earlier global partitions, by the joint
+schedules' compatibility.
+
+The generated entry point::
+
+    kernel(tables, ctxs, global_lo, global_hi)
+
+``tables``/``ctxs`` are name-keyed dicts; the global partition range
+is computed by the caller from the domains (the engine knows them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from ..lang.errors import CodegenError
+from ..polyhedral import loopast
+from ..schedule.mutual_rec import MutualSchedule
+from .kernel import Kernel
+from .pybackend import _PRELUDE, _CellEmitter, bound_py, div_py, affine_py
+
+
+def emit_group_source(
+    kernels: Mapping[str, Kernel],
+    mutual: MutualSchedule,
+    func_name: str = "kernel",
+) -> str:
+    """Emit the module source for one mutual group."""
+    names = sorted(kernels)
+    lines: List[str] = [_PRELUDE, ""]
+
+    for name in names:
+        _emit_step(lines, name, kernels[name], names)
+        lines.append("")
+
+    lines.append(f"def {func_name}(tables, ctxs, global_lo, global_hi):")
+    pad = "    "
+    for name in names:
+        lines.append(f"{pad}T_{name} = tables['{name}']")
+    lines.append(f"{pad}for _gp in range(global_lo, global_hi + 1):")
+    inner = pad + "    "
+    for name in names:
+        offset = mutual[name].offset
+        tables_args = ", ".join(f"T_{n}" for n in names)
+        lines.append(
+            f"{inner}_step_{name}({tables_args}, "
+            f"_gp - ({offset}), ctxs['{name}'])"
+        )
+    lines.append(f"{pad}return tables")
+    return "\n".join(lines)
+
+
+def _emit_step(
+    lines: List[str],
+    name: str,
+    kernel: Kernel,
+    group_names: List[str],
+) -> None:
+    """One function's per-partition step: guard + space loops + cell."""
+    roots = kernel.nest.roots
+    if len(roots) != 1 or not isinstance(roots[0], loopast.Loop):
+        raise CodegenError(
+            f"group member {name!r}: unexpected nest shape"
+        )
+    time_loop = roots[0]
+    p = time_loop.var
+    tables = ", ".join(f"T_{n}" for n in group_names)
+    lines.append(f"def _step_{name}({tables}, {p}, ctx):")
+    pad = "    "
+    refs = kernel.referenced_names()
+    for ub in kernel.ub_params():
+        lines.append(f"{pad}{ub} = ctx['{ub}']")
+    for seq in sorted(refs["seqs"]):
+        lines.append(f"{pad}seq_{seq} = ctx['seq_{seq}']")
+    for scalar in sorted(refs["scalars"]):
+        lines.append(f"{pad}arg_{scalar} = ctx['arg_{scalar}']")
+    for matrix in sorted(refs["matrices"]):
+        for piece in ("mat", "rowidx", "colidx"):
+            lines.append(
+                f"{pad}{piece}_{matrix} = ctx['{piece}_{matrix}']"
+            )
+    for hmm in sorted(refs["hmms"]):
+        for piece in (
+            "isstart", "isend", "emis", "symidx", "tprob", "tsrc",
+            "ttgt", "inoff", "inids", "outoff", "outids",
+        ):
+            lines.append(
+                f"{pad}hmm_{hmm}_{piece} = ctx['hmm_{hmm}_{piece}']"
+            )
+    lines.append(
+        f"{pad}if {p} < {bound_py(time_loop.lower)} or "
+        f"{p} > {bound_py(time_loop.upper)}:"
+    )
+    lines.append(f"{pad}    return")
+    emitter = _CellEmitter(own_table=f"T_{name}")
+    _emit_body(kernel, name, time_loop.body, emitter, lines, pad)
+
+
+def _emit_body(
+    kernel: Kernel,
+    name: str,
+    nodes: Tuple[loopast.Node, ...],
+    emitter: _CellEmitter,
+    lines: List[str],
+    pad: str,
+) -> None:
+    for node in nodes:
+        if isinstance(node, loopast.Loop):
+            lines.append(
+                f"{pad}for {node.var} in range({bound_py(node.lower)}, "
+                f"{bound_py(node.upper)} + 1):"
+            )
+            _emit_body(kernel, name, node.body, emitter, lines,
+                       pad + "    ")
+        elif isinstance(node, loopast.Assign):
+            lines.append(f"{pad}{node.var} = {div_py(node.value)}")
+            _emit_body(kernel, name, node.body, emitter, lines, pad)
+        elif isinstance(node, loopast.Guard):
+            lines.append(
+                f"{pad}if ({affine_py(node.expr)}) % "
+                f"{node.divisor} == 0:"
+            )
+            _emit_body(kernel, name, node.body, emitter, lines,
+                       pad + "    ")
+        elif isinstance(node, loopast.Stmt):
+            target = emitter.fresh()
+            emitter.emit_to(kernel.body.cell, target, lines, pad)
+            index = ", ".join(kernel.dims)
+            lines.append(f"{pad}T_{name}[{index}] = {target}")
+        else:
+            raise CodegenError(f"unknown nest node {node!r}")
+
+
+def compile_group(
+    kernels: Mapping[str, Kernel],
+    mutual: MutualSchedule,
+    func_name: str = "kernel",
+):
+    """Compile the group module; returns ``(callable, source)``."""
+    source = emit_group_source(kernels, mutual, func_name)
+    namespace: Dict[str, object] = {}
+    code = compile(source, "<groupkernel>", "exec")
+    exec(code, namespace)  # noqa: S102 - our own generated code
+    return namespace[func_name], source

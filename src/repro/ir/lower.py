@@ -1,0 +1,290 @@
+"""Lowering DSL bodies to the kernel IR.
+
+Recursive calls become DP-table reads; characters become raw codes;
+HMM accesses become array reads over the device layout. The
+probability *representation* is chosen here (Section 3.2): ``direct``
+keeps probabilities as plain doubles, ``logspace`` converts them to
+log space to avoid underflow — multiplications become additions,
+additions become ``logaddexp``, and literals/linear operands are
+log-converted (constant-folded where possible).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from ..lang import ast
+from ..lang.errors import AnalysisError
+from ..lang.typecheck import CheckedFunction
+from ..lang.types import (
+    FloatType,
+    IntType,
+    ProbType,
+    StateType,
+    TransitionSetType,
+    TransitionType,
+)
+from . import expr as ir
+
+#: Probability representations the backend understands.
+PROB_MODES = ("direct", "logspace")
+
+
+@dataclass(frozen=True)
+class LoweredBody:
+    """The cell expression of one kernel, plus its metadata."""
+
+    cell: ir.Node
+    return_kind: str  # "int" | "float" | "prob" | "bool"
+    logspace: bool
+    counts: ir.OpCounts
+
+
+def lower_function(
+    func: CheckedFunction, prob_mode: str = "direct"
+) -> LoweredBody:
+    """Lower ``func``'s body into a cell expression."""
+    if prob_mode not in PROB_MODES:
+        raise ValueError(f"unknown probability mode {prob_mode!r}")
+    logspace = prob_mode == "logspace"
+    lowerer = _Lowerer(func, logspace)
+    cell = lowerer.lower(func.body)
+    return_kind = _kind_name(func.return_type)
+    return LoweredBody(
+        cell, return_kind, logspace, ir.count_ops(cell)
+    )
+
+
+def _kind_name(t) -> str:
+    if isinstance(t, IntType):
+        return "int"
+    if isinstance(t, ProbType):
+        return "prob"
+    if isinstance(t, FloatType):
+        return "float"
+    return "bool"
+
+
+class _Lowerer:
+    def __init__(self, func: CheckedFunction, logspace: bool) -> None:
+        self.func = func
+        self.logspace = logspace
+        self._dims = set(func.dim_names)
+        self._binders: Dict[str, str] = {}  # binder -> hmm param
+
+    # -- type helpers ---------------------------------------------------------
+
+    def _type(self, expr: ast.Expr):
+        return self.func.type_of(expr)
+
+    def _is_log(self, expr: ast.Expr) -> bool:
+        """Is the lowered value of ``expr`` in log space?"""
+        return self.logspace and isinstance(self._type(expr), ProbType)
+
+    def _to_log(self, node: ir.Node, expr: object) -> ir.Node:
+        """Convert a linear numeric operand into log space.
+
+        ``expr`` is the source expression when there is one (values
+        already in log space pass through) or the ``_LINEAR`` sentinel
+        for freshly built linear constants.
+        """
+        if isinstance(expr, ast.Expr) and self._is_log(expr):
+            return node
+        if isinstance(node, ir.Const):
+            value = float(node.value)
+            return ir.Const(
+                math.log(value) if value > 0.0 else float("-inf"),
+                "float",
+            )
+        return ir.Log(node)
+
+    # -- dispatch -------------------------------------------------------------
+
+    def lower(self, expr: ast.Expr) -> ir.Node:
+        if isinstance(expr, ast.IntLit):
+            if self._is_log(expr):
+                return self._to_log(
+                    ir.Const(float(expr.value), "float"), _LINEAR
+                )
+            if isinstance(self._type(expr), (FloatType, ProbType)):
+                return ir.Const(float(expr.value), "float")
+            return ir.Const(expr.value, "int")
+        if isinstance(expr, ast.FloatLit):
+            if self._is_log(expr):
+                return self._to_log(
+                    ir.Const(expr.value, "float"), _LINEAR
+                )
+            return ir.Const(expr.value, "float")
+        if isinstance(expr, ast.BoolLit):
+            return ir.Const(expr.value, "bool")
+        if isinstance(expr, ast.CharLit):
+            return ir.Const(ord(expr.value), "int")
+        if isinstance(expr, ast.Var):
+            return self._lower_var(expr)
+        if isinstance(expr, ast.BinOp):
+            return self._lower_binop(expr)
+        if isinstance(expr, ast.If):
+            return ir.Select(
+                self.lower(expr.cond),
+                self.lower(expr.then_branch),
+                self.lower(expr.else_branch),
+            )
+        if isinstance(expr, ast.Call):
+            table = "" if expr.func == self.func.name else expr.func
+            return ir.TableRead(
+                tuple(self.lower(a) for a in expr.args), table
+            )
+        if isinstance(expr, ast.SeqIndex):
+            return ir.SeqRead(expr.seq, self.lower(expr.index))
+        if isinstance(expr, ast.MatrixIndex):
+            return ir.MatrixRead(
+                expr.matrix, self.lower(expr.row), self.lower(expr.col)
+            )
+        if isinstance(expr, ast.Field):
+            return self._lower_field(expr)
+        if isinstance(expr, ast.Emission):
+            hmm = self._hmm_param(expr.state)
+            return ir.EmissionRead(
+                hmm, self.lower(expr.state), self.lower(expr.symbol)
+            )
+        if isinstance(expr, ast.Reduce):
+            return self._lower_reduce(expr)
+        raise AnalysisError(
+            f"cannot lower expression {expr!r}", expr.span
+        )
+
+    def _lower_var(self, expr: ast.Var) -> ir.Node:
+        if expr.name in self._dims:
+            return ir.DimRef(expr.name)
+        if expr.name in self._binders:
+            return ir.VarRef(expr.name)
+        kind = _kind_name(self._type(expr))
+        return ir.ArgRef(expr.name, kind)
+
+    def _lower_binop(self, expr: ast.BinOp) -> ir.Node:
+        op = expr.op.value
+        prob_result = self.logspace and isinstance(
+            self._type(expr), ProbType
+        )
+        prob_compare = (
+            self.logspace
+            and expr.op.is_comparison
+            and (
+                isinstance(self._type(expr.left), ProbType)
+                or isinstance(self._type(expr.right), ProbType)
+            )
+        )
+        left = self.lower(expr.left)
+        right = self.lower(expr.right)
+        if prob_result or prob_compare:
+            left = self._to_log(left, expr.left)
+            right = self._to_log(right, expr.right)
+            if prob_result:
+                if op == "*":
+                    op = "+"
+                elif op == "/":
+                    op = "-"
+                elif op == "+":
+                    op = "logaddexp"
+                elif op == "-":
+                    raise AnalysisError(
+                        "probability subtraction is not representable "
+                        "in log space; use prob_mode='direct'",
+                        expr.span,
+                    )
+                # min/max are monotone under log: unchanged.
+        kind = "bool" if expr.op.is_comparison else _kind_name(
+            self._type(expr)
+        )
+        return ir.Binary(op, left, right, kind)
+
+    def _hmm_param(self, expr: ast.Expr) -> str:
+        t = self._type(expr)
+        if isinstance(t, (StateType, TransitionType, TransitionSetType)):
+            return t.hmm_param
+        raise AnalysisError(
+            f"expected a state or transition, got {t}", expr.span
+        )
+
+    def _lower_field(self, expr: ast.Field) -> ir.Node:
+        subject_type = self._type(expr.subject)
+        hmm = self._hmm_param(expr.subject)
+        subject = self.lower(expr.subject)
+        if isinstance(subject_type, StateType):
+            if expr.name in ("isstart", "isend"):
+                return ir.StateFlag(expr.name, hmm, subject)
+            if expr.name == "index":
+                return subject
+            raise AnalysisError(
+                f"field {expr.name!r} has no kernel lowering here "
+                f"(transition sets only appear under reductions)",
+                expr.span,
+            )
+        if expr.name in ("prob", "start", "end"):
+            return ir.TransField(expr.name, hmm, subject)
+        if expr.name == "index":
+            return subject
+        raise AnalysisError(f"cannot lower field {expr.name!r}", expr.span)
+
+    def _lower_reduce(self, expr: ast.Reduce) -> ir.Node:
+        if isinstance(expr.source, ast.RangeExpr):
+            return self._lower_range_reduce(expr)
+        if not isinstance(expr.source, ast.Field) or expr.source.name not in (
+            "transitionsto",
+            "transitionsfrom",
+        ):
+            raise AnalysisError(
+                "reductions must iterate s.transitionsto or "
+                "s.transitionsfrom",
+                expr.source.span,
+            )
+        hmm = self._hmm_param(expr.source.subject)
+        state = self.lower(expr.source.subject)
+        self._binders[expr.var] = hmm
+        try:
+            body = self.lower(expr.body)
+        finally:
+            del self._binders[expr.var]
+        log_sum = (
+            self.logspace
+            and expr.kind == ast.ReduceKind.SUM
+            and isinstance(self._type(expr), ProbType)
+        )
+        source = "to" if expr.source.name == "transitionsto" else "from"
+        is_prob = isinstance(self._type(expr), ProbType)
+        return ir.ReduceLoop(
+            expr.kind.value, expr.var, source, hmm, state, body,
+            logspace=log_sum, prob=is_prob,
+        )
+
+    def _lower_range_reduce(self, expr: ast.Reduce) -> ir.Node:
+        source = expr.source
+        assert isinstance(source, ast.RangeExpr)
+        lo = self.lower(source.lo)
+        hi = self.lower(source.hi)
+        self._binders[expr.var] = ""  # range binder: plain int
+        try:
+            body = self.lower(expr.body)
+        finally:
+            del self._binders[expr.var]
+        is_prob = isinstance(self._type(expr), ProbType)
+        log_sum = (
+            self.logspace
+            and expr.kind == ast.ReduceKind.SUM
+            and is_prob
+        )
+        return ir.RangeReduce(
+            expr.kind.value, expr.var, lo, hi, body,
+            logspace=log_sum, prob=is_prob,
+        )
+
+
+class _AlwaysLinear:
+    """Sentinel 'expression' whose value is never already in log space."""
+
+    pass
+
+
+_LINEAR = _AlwaysLinear()

@@ -1,0 +1,244 @@
+"""Vectorised NumPy backend: whole partitions as array operations.
+
+The scalar Python backend walks cells one at a time; this backend
+evaluates *an entire partition at once* — the cells of a partition are
+independent by construction (that is the whole point of the schedule),
+so they map exactly onto NumPy's element-wise lanes. The result is an
+order-of-magnitude faster functional simulation for the dense 2-D
+recurrences (edit distance, Smith-Waterman, alignment scoring).
+
+Eligibility (otherwise the engine falls back to the scalar backend):
+
+* two-dimensional kernels with a unit-coefficient pinned dimension
+  (the common case; non-unit pins need per-lane divisibility masks);
+* no reductions in the cell expression (transition/range loops have
+  data-dependent trip counts per lane).
+
+Branch semantics: ``np.where`` evaluates both branches eagerly, so
+guarded out-of-domain table reads *would* be attempted; all gather
+indices are therefore clamped into the table (``_ix``) — the values
+read through a clamped index only ever feed discarded lanes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..lang.errors import CodegenError
+from ..polyhedral import loopast
+from . import expr as ir
+from .kernel import Kernel
+from .pybackend import bound_py, div_py
+
+_PRELUDE = '''\
+import numpy as np
+
+_NINF = float("-inf")
+
+
+def _ix(index, ub):
+    """Clamp gather indices into the table (see module doc)."""
+    return np.clip(index, 0, ub)
+
+
+def _gather(arr, index):
+    """Clamped sequence gather; empty sequences yield dummy zeros
+    (only ever read under a guard whose lanes are discarded)."""
+    if len(arr) == 0:
+        return np.zeros_like(np.asarray(index))
+    return arr[np.clip(index, 0, len(arr) - 1)]
+
+
+def _idiv(a, b):
+    return np.trunc(np.asarray(a, dtype=np.float64) / b).astype(np.int64)
+
+
+def _safelog(x):
+    x = np.asarray(x, dtype=np.float64)
+    with np.errstate(divide="ignore"):
+        return np.where(x > 0.0, np.log(np.maximum(x, 1e-300)), _NINF)
+'''
+
+
+def eligible(kernel: Kernel) -> bool:
+    """Can this kernel use the vectorised backend?"""
+    if kernel.rank != 2:
+        return False
+    for node in ir.walk(kernel.body.cell):
+        if isinstance(node, (ir.ReduceLoop, ir.RangeReduce)):
+            return False
+        if isinstance(node, ir.TableRead) and node.table:
+            return False  # mutual groups use the group backend
+    shape = _nest_shape(kernel)
+    return shape is not None
+
+
+def _nest_shape(kernel: Kernel):
+    """Recognise ``Loop(p) { Loop(d) { [Assign(e)] Stmt } }``."""
+    roots = kernel.nest.roots
+    if len(roots) != 1 or not isinstance(roots[0], loopast.Loop):
+        return None
+    time_loop = roots[0]
+    if len(time_loop.body) != 1 or not isinstance(
+        time_loop.body[0], loopast.Loop
+    ):
+        return None
+    space_loop = time_loop.body[0]
+    inner = space_loop.body
+    if (
+        len(inner) == 1
+        and isinstance(inner[0], loopast.Assign)
+        and inner[0].value.divisor == 1
+        and len(inner[0].body) == 1
+        and isinstance(inner[0].body[0], loopast.Stmt)
+    ):
+        return time_loop, space_loop, inner[0]
+    return None
+
+
+class _VectorEmitter:
+    """Renders the cell expression over vector lanes."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.ubs = {
+            dim: f"ub_{dim}" for dim in kernel.dims
+        }
+
+    def render(self, node: ir.Node) -> str:
+        if isinstance(node, ir.Const):
+            if node.value == float("-inf"):
+                return "_NINF"
+            return repr(node.value)
+        if isinstance(node, (ir.DimRef, ir.VarRef)):
+            return node.name
+        if isinstance(node, ir.ArgRef):
+            return f"arg_{node.name}"
+        if isinstance(node, ir.Binary):
+            left = self.render(node.left)
+            right = self.render(node.right)
+            if node.op == "min":
+                return f"np.minimum({left}, {right})"
+            if node.op == "max":
+                return f"np.maximum({left}, {right})"
+            if node.op == "logaddexp":
+                return f"np.logaddexp({left}, {right})"
+            if node.op == "/":
+                if node.kind == "int":
+                    return f"_idiv({left}, {right})"
+                return f"({left} / {right})"
+            return f"({left} {node.op} {right})"
+        if isinstance(node, ir.Log):
+            return f"_safelog({self.render(node.operand)})"
+        if isinstance(node, ir.Select):
+            return (
+                f"np.where({self.render(node.cond)}, "
+                f"{self.render(node.then)}, "
+                f"{self.render(node.otherwise)})"
+            )
+        if isinstance(node, ir.TableRead):
+            indices = [
+                f"_ix({self.render(index)}, {self.ubs[dim]})"
+                for dim, index in zip(self.kernel.dims, node.indices)
+            ]
+            return f"T[{', '.join(indices)}]"
+        if isinstance(node, ir.SeqRead):
+            index = self.render(node.index)
+            return f"_gather(seq_{node.seq}, {index})"
+        if isinstance(node, ir.MatrixRead):
+            row = self.render(node.row)
+            col = self.render(node.col)
+            return (
+                f"mat_{node.matrix}[rowidx_{node.matrix}[{row}], "
+                f"colidx_{node.matrix}[{col}]]"
+            )
+        if isinstance(node, ir.StateFlag):
+            suffix = "isstart" if node.which == "isstart" else "isend"
+            return f"hmm_{node.hmm}_{suffix}[{self.render(node.state)}]"
+        if isinstance(node, ir.EmissionRead):
+            return (
+                f"hmm_{node.hmm}_emis[{self.render(node.state)}, "
+                f"hmm_{node.hmm}_symidx[{self.render(node.symbol)}]]"
+            )
+        if isinstance(node, ir.TransField):
+            suffix = {"prob": "tprob", "start": "tsrc",
+                      "end": "ttgt"}[node.which]
+            return f"hmm_{node.hmm}_{suffix}[{self.render(node.trans)}]"
+        raise CodegenError(
+            f"vector backend cannot render {node!r}"
+        )
+
+
+def emit_vector_source(
+    kernel: Kernel, func_name: str = "kernel"
+) -> str:
+    """Emit the vectorised module source."""
+    shape = _nest_shape(kernel)
+    if shape is None:
+        raise CodegenError(
+            "kernel shape not eligible for the vector backend"
+        )
+    time_loop, space_loop, assign = shape
+    refs = kernel.referenced_names()
+    lines: List[str] = [_PRELUDE, ""]
+    lines.append(f"def {func_name}(T, ctx):")
+    pad = "    "
+    for ub in kernel.ub_params():
+        lines.append(f"{pad}{ub} = ctx['{ub}']")
+    for seq in sorted(refs["seqs"]):
+        lines.append(f"{pad}seq_{seq} = ctx['seq_{seq}']")
+    for scalar in sorted(refs["scalars"]):
+        lines.append(f"{pad}arg_{scalar} = ctx['arg_{scalar}']")
+    for matrix in sorted(refs["matrices"]):
+        for piece in ("mat", "rowidx", "colidx"):
+            lines.append(
+                f"{pad}{piece}_{matrix} = ctx['{piece}_{matrix}']"
+            )
+    for hmm in sorted(refs["hmms"]):
+        for piece in (
+            "isstart", "isend", "emis", "symidx", "tprob", "tsrc",
+            "ttgt", "inoff", "inids", "outoff", "outids",
+        ):
+            lines.append(
+                f"{pad}hmm_{hmm}_{piece} = ctx['hmm_{hmm}_{piece}']"
+            )
+
+    p = time_loop.var
+    lines.append(
+        f"{pad}for {p} in range({bound_py(time_loop.lower)}, "
+        f"{bound_py(time_loop.upper)} + 1):"
+    )
+    inner = pad + "    "
+    lines.append(
+        f"{inner}_lo = {bound_py(space_loop.lower)}"
+    )
+    lines.append(
+        f"{inner}_hi = {bound_py(space_loop.upper)}"
+    )
+    lines.append(f"{inner}if _lo > _hi:")
+    lines.append(f"{inner}    continue")
+    lines.append(
+        f"{inner}{space_loop.var} = np.arange(_lo, _hi + 1)"
+    )
+    lines.append(
+        f"{inner}{assign.var} = {div_py(assign.value)}"
+    )
+    emitter = _VectorEmitter(kernel)
+    lines.append(
+        f"{inner}_cell = {emitter.render(kernel.body.cell)}"
+    )
+    store = ", ".join(kernel.dims)
+    lines.append(f"{inner}T[{store}] = _cell")
+    lines.append(f"{pad}return T")
+    return "\n".join(lines)
+
+
+def compile_vector_kernel(
+    kernel: Kernel, func_name: str = "kernel"
+):
+    """Compile the vector source; returns ``(callable, source)``."""
+    source = emit_vector_source(kernel, func_name)
+    namespace: Dict[str, object] = {}
+    code = compile(source, f"<npkernel:{kernel.name}>", "exec")
+    exec(code, namespace)  # noqa: S102 - our own generated code
+    return namespace[func_name], source

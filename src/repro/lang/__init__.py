@@ -1,0 +1,46 @@
+"""The host DSL: lexer, parser, AST, type system and type checker."""
+
+from .ast import Program, FuncDef, Expr
+from .errors import (
+    AnalysisError,
+    CodegenError,
+    DslError,
+    LexError,
+    ParseError,
+    RuntimeDslError,
+    ScheduleError,
+    TypeCheckError,
+)
+from .parser import parse_expr, parse_function, parse_program
+from .source import SourceText, Span
+from .typecheck import (
+    CheckedFunction,
+    CheckedParam,
+    CheckedProgram,
+    check_function,
+    check_program,
+)
+
+__all__ = [
+    "Program",
+    "FuncDef",
+    "Expr",
+    "DslError",
+    "LexError",
+    "ParseError",
+    "TypeCheckError",
+    "AnalysisError",
+    "ScheduleError",
+    "CodegenError",
+    "RuntimeDslError",
+    "parse_expr",
+    "parse_function",
+    "parse_program",
+    "SourceText",
+    "Span",
+    "CheckedFunction",
+    "CheckedParam",
+    "CheckedProgram",
+    "check_function",
+    "check_program",
+]

@@ -1,0 +1,59 @@
+"""Diagnostic exception hierarchy for the DSL compiler.
+
+All user-facing failures derive from :class:`DslError` and carry a
+:class:`~repro.lang.source.Span` where available, so the runtime can
+render caret diagnostics against the original source.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .source import Span, SourceText
+
+
+class DslError(Exception):
+    """Base class for all errors raised by the DSL pipeline."""
+
+    def __init__(self, message: str, span: Optional[Span] = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.span = span
+
+    def render(self, source: Optional[SourceText] = None) -> str:
+        """Render the error, with a source caret when possible."""
+        if source is not None and self.span is not None:
+            return source.render(self.span, self.message)
+        return self.message
+
+
+class LexError(DslError):
+    """Raised when the lexer meets a character it cannot tokenise."""
+
+
+class ParseError(DslError):
+    """Raised when the token stream does not match the grammar."""
+
+
+class TypeCheckError(DslError):
+    """Raised when a well-formed program violates the type system."""
+
+
+class AnalysisError(DslError):
+    """Raised when dependency analysis cannot handle a construct.
+
+    Typical causes: non-affine descent functions, mutually recursive
+    functions, or recursion through an unsupported expression form.
+    """
+
+
+class ScheduleError(DslError):
+    """Raised when no valid schedule exists or a user schedule is invalid."""
+
+
+class CodegenError(DslError):
+    """Raised when polyhedral code generation fails."""
+
+
+class RuntimeDslError(DslError):
+    """Raised for execution-time failures (bad input data, overflow...)."""

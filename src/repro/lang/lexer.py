@@ -1,0 +1,240 @@
+"""Tokeniser for the recursion DSL.
+
+Produces a flat list of :class:`Token` with spans. Comments start with
+``//`` or ``#`` and run to end of line. The ``|`` character only occurs
+as the sequence-length bars ``|s|``, so it is lexed as a plain symbol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+from .errors import LexError
+from .source import Position, Span
+
+
+class TokenKind(Enum):
+    """Lexical classes produced by the tokeniser."""
+
+    INT = "int-literal"
+    FLOAT = "float-literal"
+    NAME = "name"
+    KEYWORD = "keyword"
+    STRING = "string"
+    CHAR = "char"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "if",
+        "then",
+        "else",
+        "min",
+        "max",
+        "sum",
+        "in",
+        "true",
+        "false",
+        "alphabet",
+        "matrix",
+        "hmm",
+        "state",
+        "trans",
+        "emits",
+        "header",
+        "default",
+        "row",
+        "let",
+        "load",
+        "print",
+        "map",
+        "over",
+        "schedule",
+    }
+)
+
+#: Multi-character symbols, longest first so maximal munch works.
+_SYMBOLS2 = ("==", "!=", "<=", ">=", "->", "..")
+_SYMBOLS1 = "+-*/<>=(),[]{}:.|_"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    span: Span
+
+    def is_symbol(self, text: str) -> bool:
+        """Is this token the given symbol?"""
+        return self.kind == TokenKind.SYMBOL and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        """Is this token the given keyword?"""
+        return self.kind == TokenKind.KEYWORD and self.text == text
+
+    def __str__(self) -> str:
+        if self.kind == TokenKind.EOF:
+            return "end of input"
+        return repr(self.text)
+
+
+class _Cursor:
+    """Mutable scan state over the source text."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.offset = 0
+        self.line = 1
+        self.column = 1
+
+    @property
+    def at_end(self) -> bool:
+        return self.offset >= len(self.text)
+
+    def peek(self, ahead: int = 0) -> str:
+        i = self.offset + ahead
+        return self.text[i] if i < len(self.text) else ""
+
+    def position(self) -> Position:
+        return Position(self.line, self.column, self.offset)
+
+    def advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.at_end:
+                return
+            if self.text[self.offset] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.offset += 1
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenise ``text``; raises :class:`LexError` on bad input."""
+    cursor = _Cursor(text)
+    tokens: List[Token] = []
+    while True:
+        _skip_trivia(cursor)
+        if cursor.at_end:
+            pos = cursor.position()
+            tokens.append(Token(TokenKind.EOF, "", Span(pos, pos)))
+            return tokens
+        tokens.append(_next_token(cursor))
+
+
+def _skip_trivia(cursor: _Cursor) -> None:
+    while not cursor.at_end:
+        ch = cursor.peek()
+        if ch in " \t\r\n":
+            cursor.advance()
+        elif ch == "#" or (ch == "/" and cursor.peek(1) == "/"):
+            while not cursor.at_end and cursor.peek() != "\n":
+                cursor.advance()
+        else:
+            return
+
+
+def _next_token(cursor: _Cursor) -> Token:
+    start = cursor.position()
+    ch = cursor.peek()
+
+    if ch.isdigit():
+        return _lex_number(cursor, start)
+    if ch.isalpha():
+        return _lex_word(cursor, start)
+    if ch == '"':
+        return _lex_string(cursor, start)
+    if ch == "'":
+        return _lex_char(cursor, start)
+
+    two = ch + cursor.peek(1)
+    if two in _SYMBOLS2:
+        cursor.advance(2)
+        return Token(TokenKind.SYMBOL, two, Span(start, cursor.position()))
+    if ch in _SYMBOLS1:
+        cursor.advance()
+        return Token(TokenKind.SYMBOL, ch, Span(start, cursor.position()))
+
+    raise LexError(
+        f"unexpected character {ch!r}", Span(start, cursor.position())
+    )
+
+
+def _lex_number(cursor: _Cursor, start: Position) -> Token:
+    text = []
+    is_float = False
+    while cursor.peek().isdigit():
+        text.append(cursor.peek())
+        cursor.advance()
+    if cursor.peek() == "." and cursor.peek(1).isdigit():
+        is_float = True
+        text.append(".")
+        cursor.advance()
+        while cursor.peek().isdigit():
+            text.append(cursor.peek())
+            cursor.advance()
+    if cursor.peek() in "eE" and (
+        cursor.peek(1).isdigit()
+        or (cursor.peek(1) in "+-" and cursor.peek(2).isdigit())
+    ):
+        is_float = True
+        text.append(cursor.peek())
+        cursor.advance()
+        if cursor.peek() in "+-":
+            text.append(cursor.peek())
+            cursor.advance()
+        while cursor.peek().isdigit():
+            text.append(cursor.peek())
+            cursor.advance()
+    kind = TokenKind.FLOAT if is_float else TokenKind.INT
+    return Token(kind, "".join(text), Span(start, cursor.position()))
+
+
+def _lex_word(cursor: _Cursor, start: Position) -> Token:
+    text = []
+    while cursor.peek().isalnum() or cursor.peek() == "_":
+        text.append(cursor.peek())
+        cursor.advance()
+    word = "".join(text)
+    kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.NAME
+    return Token(kind, word, Span(start, cursor.position()))
+
+
+def _lex_string(cursor: _Cursor, start: Position) -> Token:
+    cursor.advance()  # opening quote
+    text = []
+    while True:
+        if cursor.at_end or cursor.peek() == "\n":
+            raise LexError(
+                "unterminated string literal", Span(start, cursor.position())
+            )
+        ch = cursor.peek()
+        if ch == '"':
+            cursor.advance()
+            return Token(
+                TokenKind.STRING, "".join(text), Span(start, cursor.position())
+            )
+        text.append(ch)
+        cursor.advance()
+
+
+def _lex_char(cursor: _Cursor, start: Position) -> Token:
+    cursor.advance()  # opening quote
+    if cursor.at_end:
+        raise LexError(
+            "unterminated character literal", Span(start, cursor.position())
+        )
+    ch = cursor.peek()
+    cursor.advance()
+    if cursor.peek() != "'":
+        raise LexError(
+            "character literal must contain exactly one character",
+            Span(start, cursor.position()),
+        )
+    cursor.advance()
+    return Token(TokenKind.CHAR, ch, Span(start, cursor.position()))

@@ -1,0 +1,685 @@
+"""Recursive-descent parser for the recursion DSL.
+
+Operator precedence, loosest binding first::
+
+    if .. then .. else
+    comparisons           == != < > <= >=     (non-associative)
+    min / max             (left-associative, as in Figure 7)
+    + -                   (left-associative)
+    * /                   (left-associative)
+    unary -
+    postfix               s[e]  m[a, b]  x.field  x.emission[e]
+    primary               literal, name, call, (e), |s|, sum(v in s : e)
+
+The parenthesisation of Figure 7 — ``(d(i-1,j) min d(i,j-1)) + 1`` —
+fixes ``min``/``max`` looser than the additive operators.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import ast
+from .errors import ParseError
+from .lexer import Token, TokenKind, tokenize
+from .source import Span
+
+#: Field names accepted after ``.`` (HMM extension, Section 5.2).
+FIELD_NAMES = frozenset(
+    {"start", "end", "isstart", "isend", "prob", "transitionsto",
+     "transitionsfrom", "index"}
+)
+
+_COMPARISONS = {
+    "==": ast.BinOpKind.EQ,
+    "!=": ast.BinOpKind.NE,
+    "<": ast.BinOpKind.LT,
+    ">": ast.BinOpKind.GT,
+    "<=": ast.BinOpKind.LE,
+    ">=": ast.BinOpKind.GE,
+}
+
+#: Type heads that take no bracketed argument.
+_SIMPLE_TYPES = frozenset({"int", "float", "prob", "bool", "hmm"})
+#: Type heads that take bracketed argument(s).
+_BRACKET_TYPES = frozenset(
+    {"seq", "index", "char", "matrix", "state", "transition"}
+)
+
+
+def parse_program(text: str) -> ast.Program:
+    """Parse a full DSL script."""
+    return _Parser(tokenize(text)).program()
+
+
+def parse_expr(text: str) -> ast.Expr:
+    """Parse a single expression (used by tests and the schedule API)."""
+    parser = _Parser(tokenize(text))
+    expr = parser.expression()
+    parser.expect_eof()
+    return expr
+
+
+def parse_function(text: str) -> ast.FuncDef:
+    """Parse a single function definition."""
+    parser = _Parser(tokenize(text))
+    stmt = parser.statement()
+    parser.expect_eof()
+    if not isinstance(stmt, ast.FuncDef):
+        raise ParseError("expected a function definition", stmt.span)
+    return stmt
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        i = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[i]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def check_symbol(self, text: str) -> bool:
+        return self.peek().is_symbol(text)
+
+    def check_keyword(self, text: str) -> bool:
+        return self.peek().is_keyword(text)
+
+    def accept_symbol(self, text: str) -> Optional[Token]:
+        if self.check_symbol(text):
+            return self.advance()
+        return None
+
+    def accept_keyword(self, text: str) -> Optional[Token]:
+        if self.check_keyword(text):
+            return self.advance()
+        return None
+
+    def expect_symbol(self, text: str) -> Token:
+        if not self.check_symbol(text):
+            raise ParseError(
+                f"expected {text!r}, found {self.peek()}", self.peek().span
+            )
+        return self.advance()
+
+    def expect_keyword(self, text: str) -> Token:
+        if not self.check_keyword(text):
+            raise ParseError(
+                f"expected {text!r}, found {self.peek()}", self.peek().span
+            )
+        return self.advance()
+
+    def expect_name(self, what: str = "name") -> Token:
+        if self.peek().kind != TokenKind.NAME:
+            raise ParseError(
+                f"expected {what}, found {self.peek()}", self.peek().span
+            )
+        return self.advance()
+
+    def expect_int(self) -> int:
+        negative = self.accept_symbol("-") is not None
+        token = self.peek()
+        if token.kind != TokenKind.INT:
+            raise ParseError(
+                f"expected integer, found {token}", token.span
+            )
+        self.advance()
+        value = int(token.text)
+        return -value if negative else value
+
+    def expect_float(self) -> float:
+        negative = self.accept_symbol("-") is not None
+        token = self.peek()
+        if token.kind not in (TokenKind.FLOAT, TokenKind.INT):
+            raise ParseError(f"expected number, found {token}", token.span)
+        self.advance()
+        value = float(token.text)
+        return -value if negative else value
+
+    def expect_eof(self) -> None:
+        if self.peek().kind != TokenKind.EOF:
+            raise ParseError(
+                f"unexpected trailing input: {self.peek()}", self.peek().span
+            )
+
+    # -- statements ---------------------------------------------------------
+
+    def program(self) -> ast.Program:
+        statements: List[ast.Stmt] = []
+        while self.peek().kind != TokenKind.EOF:
+            statements.append(self.statement())
+        return ast.Program(tuple(statements))
+
+    def statement(self) -> ast.Stmt:
+        token = self.peek()
+        if token.is_keyword("alphabet"):
+            return self._alphabet_decl()
+        if token.is_keyword("matrix"):
+            return self._matrix_decl()
+        if token.is_keyword("hmm"):
+            return self._hmm_decl()
+        if token.is_keyword("let"):
+            return self._let_stmt()
+        if token.is_keyword("load"):
+            return self._load_stmt()
+        if token.is_keyword("print"):
+            return self._print_stmt()
+        if token.is_keyword("map"):
+            return self._map_stmt()
+        if token.is_keyword("schedule"):
+            return self._schedule_decl()
+        return self._func_def()
+
+    def _alphabet_decl(self) -> ast.AlphabetDecl:
+        start = self.expect_keyword("alphabet")
+        name = self.expect_name("alphabet name")
+        self.expect_symbol("=")
+        chars = self.peek()
+        if chars.kind != TokenKind.STRING:
+            raise ParseError(
+                f"expected string of characters, found {chars}", chars.span
+            )
+        self.advance()
+        if len(set(chars.text)) != len(chars.text):
+            raise ParseError(
+                "alphabet contains duplicate characters", chars.span
+            )
+        return ast.AlphabetDecl(
+            name.text, chars.text, span=Span.merge(start.span, chars.span)
+        )
+
+    def _type_expr(self) -> ast.TypeExpr:
+        token = self.peek()
+        head = token.text
+        if token.kind == TokenKind.NAME and head in _SIMPLE_TYPES:
+            self.advance()
+            return ast.TypeExpr(head, span=token.span)
+        if token.is_keyword("hmm") or token.is_keyword("state"):
+            # 'hmm' and 'state' are keywords but also type heads.
+            self.advance()
+        elif token.kind == TokenKind.NAME and head in _BRACKET_TYPES:
+            self.advance()
+        elif token.is_keyword("matrix"):
+            self.advance()
+        else:
+            raise ParseError(f"expected a type, found {token}", token.span)
+
+        if head == "hmm" and not self.check_symbol("["):
+            return ast.TypeExpr("hmm", span=token.span)
+        if head in _SIMPLE_TYPES:
+            return ast.TypeExpr(head, span=token.span)
+
+        self.expect_symbol("[")
+        args: List[str] = []
+        while True:
+            arg = self.peek()
+            if arg.is_symbol("*"):
+                self.advance()
+                args.append("*")
+            else:
+                args.append(self.expect_name("type argument").text)
+            if not self.accept_symbol(","):
+                break
+        end = self.expect_symbol("]")
+        return ast.TypeExpr(
+            head, tuple(args), span=Span.merge(token.span, end.span)
+        )
+
+    def _func_def(self) -> ast.FuncDef:
+        return_type = self._type_expr()
+        name = self.expect_name("function name")
+        self.expect_symbol("(")
+        params: List[ast.Param] = []
+        if not self.check_symbol(")"):
+            while True:
+                ptype = self._type_expr()
+                pname = self.expect_name("parameter name")
+                params.append(
+                    ast.Param(
+                        ptype,
+                        pname.text,
+                        span=Span.merge(ptype.span, pname.span),
+                    )
+                )
+                if not self.accept_symbol(","):
+                    break
+        self.expect_symbol(")")
+        self.expect_symbol("=")
+        body = self.expression()
+        return ast.FuncDef(
+            return_type,
+            name.text,
+            tuple(params),
+            body,
+            span=Span.merge(return_type.span, body.span),
+        )
+
+    def _matrix_decl(self) -> ast.MatrixDecl:
+        start = self.expect_keyword("matrix")
+        name = self.expect_name("matrix name")
+        self.expect_symbol("[")
+        row_alpha = self.expect_name("alphabet").text
+        self.expect_symbol(",")
+        col_alpha = self.expect_name("alphabet").text
+        self.expect_symbol("]")
+        self.expect_symbol("{")
+        header: Tuple[str, ...] = ()
+        default: Optional[int] = None
+        rows: List[ast.MatrixRow] = []
+        while not self.check_symbol("}"):
+            if self.accept_keyword("header"):
+                header = tuple(self._char_list())
+            elif self.accept_keyword("default"):
+                default = self.expect_int()
+            elif self.check_keyword("row"):
+                row_tok = self.advance()
+                char = self._one_char()
+                self.expect_symbol(":")
+                values: List[int] = []
+                while (
+                    self.peek().kind == TokenKind.INT
+                    or self.check_symbol("-")
+                ):
+                    values.append(self.expect_int())
+                rows.append(
+                    ast.MatrixRow(char, tuple(values), span=row_tok.span)
+                )
+            else:
+                raise ParseError(
+                    f"expected 'header', 'default' or 'row', found "
+                    f"{self.peek()}",
+                    self.peek().span,
+                )
+        end = self.expect_symbol("}")
+        return ast.MatrixDecl(
+            name.text,
+            row_alpha,
+            col_alpha,
+            header,
+            default,
+            tuple(rows),
+            span=Span.merge(start.span, end.span),
+        )
+
+    def _char_list(self) -> List[str]:
+        chars: List[str] = []
+        while self.peek().kind in (TokenKind.CHAR, TokenKind.NAME):
+            chars.append(self._one_char())
+        return chars
+
+    def _one_char(self) -> str:
+        token = self.peek()
+        if token.kind == TokenKind.CHAR:
+            self.advance()
+            return token.text
+        if token.kind == TokenKind.NAME and len(token.text) == 1:
+            self.advance()
+            return token.text
+        raise ParseError(f"expected a character, found {token}", token.span)
+
+    def _hmm_decl(self) -> ast.HmmDecl:
+        start = self.expect_keyword("hmm")
+        name = self.expect_name("model name")
+        self.expect_symbol("[")
+        alphabet = self.expect_name("alphabet").text
+        self.expect_symbol("]")
+        self.expect_symbol("{")
+        states: List[ast.StateDecl] = []
+        transitions: List[ast.TransDecl] = []
+        while not self.check_symbol("}"):
+            if self.check_keyword("state"):
+                states.append(self._state_decl())
+            elif self.check_keyword("trans"):
+                transitions.append(self._trans_decl())
+            else:
+                raise ParseError(
+                    f"expected 'state' or 'trans', found {self.peek()}",
+                    self.peek().span,
+                )
+        end = self.expect_symbol("}")
+        return ast.HmmDecl(
+            name.text,
+            alphabet,
+            tuple(states),
+            tuple(transitions),
+            span=Span.merge(start.span, end.span),
+        )
+
+    def _state_decl(self) -> ast.StateDecl:
+        start = self.expect_keyword("state")
+        name = self.expect_name("state name")
+        if self.accept_symbol(":"):
+            kind = self.peek()
+            if kind.text not in ("start", "end"):
+                raise ParseError(
+                    f"expected 'start' or 'end', found {kind}", kind.span
+                )
+            self.advance()
+            return ast.StateDecl(name.text, kind.text, span=start.span)
+        self.expect_keyword("emits")
+        self.expect_symbol("{")
+        emissions: List[Tuple[str, float]] = []
+        while not self.check_symbol("}"):
+            char = self._one_char()
+            self.expect_symbol(":")
+            prob = self.expect_float()
+            emissions.append((char, prob))
+            self.accept_symbol(",")
+        self.expect_symbol("}")
+        return ast.StateDecl(
+            name.text, "emit", tuple(emissions), span=start.span
+        )
+
+    def _trans_decl(self) -> ast.TransDecl:
+        start = self.expect_keyword("trans")
+        source = self.expect_name("state name").text
+        self.expect_symbol("->")
+        target = self.expect_name("state name").text
+        self.expect_symbol(":")
+        prob = self.expect_float()
+        return ast.TransDecl(source, target, prob, span=start.span)
+
+    def _let_stmt(self) -> ast.LetStmt:
+        start = self.expect_keyword("let")
+        name = self.expect_name("variable name")
+        self.expect_symbol("=")
+        value = self.expression()
+        return ast.LetStmt(
+            name.text, value, span=Span.merge(start.span, value.span)
+        )
+
+    def _load_stmt(self) -> ast.LoadStmt:
+        start = self.expect_keyword("load")
+        name = self.expect_name("variable name")
+        self.expect_symbol("=")
+        fmt = self.expect_name("format name")
+        self.expect_symbol("(")
+        path = self.peek()
+        if path.kind != TokenKind.STRING:
+            raise ParseError(f"expected a path string, found {path}",
+                             path.span)
+        self.advance()
+        end = self.expect_symbol(")")
+        return ast.LoadStmt(
+            name.text, fmt.text, path.text,
+            span=Span.merge(start.span, end.span),
+        )
+
+    def _print_stmt(self) -> ast.PrintStmt:
+        start = self.expect_keyword("print")
+        value = self.expression()
+        return ast.PrintStmt(value, span=Span.merge(start.span, value.span))
+
+    def _map_stmt(self) -> ast.MapStmt:
+        start = self.expect_keyword("map")
+        name = self.expect_name("result name")
+        self.expect_symbol("=")
+        func = self.expect_name("function name")
+        self.expect_symbol("(")
+        args: List[ast.Expr] = []
+        if not self.check_symbol(")"):
+            while True:
+                args.append(self.expression())
+                if not self.accept_symbol(","):
+                    break
+        self.expect_symbol(")")
+        self.expect_keyword("over")
+        over = self.expect_name("collection name")
+        template = ast.Call(func.text, tuple(args), span=func.span)
+        return ast.MapStmt(
+            name.text, template, over.text,
+            span=Span.merge(start.span, over.span),
+        )
+
+    def _schedule_decl(self) -> ast.ScheduleDecl:
+        start = self.expect_keyword("schedule")
+        func = self.expect_name("function name")
+        self.expect_symbol(":")
+        expr = self.expression()
+        return ast.ScheduleDecl(
+            func.text, expr, span=Span.merge(start.span, expr.span)
+        )
+
+    # -- expressions ----------------------------------------------------
+
+    def expression(self) -> ast.Expr:
+        if self.check_keyword("if"):
+            return self._if_expr()
+        return self._comparison()
+
+    def _if_expr(self) -> ast.If:
+        start = self.expect_keyword("if")
+        cond = self.expression()
+        self.expect_keyword("then")
+        then_branch = self.expression()
+        self.expect_keyword("else")
+        else_branch = self.expression()
+        return ast.If(
+            cond,
+            then_branch,
+            else_branch,
+            span=Span.merge(start.span, else_branch.span),
+        )
+
+    def _comparison(self) -> ast.Expr:
+        left = self._min_max()
+        token = self.peek()
+        if token.kind == TokenKind.SYMBOL and token.text in _COMPARISONS:
+            self.advance()
+            right = self._min_max()
+            return ast.BinOp(
+                _COMPARISONS[token.text],
+                left,
+                right,
+                span=Span.merge(left.span, right.span),
+            )
+        return left
+
+    def _is_reduction_start(self) -> bool:
+        """True when the cursor sits on ``min/max/sum ( NAME in ...``."""
+        return (
+            self.peek(1).is_symbol("(")
+            and self.peek(2).kind == TokenKind.NAME
+            and self.peek(3).is_keyword("in")
+        )
+
+    def _min_max(self) -> ast.Expr:
+        left = self._additive()
+        while True:
+            if self.check_keyword("min") and not self._is_reduction_start():
+                op = ast.BinOpKind.MIN
+            elif self.check_keyword("max") and not self._is_reduction_start():
+                op = ast.BinOpKind.MAX
+            else:
+                return left
+            self.advance()
+            right = self._additive()
+            left = ast.BinOp(
+                op, left, right, span=Span.merge(left.span, right.span)
+            )
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while True:
+            if self.accept_symbol("+"):
+                op = ast.BinOpKind.ADD
+            elif self.accept_symbol("-"):
+                op = ast.BinOpKind.SUB
+            else:
+                return left
+            right = self._multiplicative()
+            left = ast.BinOp(
+                op, left, right, span=Span.merge(left.span, right.span)
+            )
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._unary()
+        while True:
+            if self.accept_symbol("*"):
+                op = ast.BinOpKind.MUL
+            elif self.accept_symbol("/"):
+                op = ast.BinOpKind.DIV
+            else:
+                return left
+            right = self._unary()
+            left = ast.BinOp(
+                op, left, right, span=Span.merge(left.span, right.span)
+            )
+
+    def _unary(self) -> ast.Expr:
+        minus = self.accept_symbol("-")
+        if minus is not None:
+            operand = self._unary()
+            zero = ast.IntLit(0, span=minus.span)
+            return ast.BinOp(
+                ast.BinOpKind.SUB,
+                zero,
+                operand,
+                span=Span.merge(minus.span, operand.span),
+            )
+        return self._postfix()
+
+    def _postfix(self) -> ast.Expr:
+        expr = self._primary()
+        while True:
+            if self.check_symbol("."):
+                expr = self._field_access(expr)
+            elif self.check_symbol("[") and isinstance(expr, ast.Var):
+                expr = self._bracket_access(expr)
+            else:
+                return expr
+
+    def _field_access(self, subject: ast.Expr) -> ast.Expr:
+        self.expect_symbol(".")
+        name = self.peek()
+        if name.kind not in (TokenKind.NAME, TokenKind.KEYWORD):
+            raise ParseError(f"expected field name, found {name}", name.span)
+        self.advance()
+        if name.text == "emission":
+            self.expect_symbol("[")
+            symbol = self.expression()
+            end = self.expect_symbol("]")
+            return ast.Emission(
+                subject, symbol, span=Span.merge(subject.span, end.span)
+            )
+        if name.text not in FIELD_NAMES:
+            raise ParseError(
+                f"unknown field {name.text!r} (expected one of "
+                f"{', '.join(sorted(FIELD_NAMES))} or emission)",
+                name.span,
+            )
+        return ast.Field(
+            subject, name.text, span=Span.merge(subject.span, name.span)
+        )
+
+    def _bracket_access(self, var: ast.Var) -> ast.Expr:
+        self.expect_symbol("[")
+        first = self.expression()
+        if self.accept_symbol(","):
+            second = self.expression()
+            end = self.expect_symbol("]")
+            return ast.MatrixIndex(
+                var.name, first, second,
+                span=Span.merge(var.span, end.span),
+            )
+        end = self.expect_symbol("]")
+        return ast.SeqIndex(
+            var.name, first, span=Span.merge(var.span, end.span)
+        )
+
+    def _primary(self) -> ast.Expr:
+        token = self.peek()
+
+        if token.kind == TokenKind.INT:
+            self.advance()
+            return ast.IntLit(int(token.text), span=token.span)
+        if token.kind == TokenKind.FLOAT:
+            self.advance()
+            return ast.FloatLit(float(token.text), span=token.span)
+        if token.kind == TokenKind.CHAR:
+            self.advance()
+            return ast.CharLit(token.text, span=token.span)
+        if token.kind == TokenKind.STRING:
+            self.advance()
+            return ast.StrLit(token.text, span=token.span)
+        if token.is_keyword("true") or token.is_keyword("false"):
+            self.advance()
+            return ast.BoolLit(token.text == "true", span=token.span)
+        if token.is_symbol("_"):
+            self.advance()
+            return ast.Placeholder(span=token.span)
+        if token.is_symbol("|"):
+            return self._length()
+        if token.is_symbol("("):
+            self.advance()
+            expr = self.expression()
+            self.expect_symbol(")")
+            return expr
+        if (
+            token.is_keyword("sum")
+            or token.is_keyword("min")
+            or token.is_keyword("max")
+        ):
+            return self._reduction(token.text)
+        if token.kind == TokenKind.NAME:
+            self.advance()
+            if self.check_symbol("("):
+                return self._call(token)
+            return ast.Var(token.text, span=token.span)
+
+        raise ParseError(f"expected an expression, found {token}", token.span)
+
+    def _length(self) -> ast.Len:
+        start = self.expect_symbol("|")
+        target = self.peek()
+        if target.is_symbol("_"):
+            self.advance()
+            name = "_"
+        else:
+            name = self.expect_name("sequence name").text
+        end = self.expect_symbol("|")
+        return ast.Len(name, span=Span.merge(start.span, end.span))
+
+    def _reduction(self, kind_text: str) -> ast.Reduce:
+        start = self.advance()  # sum/min/max keyword
+        self.expect_symbol("(")
+        var = self.expect_name("reduction variable")
+        self.expect_keyword("in")
+        source = self.expression()
+        if self.check_symbol(".."):
+            dots = self.advance()
+            hi = self.expression()
+            source = ast.RangeExpr(
+                source, hi, span=Span.merge(source.span, hi.span)
+            )
+        self.expect_symbol(":")
+        body = self.expression()
+        end = self.expect_symbol(")")
+        return ast.Reduce(
+            ast.ReduceKind(kind_text),
+            var.text,
+            source,
+            body,
+            span=Span.merge(start.span, end.span),
+        )
+
+    def _call(self, name: Token) -> ast.Call:
+        self.expect_symbol("(")
+        args: List[ast.Expr] = []
+        if not self.check_symbol(")"):
+            while True:
+                args.append(self.expression())
+                if not self.accept_symbol(","):
+                    break
+        end = self.expect_symbol(")")
+        return ast.Call(
+            name.text, tuple(args), span=Span.merge(name.span, end.span)
+        )

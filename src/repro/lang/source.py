@@ -1,0 +1,87 @@
+"""Source locations and spans for diagnostics.
+
+Every token and AST node carries a :class:`Span` so that later phases
+(type checking, dependency analysis, scheduling) can report errors that
+point back at the user's DSL text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Position:
+    """A single point in a source file (1-based line, 1-based column)."""
+
+    line: int
+    column: int
+    offset: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open range of source text, ``[start, end)``."""
+
+    start: Position
+    end: Position
+
+    @staticmethod
+    def point(line: int, column: int, offset: int) -> "Span":
+        """A zero-width span at one position."""
+        pos = Position(line, column, offset)
+        return Span(pos, pos)
+
+    @staticmethod
+    def merge(first: "Span", last: "Span") -> "Span":
+        """The smallest span covering both arguments."""
+        return Span(first.start, last.end)
+
+    def __str__(self) -> str:
+        return str(self.start)
+
+
+#: Span used for synthetic nodes that have no source text (e.g. nodes
+#: produced by desugaring or by programmatic AST construction).
+SYNTHETIC = Span.point(0, 0, 0)
+
+
+class SourceText:
+    """A piece of DSL source plus helpers for rendering diagnostics."""
+
+    def __init__(self, text: str, name: str = "<dsl>") -> None:
+        self.text = text
+        self.name = name
+        self._line_starts = [0]
+        for i, ch in enumerate(text):
+            if ch == "\n":
+                self._line_starts.append(i + 1)
+
+    def line(self, number: int) -> str:
+        """Return the 1-based ``number``-th line without its newline."""
+        if number < 1 or number > len(self._line_starts):
+            return ""
+        start = self._line_starts[number - 1]
+        end = self.text.find("\n", start)
+        if end == -1:
+            end = len(self.text)
+        return self.text[start:end]
+
+    def render(self, span: Span, message: str) -> str:
+        """Render ``message`` with a caret pointing at ``span``."""
+        if span.start.line < 1:
+            return message
+        source_line = self.line(span.start.line)
+        caret_col = max(span.start.column - 1, 0)
+        width = 1
+        if span.end.line == span.start.line:
+            width = max(span.end.column - span.start.column, 1)
+        pointer = " " * caret_col + "^" * width
+        return (
+            f"{self.name}:{span.start}: {message}\n"
+            f"    {source_line}\n"
+            f"    {pointer}"
+        )

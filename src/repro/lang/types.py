@@ -1,0 +1,296 @@
+"""The DSL type system (Section 3.2 of the paper).
+
+Primitive types: integers, characters, sequences, indices on
+sequences, floats, probabilities, booleans and alphabets. The HMM
+extension adds model, state and transition types; the substitution
+matrix extension adds a matrix type.
+
+Every type carries two *classifications* (Section 3.2):
+
+* **calling** — must be instantiated before a run begins and stays
+  constant over the run (sequences, models, matrices...);
+* **recursive** — varies between recursive calls and therefore spans a
+  dimension of the recursion domain (indices, states, transitions);
+  integers are *both*: the initial value of an integer parameter fixes
+  the extent of its dimension.
+
+Every recursive type defines a mapping from its values onto an initial
+segment of the naturals, which is what makes tabulation and the
+polyhedral analysis possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class of all resolved types."""
+
+    @property
+    def is_calling(self) -> bool:
+        """May this type appear as an invariant (calling) parameter?"""
+        return False
+
+    @property
+    def is_recursive(self) -> bool:
+        """May this type appear as a recursive parameter?"""
+        return False
+
+    @property
+    def is_numeric(self) -> bool:
+        """Participates in arithmetic and comparisons."""
+        return False
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    """Machine integers. Both calling and recursive (Section 3.2)."""
+
+    @property
+    def is_calling(self) -> bool:
+        """See :class:`Type`: usable as a calling parameter."""
+        return True
+
+    @property
+    def is_recursive(self) -> bool:
+        """See :class:`Type`: usable as a recursive parameter."""
+        return True
+
+    @property
+    def is_numeric(self) -> bool:
+        """Participates in arithmetic and comparisons."""
+        return True
+
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    """IEEE double-precision floats."""
+
+    @property
+    def is_calling(self) -> bool:
+        """See :class:`Type`: usable as a calling parameter."""
+        return True
+
+    @property
+    def is_numeric(self) -> bool:
+        """Participates in arithmetic and comparisons."""
+        return True
+
+    def __str__(self) -> str:
+        return "float"
+
+
+@dataclass(frozen=True)
+class ProbType(Type):
+    """Probabilities.
+
+    A distinct high-level type so the backend may pick a low-level
+    representation (plain float, log-space, extended exponent); see
+    Section 3.2 of the paper and :mod:`repro.ir.lower`.
+    """
+
+    @property
+    def is_calling(self) -> bool:
+        """See :class:`Type`: usable as a calling parameter."""
+        return True
+
+    @property
+    def is_numeric(self) -> bool:
+        """Participates in arithmetic and comparisons."""
+        return True
+
+    def __str__(self) -> str:
+        return "prob"
+
+
+@dataclass(frozen=True)
+class BoolType(Type):
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class CharType(Type):
+    """A character drawn from ``alphabet`` (``None`` = any alphabet)."""
+
+    alphabet: Optional[str] = None
+
+    @property
+    def is_calling(self) -> bool:
+        """See :class:`Type`: usable as a calling parameter."""
+        return True
+
+    def __str__(self) -> str:
+        return f"char[{self.alphabet or '*'}]"
+
+
+@dataclass(frozen=True)
+class SeqType(Type):
+    """An immutable sequence over ``alphabet`` (``None`` = any).
+
+    Sequences are queried by index only; no other operations exist
+    (Section 3.1).
+    """
+
+    alphabet: Optional[str] = None
+
+    @property
+    def is_calling(self) -> bool:
+        """See :class:`Type`: usable as a calling parameter."""
+        return True
+
+    def __str__(self) -> str:
+        return f"seq[{self.alphabet or '*'}]"
+
+
+@dataclass(frozen=True)
+class IndexType(Type):
+    """An index into the sequence parameter named ``seq_param``.
+
+    Indices are the workhorse recursive type: an index on a sequence
+    of length ``n`` ranges over ``0..n`` (inclusive — position 0 is
+    "before the first character", matching Figure 7 where ``i == 0``
+    is the base case and ``s[i-1]`` reads the current character).
+    """
+
+    seq_param: str
+
+    @property
+    def is_recursive(self) -> bool:
+        """See :class:`Type`: usable as a recursive parameter."""
+        return True
+
+    @property
+    def is_numeric(self) -> bool:
+        """Participates in arithmetic and comparisons."""
+        return True
+
+    def __str__(self) -> str:
+        return f"index[{self.seq_param}]"
+
+
+@dataclass(frozen=True)
+class MatrixType(Type):
+    """A substitution matrix over two alphabets (Section 5.1)."""
+
+    row_alphabet: Optional[str]
+    col_alphabet: Optional[str]
+
+    @property
+    def is_calling(self) -> bool:
+        """See :class:`Type`: usable as a calling parameter."""
+        return True
+
+    def __str__(self) -> str:
+        return (
+            f"matrix[{self.row_alphabet or '*'}, {self.col_alphabet or '*'}]"
+        )
+
+
+@dataclass(frozen=True)
+class HmmType(Type):
+    """A Hidden Markov Model (Section 5.2)."""
+
+    @property
+    def is_calling(self) -> bool:
+        """See :class:`Type`: usable as a calling parameter."""
+        return True
+
+    def __str__(self) -> str:
+        return "hmm"
+
+
+@dataclass(frozen=True)
+class StateType(Type):
+    """A state of the HMM parameter named ``hmm_param``.
+
+    States carry an arbitrary total order mapping them to naturals
+    (Section 5.2), which is what lets them act as a recursion
+    dimension.
+    """
+
+    hmm_param: str
+
+    @property
+    def is_recursive(self) -> bool:
+        """See :class:`Type`: usable as a recursive parameter."""
+        return True
+
+    def __str__(self) -> str:
+        return f"state[{self.hmm_param}]"
+
+
+@dataclass(frozen=True)
+class TransitionType(Type):
+    """A transition of the HMM parameter named ``hmm_param``."""
+
+    hmm_param: str
+
+    @property
+    def is_recursive(self) -> bool:
+        """See :class:`Type`: usable as a recursive parameter."""
+        return True
+
+    def __str__(self) -> str:
+        return f"transition[{self.hmm_param}]"
+
+
+@dataclass(frozen=True)
+class TransitionSetType(Type):
+    """The set of transitions into/out of a state; expression-only.
+
+    Only consumed by reductions (``sum(t in s.transitionsto : ...)``).
+    """
+
+    hmm_param: str
+
+    def __str__(self) -> str:
+        return f"transitionset[{self.hmm_param}]"
+
+
+INT = IntType()
+FLOAT = FloatType()
+PROB = ProbType()
+BOOL = BoolType()
+
+
+def alphabets_compatible(a: Optional[str], b: Optional[str]) -> bool:
+    """Two alphabet references unify when equal or either is ``*``."""
+    return a is None or b is None or a == b
+
+
+def unify_numeric(a: Type, b: Type) -> Optional[Type]:
+    """The result type of an arithmetic operation on ``a`` and ``b``.
+
+    Numeric types form the widening chain ``int < float < prob``
+    (indices behave as ints). ``prob`` dominates because any
+    computation touching a probability must use the representation the
+    backend chose for probabilities (e.g. log-space, Section 3.2).
+    """
+    if not (a.is_numeric and b.is_numeric):
+        return None
+    if isinstance(a, ProbType) or isinstance(b, ProbType):
+        return PROB
+    if isinstance(a, FloatType) or isinstance(b, FloatType):
+        return FLOAT
+    return INT
+
+
+def widens_to(source: Type, target: Type) -> bool:
+    """May a value of ``source`` be used where ``target`` is expected?"""
+    if source == target:
+        return True
+    order = {"int": 0, "float": 1, "prob": 2}
+    if isinstance(source, IndexType):
+        source = INT
+    s = order.get(str(source).split("[")[0], None)
+    t = order.get(str(target), None)
+    if s is None or t is None:
+        return False
+    return s <= t

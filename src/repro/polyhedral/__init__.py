@@ -1,0 +1,42 @@
+"""Polyhedral code generation: polyhedra, loop ASTs, CLooG-style gen."""
+
+from .codegen import (
+    STMT_NAME,
+    TIME_VAR,
+    generate_for_domain,
+    generate_loops,
+    scattering_polyhedron,
+)
+from .loopast import (
+    Assign,
+    Bound,
+    Div,
+    Guard,
+    Loop,
+    LoopNest,
+    Stmt,
+    emit_c,
+    emit_c_inlined,
+    iterate,
+)
+from .polyhedron import Constraint, Polyhedron
+
+__all__ = [
+    "STMT_NAME",
+    "TIME_VAR",
+    "generate_for_domain",
+    "generate_loops",
+    "scattering_polyhedron",
+    "Assign",
+    "Bound",
+    "Div",
+    "Guard",
+    "Loop",
+    "LoopNest",
+    "Stmt",
+    "emit_c",
+    "emit_c_inlined",
+    "iterate",
+    "Constraint",
+    "Polyhedron",
+]

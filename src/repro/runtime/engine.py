@@ -1,0 +1,482 @@
+"""The end-to-end engine: parse -> check -> schedule -> synthesise -> run.
+
+:class:`Engine` is the public entry point of the library. It owns
+
+* the schedule search (automatic, Section 4.6 — or verification of a
+  user-provided schedule, Section 4.5);
+* kernel compilation (polyhedral nest + lowered cell expression) with
+  a cache keyed by (function, schedule, probability mode) — the paper
+  caches generated code per function to amortise the ~1 s CLooG
+  overhead (Section 6);
+* context preparation (device layout of sequences, matrices, models);
+* single-problem runs and ``map`` runs over problem collections with
+  conditional parallelisation (Section 4.7);
+* the simulated device's functional execution and analytic timing.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence as Seq, Tuple
+
+import numpy as np
+
+from ..analysis.domain import Domain
+from ..extensions.hmm import Hmm
+from ..gpu.device import ProblemCost, SimulatedDevice, LaunchReport
+from ..gpu.spec import DeviceSpec, GTX480
+from ..gpu.timing import (
+    KernelCost,
+    inter_task_seconds,
+    kernel_cost,
+    problems_per_sm,
+)
+from ..ir.kernel import Kernel, build_kernel
+from ..ir.pybackend import compile_kernel
+from ..lang import ast
+from ..lang.errors import RuntimeDslError, ScheduleError
+from ..lang.typecheck import CheckedFunction
+from ..lang.types import (
+    HmmType,
+    IndexType,
+    IntType,
+    MatrixType,
+    SeqType,
+    StateType,
+    TransitionType,
+)
+from ..schedule.multi import ScheduleSet, derive_schedule_set
+from ..schedule.schedule import Schedule
+from ..schedule.solver import DEFAULT_BOUND, find_schedule
+from .interpreter import domain_extents
+from .values import Bindings, Sequence
+
+
+@dataclass
+class CompiledKernel:
+    """A cached compilation product."""
+
+    kernel: Kernel
+    run: object  # the compiled Python callable (T, ctx) -> T
+    source: str
+    compile_seconds: float
+
+    @property
+    def schedule(self) -> Schedule:
+        """The schedule this kernel was compiled for."""
+        return self.kernel.schedule
+
+    def cuda_source(self, windowed: bool = False) -> str:
+        """The synthesised CUDA text; ``windowed=True`` emits the
+        Section 4.8 shared-memory variant (uniform descents only)."""
+        from ..ir.cuda import emit_cuda
+
+        return emit_cuda(self.kernel, windowed=windowed)
+
+
+@dataclass
+class RunResult:
+    """One problem solved on the simulated device."""
+
+    value: object
+    table: np.ndarray
+    kernel: Kernel
+    domain: Domain
+    cost: KernelCost
+    report: LaunchReport
+
+    @property
+    def schedule(self) -> Schedule:
+        """The schedule the kernel ran under."""
+        return self.kernel.schedule
+
+    @property
+    def seconds(self) -> float:
+        """Total simulated launch time."""
+        return self.report.total_seconds
+
+
+@dataclass
+class MapResult:
+    """A ``map`` workload solved on the simulated device."""
+
+    values: List[object]
+    report: LaunchReport
+    schedule_usage: Dict[Tuple[int, ...], int]
+    costs: List[KernelCost] = field(repr=False, default_factory=list)
+    parallelism: str = "intra"
+
+    @property
+    def seconds(self) -> float:
+        """Total simulated launch time."""
+        return self.report.total_seconds
+
+
+class Engine:
+    """Compiles and runs DSL functions on the simulated GPU."""
+
+    def __init__(
+        self,
+        device: Optional[DeviceSpec] = None,
+        prob_mode: str = "direct",
+        schedule_bound: int = DEFAULT_BOUND,
+        solver: str = "orthant",
+        backend: str = "auto",
+    ) -> None:
+        if backend not in ("auto", "scalar", "vector"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.spec = device or GTX480
+        self.device = SimulatedDevice(self.spec)
+        self.prob_mode = prob_mode
+        self.schedule_bound = schedule_bound
+        self.solver = solver
+        self.backend = backend
+        self._cache: Dict[Tuple[str, Tuple[int, ...], str],
+                          CompiledKernel] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- compilation ----------------------------------------------------------
+
+    def compile(
+        self,
+        func: CheckedFunction,
+        schedule: Schedule,
+    ) -> CompiledKernel:
+        """Compile (or fetch) the kernel for one schedule.
+
+        Backend choice: ``vector`` evaluates whole partitions as NumPy
+        array operations when the kernel is eligible (2-D, no
+        reductions); ``scalar`` is the cell-at-a-time generator;
+        ``auto`` prefers vector and falls back.
+        """
+        from ..ir import npbackend
+
+        key = (func.name, schedule.coefficients, self.prob_mode,
+               self.backend)
+        if key in self._cache:
+            self.cache_hits += 1
+            return self._cache[key]
+        self.cache_misses += 1
+        started = time.perf_counter()
+        kernel = build_kernel(func, schedule, self.prob_mode)
+        use_vector = self.backend == "vector" or (
+            self.backend == "auto" and npbackend.eligible(kernel)
+        )
+        if use_vector:
+            run, source = npbackend.compile_vector_kernel(kernel)
+        else:
+            run, source = compile_kernel(kernel)
+        elapsed = time.perf_counter() - started
+        compiled = CompiledKernel(kernel, run, source, elapsed)
+        self._cache[key] = compiled
+        return compiled
+
+    def schedule_for(
+        self,
+        func: CheckedFunction,
+        domain: Domain,
+        user_schedule: Optional[ast.Expr] = None,
+    ) -> Schedule:
+        """Pick the schedule: verify the user's, or search."""
+        if user_schedule is not None:
+            from ..schedule.schedule import validate_user_schedule
+
+            return validate_user_schedule(func, user_schedule, domain)
+        return find_schedule(
+            func, domain, bound=self.schedule_bound, solver=self.solver
+        )
+
+    # -- context preparation --------------------------------------------------
+
+    def build_context(
+        self,
+        compiled: CompiledKernel,
+        bindings: Bindings,
+        domain: Domain,
+    ) -> Dict[str, object]:
+        """Materialise the device context for one problem."""
+        from .context import build_context
+
+        return build_context(compiled.kernel, bindings, domain)
+
+    def mean_degree(
+        self, func: CheckedFunction, bindings: Bindings
+    ) -> float:
+        """Mean transition in-degree of the bound models (cost model)."""
+        degrees = [
+            bindings[p.name].mean_in_degree()
+            for p in func.calling_params
+            if isinstance(p.type, HmmType) and p.name in bindings
+        ]
+        return sum(degrees) / len(degrees) if degrees else 1.0
+
+    # -- execution ------------------------------------------------------------
+
+    def domain_of(
+        self,
+        func: CheckedFunction,
+        bindings: Bindings,
+        initial: Optional[Dict[str, int]] = None,
+    ) -> Domain:
+        """The recursion domain implied by the bindings."""
+        return Domain(
+            func.dim_names, domain_extents(func, bindings, initial)
+        )
+
+    def result_coords(
+        self,
+        func: CheckedFunction,
+        bindings: Bindings,
+        domain: Domain,
+        at: Optional[Mapping[str, int]] = None,
+        initial: Optional[Dict[str, int]] = None,
+    ) -> Tuple[int, ...]:
+        """Where the requested value lives in the table.
+
+        Defaults per dimension kind: indices at the sequence length,
+        integers at their initial value, states at the model's end
+        state, transitions need an explicit position.
+        """
+        at = dict(at or {})
+        initial = initial or {}
+        coords = []
+        for param, extent in zip(func.recursive_params, domain.extents):
+            if param.name in at:
+                coords.append(int(at[param.name]))
+            elif isinstance(param.type, IndexType):
+                coords.append(extent - 1)
+            elif isinstance(param.type, IntType):
+                coords.append(initial.get(param.name, extent - 1))
+            elif isinstance(param.type, StateType):
+                hmm = bindings[param.type.hmm_param]
+                assert isinstance(hmm, Hmm)
+                coords.append(hmm.end_state.index)
+            elif isinstance(param.type, TransitionType):
+                raise RuntimeDslError(
+                    f"dimension {param.name!r}: pass at={{...}} to pick "
+                    f"a transition coordinate"
+                )
+            else:
+                raise RuntimeDslError(
+                    f"cannot default a coordinate for {param.name!r}"
+                )
+        return tuple(coords)
+
+    def _table_for(self, kernel: Kernel, domain: Domain) -> np.ndarray:
+        if kernel.body.return_kind == "int":
+            return np.zeros(domain.extents, dtype=np.int64)
+        return np.zeros(domain.extents, dtype=np.float64)
+
+    def _extract(
+        self, kernel: Kernel, table, coords, reduce: Optional[str] = None
+    ) -> object:
+        """Read the result: a coordinate, or a whole-table reduction.
+
+        ``reduce='max'``/``'min'`` supports optimisation recurrences
+        whose answer is the best cell anywhere in the table
+        (Smith-Waterman's local alignment score).
+        """
+        if reduce == "max":
+            raw = table.max()
+        elif reduce == "min":
+            raw = table.min()
+        elif reduce is None:
+            raw = table[coords]
+        else:
+            raise RuntimeDslError(f"unknown reduction {reduce!r}")
+        if kernel.body.return_kind == "int":
+            return int(raw)
+        if kernel.logspace:
+            return math.exp(raw) if raw != float("-inf") else 0.0
+        return float(raw)
+
+    def _problem_bytes(self, domain: Domain, bindings: Bindings) -> float:
+        """Rough host->device payload of one problem."""
+        total = 8.0 * domain.extents[-1]  # result row copied back
+        for value in bindings.values.values():
+            if isinstance(value, Sequence):
+                total += len(value)
+        return total
+
+    def run(
+        self,
+        func: CheckedFunction,
+        bindings: Mapping[str, object],
+        at: Optional[Mapping[str, int]] = None,
+        initial: Optional[Dict[str, int]] = None,
+        user_schedule: Optional[ast.Expr] = None,
+        use_window: bool = True,
+        reduce: Optional[str] = None,
+    ) -> RunResult:
+        """Solve one problem end to end on the simulated device."""
+        bound = Bindings(dict(bindings))
+        domain = self.domain_of(func, bound, initial)
+        schedule = self.schedule_for(func, domain, user_schedule)
+        compiled = self.compile(func, schedule)
+        ctx = self.build_context(compiled, bound, domain)
+        table = self._table_for(compiled.kernel, domain)
+
+        cost = kernel_cost(
+            compiled.kernel,
+            domain,
+            self.spec,
+            mean_degree=self.mean_degree(func, bound),
+            use_window=use_window,
+        )
+        problem = ProblemCost(
+            cost.seconds,
+            bytes_in=self._problem_bytes(domain, bound),
+            packing=problems_per_sm(compiled.kernel, domain, self.spec),
+        )
+        report = self.device.launch(
+            [problem], run=lambda _k: compiled.run(table, ctx)
+        )
+        coords = self.result_coords(func, bound, domain, at, initial)
+        value = self._extract(compiled.kernel, table, coords, reduce)
+        return RunResult(value, table, compiled.kernel, domain, cost,
+                         report)
+
+    def map_run(
+        self,
+        func: CheckedFunction,
+        base_bindings: Mapping[str, object],
+        problems: Seq[Mapping[str, object]],
+        at: Optional[Mapping[str, int]] = None,
+        initial: Optional[Dict[str, int]] = None,
+        use_window: bool = True,
+        reduce: Optional[str] = None,
+        parallelism: str = "intra",
+        hybrid_threshold: Optional[int] = None,
+        execute: bool = True,
+    ) -> MapResult:
+        """Solve many problems: the ``map`` primitive (Section 4.7).
+
+        Each problem overrides some calling parameters (typically the
+        database sequence). Schedules come from the compile-time
+        schedule set when the descents are uniform, chosen per problem
+        by the minimality condition; otherwise each problem gets a
+        runtime search (both paths share the kernel cache).
+
+        ``parallelism`` picks the strategy (Section 6.1):
+
+        * ``"intra"`` — one problem per multiprocessor, threads
+          cooperate on partitions (the paper's focus);
+        * ``"inter"`` — one problem per *thread* ("algorithmically
+          trivial" sequence-per-thread generation);
+        * ``"hybrid"`` — CUDASW++-style split: problems smaller than
+          ``hybrid_threshold`` cells go inter-task, the rest intra.
+
+        The functional results are identical in every mode; only the
+        device-time accounting differs. ``execute=False`` prices the
+        launch without computing the tables (``values`` stay None) —
+        for large sweeps where only the timing matters.
+        """
+        if parallelism not in ("intra", "inter", "hybrid"):
+            raise RuntimeDslError(
+                f"unknown parallelism {parallelism!r}"
+            )
+        try:
+            schedule_set: Optional[ScheduleSet] = derive_schedule_set(
+                func, bound=self.schedule_bound
+            )
+        except ScheduleError:
+            schedule_set = None
+
+        prepared = []
+        for overrides in problems:
+            bound = Bindings({**base_bindings, **overrides})
+            domain = self.domain_of(func, bound, initial)
+            if schedule_set is not None:
+                schedule = schedule_set.select(domain.extent_map())
+            else:
+                schedule = self.schedule_for(func, domain)
+            compiled = self.compile(func, schedule)
+            prepared.append((bound, domain, compiled))
+
+        values: List[object] = [None] * len(prepared)
+        costs: List[KernelCost] = []
+        usage: Dict[Tuple[int, ...], int] = {}
+        problem_costs: List[ProblemCost] = []
+        for bound, domain, compiled in prepared:
+            cost = kernel_cost(
+                compiled.kernel,
+                domain,
+                self.spec,
+                mean_degree=self.mean_degree(func, bound),
+                use_window=use_window,
+            )
+            costs.append(cost)
+            coeffs = compiled.schedule.coefficients
+            usage[coeffs] = usage.get(coeffs, 0) + 1
+            problem_costs.append(
+                ProblemCost(
+                    cost.seconds,
+                    bytes_in=self._problem_bytes(domain, bound),
+                    packing=problems_per_sm(
+                        compiled.kernel, domain, self.spec
+                    ),
+                )
+            )
+
+        def run_one(index: int) -> None:
+            bound, domain, compiled = prepared[index]
+            ctx = self.build_context(compiled, bound, domain)
+            table = self._table_for(compiled.kernel, domain)
+            compiled.run(table, ctx)
+            coords = (
+                None
+                if reduce
+                else self.result_coords(func, bound, domain, at, initial)
+            )
+            values[index] = self._extract(
+                compiled.kernel, table, coords, reduce
+            )
+
+        if parallelism == "intra":
+            report = self.device.launch(
+                problem_costs, run=run_one if execute else None
+            )
+            return MapResult(values, report, usage, costs, "intra")
+
+        # Inter/hybrid: functional execution is unchanged; pricing
+        # splits the problem set by strategy.
+        if execute:
+            for index in range(len(prepared)):
+                run_one(index)
+        threshold = hybrid_threshold or 64 * 64
+        intra_costs: List[ProblemCost] = []
+        inter_domains = []
+        mean = 1.0
+        kernel = prepared[0][2].kernel if prepared else None
+        for (bound, domain, compiled), cost in zip(
+            prepared, problem_costs
+        ):
+            mean = self.mean_degree(func, bound)
+            if parallelism == "inter" or domain.size < threshold:
+                inter_domains.append(domain)
+                kernel = compiled.kernel
+            else:
+                intra_costs.append(cost)
+        seconds = 0.0
+        if inter_domains and kernel is not None:
+            seconds += inter_task_seconds(
+                kernel, inter_domains, self.spec, mean
+            )
+        if intra_costs:
+            seconds += self.device.launch(intra_costs).kernel_seconds
+        report = LaunchReport(
+            device=self.spec.name,
+            problems=len(prepared),
+            kernel_seconds=seconds,
+            transfer_seconds=self.spec.transfer_seconds(
+                sum(
+                    self._problem_bytes(d, b)
+                    for b, d, _ in prepared
+                )
+            ),
+            overhead_seconds=self.spec.launch_overhead_s,
+        )
+        return MapResult(values, report, usage, costs, parallelism)

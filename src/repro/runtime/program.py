@@ -1,0 +1,365 @@
+"""Script execution: the runtime environment of the DSL.
+
+The language is "designed to mimic the style of a scripting language"
+(Section 3): declarations (alphabets, matrices, models, functions,
+schedules) followed by imperative statements — ``let``, ``load``,
+``print`` and the ``map`` primitive that applies a function across a
+sequence collection (the inter-multiprocessor parallelisation).
+
+:class:`ProgramRunner` evaluates a script against an
+:class:`~repro.runtime.engine.Engine`; results (printed lines, map
+outputs, timing reports) are collected on the returned
+:class:`ScriptResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..extensions.hmm import Hmm
+from ..extensions.submatrix import SubstitutionMatrix
+from ..lang import ast
+from ..lang.errors import RuntimeDslError
+from ..lang.parser import parse_program
+from ..lang.typecheck import CheckedFunction, CheckedProgram, check_program
+from ..lang.types import IntType, SeqType
+from .engine import Engine, MapResult, RunResult
+from .sequences import read_fasta
+from .values import Alphabet, Sequence
+
+
+@dataclass
+class ScriptResult:
+    """Everything a script run produced."""
+
+    printed: List[str] = field(default_factory=list)
+    values: List[object] = field(default_factory=list)
+    maps: Dict[str, MapResult] = field(default_factory=dict)
+    runs: List[RunResult] = field(default_factory=list)
+
+    @property
+    def last(self) -> object:
+        """The value of the script's final ``print``."""
+        if not self.values:
+            raise RuntimeDslError("the script printed nothing")
+        return self.values[-1]
+
+
+class ProgramRunner:
+    """Executes checked programs statement by statement."""
+
+    def __init__(
+        self,
+        engine: Optional[Engine] = None,
+        echo: bool = False,
+    ) -> None:
+        self.engine = engine or Engine()
+        self.echo = echo
+        self.alphabets: Dict[str, Alphabet] = {}
+        self.globals: Dict[str, object] = {}
+
+    # -- entry points ---------------------------------------------------------
+
+    def run_text(self, text: str) -> ScriptResult:
+        """Parse, check and execute DSL source text."""
+        return self.run(check_program(parse_program(text)))
+
+    def run(self, checked: CheckedProgram) -> ScriptResult:
+        """Execute a checked program."""
+        result = ScriptResult()
+        self.alphabets = {
+            name: Alphabet(name, chars)
+            for name, chars in checked.alphabets.items()
+        }
+        for name, decl in checked.matrices.items():
+            self.globals[name] = SubstitutionMatrix.from_decl(
+                decl, self.alphabets
+            )
+        for name, decl in checked.hmms.items():
+            self.globals[name] = Hmm.from_decl(decl, self.alphabets)
+
+        for stmt in checked.program.statements:
+            if isinstance(stmt, ast.LetStmt):
+                self.globals[stmt.name] = self._eval_value(stmt.value)
+            elif isinstance(stmt, ast.LoadStmt):
+                self._load(stmt)
+            elif isinstance(stmt, ast.PrintStmt):
+                self._print(stmt, checked, result)
+            elif isinstance(stmt, ast.MapStmt):
+                self._map(stmt, checked, result)
+            # declarations were handled by the checker / above.
+        return result
+
+    # -- statement execution --------------------------------------------------
+
+    def _load(self, stmt: ast.LoadStmt) -> None:
+        if stmt.format != "fasta":
+            raise RuntimeDslError(
+                f"unknown load format {stmt.format!r} (only 'fasta')",
+                stmt.span,
+            )
+        alphabet = self._infer_alphabet_for_file(stmt.path)
+        self.globals[stmt.name] = read_fasta(stmt.path, alphabet)
+
+    def _infer_alphabet_for_file(self, path: str) -> Alphabet:
+        from pathlib import Path
+
+        body = "".join(
+            line.strip()
+            for line in Path(path).read_text().splitlines()
+            if line.strip() and not line.startswith(">")
+        )
+        for alphabet in self.alphabets.values():
+            folded = (
+                body.lower()
+                if alphabet.chars == alphabet.chars.lower()
+                else body.upper()
+            )
+            if all(ch in alphabet.chars for ch in set(folded)):
+                return alphabet
+        raise RuntimeDslError(
+            f"no declared alphabet covers the sequences in {path!r}"
+        )
+
+    def _print(
+        self,
+        stmt: ast.PrintStmt,
+        checked: CheckedProgram,
+        result: ScriptResult,
+    ) -> None:
+        value = self._eval_script_expr(stmt.value, checked, result)
+        result.values.append(value)
+        line = str(value)
+        result.printed.append(line)
+        if self.echo:
+            print(line)
+
+    def _map(
+        self,
+        stmt: ast.MapStmt,
+        checked: CheckedProgram,
+        result: ScriptResult,
+    ) -> None:
+        if stmt.over not in self.globals:
+            raise RuntimeDslError(
+                f"unknown collection {stmt.over!r}", stmt.span
+            )
+        collection = self.globals[stmt.over]
+        if not isinstance(collection, (list, tuple)):
+            raise RuntimeDslError(
+                f"{stmt.over!r} is not a sequence collection", stmt.span
+            )
+        func = checked.function(stmt.template.func)
+        base, at, initial, holes = self._bind_call(
+            func, stmt.template, element=None, allow_holes=True
+        )
+        if not holes:
+            raise RuntimeDslError(
+                "map template has no '_' placeholder", stmt.span
+            )
+        problems = []
+        ats = []
+        for element in collection:
+            bound, el_at, el_initial, _ = self._bind_call(
+                func, stmt.template, element=element, allow_holes=True
+            )
+            problems.append(bound)
+            ats.append((el_at, el_initial))
+        # All problems share `at` semantics (per-problem coords are
+        # handled inside map_run via defaults); explicit coords that
+        # depend on the element (|_|) resolve to per-problem defaults.
+        map_result = self.engine.map_run(
+            func,
+            {},
+            problems,
+            at=None,
+            initial=initial if initial else None,
+        )
+        self.globals[stmt.name] = map_result.values
+        result.maps[stmt.name] = map_result
+
+    # -- expression evaluation -------------------------------------------------
+
+    def _eval_value(self, expr: ast.Expr) -> object:
+        """Evaluate a script-level value expression (let/arguments)."""
+        if isinstance(expr, ast.StrLit):
+            return expr.value
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.FloatLit):
+            return expr.value
+        if isinstance(expr, ast.BoolLit):
+            return expr.value
+        if isinstance(expr, ast.CharLit):
+            return expr.value
+        if isinstance(expr, ast.Var):
+            if expr.name not in self.globals:
+                raise RuntimeDslError(
+                    f"unknown script variable {expr.name!r}", expr.span
+                )
+            return self.globals[expr.name]
+        if isinstance(expr, ast.Len):
+            target = self._lookup_len_target(expr)
+            return len(target)
+        if isinstance(expr, ast.Field):
+            return self._eval_field(expr)
+        if isinstance(expr, ast.BinOp):
+            left = self._eval_value(expr.left)
+            right = self._eval_value(expr.right)
+            return _script_binop(expr, left, right)
+        raise RuntimeDslError(
+            f"cannot evaluate {expr} at script level", expr.span
+        )
+
+    def _lookup_len_target(self, expr: ast.Len):
+        if expr.seq not in self.globals:
+            raise RuntimeDslError(
+                f"unknown script variable {expr.seq!r} in |{expr.seq}|",
+                expr.span,
+            )
+        target = self.globals[expr.seq]
+        if isinstance(target, (Sequence, str, list, tuple)):
+            return target
+        raise RuntimeDslError(
+            f"|{expr.seq}| needs a sequence or collection", expr.span
+        )
+
+    def _eval_field(self, expr: ast.Field) -> object:
+        subject = self._eval_value(expr.subject)
+        if isinstance(subject, Hmm):
+            if expr.name == "start":
+                return subject.start_state.index
+            if expr.name == "end":
+                return subject.end_state.index
+        raise RuntimeDslError(
+            f"cannot evaluate field {expr.name!r} at script level",
+            expr.span,
+        )
+
+    def _eval_script_expr(
+        self,
+        expr: ast.Expr,
+        checked: CheckedProgram,
+        result: ScriptResult,
+    ) -> object:
+        if isinstance(expr, ast.Call) and expr.func in checked.functions:
+            return self._run_call(expr, checked, result)
+        return self._eval_value(expr)
+
+    def _run_call(
+        self,
+        expr: ast.Call,
+        checked: CheckedProgram,
+        result: ScriptResult,
+    ) -> object:
+        func = checked.function(expr.func)
+        bindings, at, initial, _ = self._bind_call(
+            func, expr, element=None, allow_holes=False
+        )
+        user_schedule = checked.schedules.get(func.name)
+        run = self.engine.run(
+            func,
+            bindings,
+            at=at or None,
+            initial=initial or None,
+            user_schedule=user_schedule,
+        )
+        result.runs.append(run)
+        return run.value
+
+    # -- argument binding -------------------------------------------------------
+
+    def _bind_call(
+        self,
+        func: CheckedFunction,
+        call: ast.Call,
+        element: Optional[object],
+        allow_holes: bool,
+    ) -> Tuple[Dict[str, object], Dict[str, int], Dict[str, int], int]:
+        """Bind a full-prototype call's arguments to parameters.
+
+        Returns (calling bindings, at-coordinates, int initials,
+        number of ``_`` holes). ``element`` fills the holes.
+        """
+        if len(call.args) != len(func.params):
+            raise RuntimeDslError(
+                f"{func.name} takes {len(func.params)} arguments "
+                f"({', '.join(p.name for p in func.params)}), got "
+                f"{len(call.args)}",
+                call.span,
+            )
+        bindings: Dict[str, object] = {}
+        at: Dict[str, int] = {}
+        initial: Dict[str, int] = {}
+        holes = 0
+        for param, arg in zip(func.params, call.args):
+            if isinstance(arg, ast.Placeholder):
+                holes += 1
+                value: object = element
+            elif isinstance(arg, ast.Len) and arg.seq == "_":
+                holes += 1
+                value = len(element) if element is not None else None
+            else:
+                value = self._eval_value(arg)
+            if param.is_recursive:
+                if value is None:
+                    continue  # defaulted per problem
+                coordinate = int(value)
+                at[param.name] = coordinate
+                if isinstance(param.type, IntType):
+                    initial[param.name] = coordinate
+            else:
+                if value is None and not allow_holes:
+                    raise RuntimeDslError(
+                        f"missing value for parameter {param.name!r}",
+                        call.span,
+                    )
+                if value is not None:
+                    bindings[param.name] = self._coerce(param, value)
+        return bindings, at, initial, holes
+
+    def _coerce(self, param, value: object) -> object:
+        """Adapt script values to parameter types (str -> Sequence).
+
+        A bare string passed for a ``seq[*]`` parameter adopts the
+        first declared alphabet that covers it.
+        """
+        if isinstance(param.type, SeqType) and isinstance(value, str):
+            if param.type.alphabet is not None:
+                alphabet = self.alphabets[param.type.alphabet]
+                return Sequence(value, alphabet)
+            for alphabet in self.alphabets.values():
+                if all(ch in alphabet.chars for ch in set(value)):
+                    return Sequence(value, alphabet)
+            raise RuntimeDslError(
+                f"no declared alphabet covers the string for "
+                f"parameter {param.name!r}"
+            )
+        return value
+
+
+def run_script(
+    text: str,
+    engine: Optional[Engine] = None,
+    echo: bool = False,
+) -> ScriptResult:
+    """Parse, check and execute a DSL script."""
+    return ProgramRunner(engine, echo=echo).run_text(text)
+
+
+def _script_binop(expr: ast.BinOp, left, right):
+    kind = expr.op
+    table = {
+        ast.BinOpKind.ADD: lambda: left + right,
+        ast.BinOpKind.SUB: lambda: left - right,
+        ast.BinOpKind.MUL: lambda: left * right,
+        ast.BinOpKind.MIN: lambda: min(left, right),
+        ast.BinOpKind.MAX: lambda: max(left, right),
+    }
+    if kind not in table:
+        raise RuntimeDslError(
+            f"operator {kind.value!r} is not supported at script level",
+            expr.span,
+        )
+    return table[kind]()

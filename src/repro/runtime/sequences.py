@@ -1,0 +1,140 @@
+"""Sequence I/O and synthetic data generation.
+
+FASTA reading/writing for the ``load`` statement, and seeded synthetic
+generators standing in for the genome data the paper's evaluation uses
+(see DESIGN.md §2: the algorithms' cost is data-oblivious for dense
+DP, so only the size distributions matter for the figures).
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence as Seq, Tuple
+
+from ..lang.errors import RuntimeDslError
+from .values import Alphabet, DNA, PROTEIN, Sequence
+
+
+def read_fasta(
+    path, alphabet: Alphabet, lowercase: Optional[bool] = None
+) -> List[Sequence]:
+    """Parse a FASTA file into sequences over ``alphabet``.
+
+    ``lowercase`` forces case folding; by default the case is chosen
+    to match the alphabet.
+    """
+    text = Path(path).read_text()
+    return parse_fasta(text, alphabet, lowercase)
+
+
+def parse_fasta(
+    text: str, alphabet: Alphabet, lowercase: Optional[bool] = None
+) -> List[Sequence]:
+    """Parse FASTA text into sequences over ``alphabet``."""
+    if lowercase is None:
+        lowercase = alphabet.chars == alphabet.chars.lower()
+    records: List[Tuple[str, List[str]]] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            records.append((line[1:].split()[0] if len(line) > 1 else "",
+                            []))
+        else:
+            if not records:
+                raise RuntimeDslError(
+                    "FASTA data begins without a '>' header"
+                )
+            records[-1][1].append(line)
+    sequences = []
+    for name, chunks in records:
+        body = "".join(chunks)
+        body = body.lower() if lowercase else body.upper()
+        sequences.append(Sequence(body, alphabet, name=name))
+    return sequences
+
+
+def write_fasta(path, sequences: Iterable[Sequence]) -> None:
+    """Write sequences to a FASTA file (60-column wrap)."""
+    lines = []
+    for index, seq in enumerate(sequences):
+        lines.append(f">{seq.name or f'seq{index}'}")
+        for start in range(0, len(seq.text), 60):
+            lines.append(seq.text[start:start + 60])
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def random_sequence(
+    length: int,
+    alphabet: Alphabet,
+    rng: random.Random,
+    name: str = "",
+    weights: Optional[Seq[float]] = None,
+) -> Sequence:
+    """One random sequence; optional per-character weights."""
+    chars = rng.choices(alphabet.chars, weights=weights, k=length)
+    return Sequence("".join(chars), alphabet, name=name)
+
+
+def random_dna(
+    length: int, seed: int = 0, gc_bias: float = 0.5, name: str = ""
+) -> Sequence:
+    """Synthetic DNA with a GC-content knob (default uniform)."""
+    rng = random.Random(seed)
+    at = (1.0 - gc_bias) / 2.0
+    gc = gc_bias / 2.0
+    weights = [at, gc, gc, at]  # a c g t
+    return random_sequence(length, DNA, rng, name=name, weights=weights)
+
+
+#: Rough Swiss-Prot background frequencies (Robinson & Robinson).
+PROTEIN_BACKGROUND = {
+    "A": 0.079, "R": 0.051, "N": 0.045, "D": 0.054, "C": 0.019,
+    "Q": 0.043, "E": 0.063, "G": 0.074, "H": 0.022, "I": 0.051,
+    "L": 0.091, "K": 0.057, "M": 0.022, "F": 0.039, "P": 0.052,
+    "S": 0.071, "T": 0.058, "W": 0.013, "Y": 0.032, "V": 0.064,
+}
+
+
+def random_protein(length: int, seed: int = 0, name: str = "") -> Sequence:
+    """Synthetic protein with Swiss-Prot-like residue frequencies."""
+    rng = random.Random(seed)
+    weights = [PROTEIN_BACKGROUND[c] for c in PROTEIN.chars]
+    return random_sequence(
+        length, PROTEIN, rng, name=name, weights=weights
+    )
+
+
+def random_database(
+    count: int,
+    mean_length: int,
+    alphabet: Alphabet = PROTEIN,
+    seed: int = 0,
+    spread: float = 0.35,
+    prefix: str = "db",
+) -> List[Sequence]:
+    """A synthetic sequence database with varied lengths.
+
+    Lengths are drawn from a truncated normal around ``mean_length``
+    (databases like Swiss-Prot have broad, skewed length
+    distributions; a spread of ~35% reproduces the load-imbalance
+    behaviour that inter-task SW parallelisation is sensitive to).
+    """
+    rng = random.Random(seed)
+    weights = None
+    if alphabet is PROTEIN:
+        weights = [PROTEIN_BACKGROUND[c] for c in PROTEIN.chars]
+    sequences = []
+    for index in range(count):
+        length = max(
+            8, int(rng.gauss(mean_length, spread * mean_length))
+        )
+        sequences.append(
+            random_sequence(
+                length, alphabet, rng,
+                name=f"{prefix}{index}", weights=weights,
+            )
+        )
+    return sequences

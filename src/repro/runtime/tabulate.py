@@ -1,0 +1,65 @@
+"""Serial bottom-up tabulation — the reference CPU evaluation.
+
+Dynamic programming "the obvious way" (Section 2): walk the domain in
+schedule order (every dependence lands in an earlier partition, so the
+order is safe by construction) and fill the table one cell at a time
+with the interpreted cell semantics. Slow but trustworthy; the
+compiled backend and the simulated device are tested against it, and
+the CPU baselines price exactly this execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.domain import Domain
+from ..lang.errors import RuntimeDslError
+from ..lang.typecheck import CheckedFunction
+from ..lang.types import IntType
+from ..schedule.schedule import Schedule
+from .interpreter import Evaluator, domain_extents
+from .values import Bindings
+
+
+def tabulate(
+    func: CheckedFunction,
+    bindings: Bindings,
+    schedule: Schedule,
+    domain: Optional[Domain] = None,
+    initial: Optional[Dict[str, int]] = None,
+) -> np.ndarray:
+    """Fill the whole DP table serially, in schedule order."""
+    if domain is None:
+        domain = Domain(
+            func.dim_names, domain_extents(func, bindings, initial)
+        )
+    is_int = isinstance(func.return_type, IntType)
+    table = np.zeros(
+        domain.extents, dtype=np.int64 if is_int else np.float64
+    )
+    filled = np.zeros(domain.extents, dtype=bool)
+
+    def on_call(args: Tuple[int, ...]):
+        if not domain.contains_tuple(args):
+            raise RuntimeDslError(
+                f"recursive call {func.name}{args} leaves the domain "
+                f"{domain}"
+            )
+        if not filled[args]:
+            raise RuntimeDslError(
+                f"cell {args} read before it was computed; the "
+                f"schedule {schedule} is not valid for {func.name!r}"
+            )
+        value = table[args]
+        return int(value) if is_int else float(value)
+
+    evaluator = Evaluator(func, bindings, on_call)
+    order = sorted(
+        domain.points(), key=schedule.partition_of
+    )
+    for cell in order:
+        table[cell] = evaluator.evaluate(cell)
+        filled[cell] = True
+    return table

@@ -1,0 +1,53 @@
+"""The sliding-window optimisation (Section 4.8).
+
+Partitioning bounds how far back a cell can look: with uniform descent
+functions, the cell at partition ``p`` only reads cells at partitions
+``p - w .. p - 1``, where
+
+    ``w = max over call sites of (S(x) - S(r(x))) = max_c sum_k a_k*c_k``
+
+(each call-site delta is the constant the validity criterion bounds
+above zero). The generated kernel then keeps only ``w + 1`` partitions
+of the table resident — small enough for on-chip shared memory on a
+GPU, which eliminates most global-memory latency.
+
+With general affine descents the look-back distance depends on the
+position in the domain and no constant window exists (the paper's
+restriction); :func:`window_size` returns ``None`` in that case.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..analysis.criteria import Criterion
+from .schedule import Schedule
+
+
+def window_size(
+    schedule: Schedule, criteria: Iterable[Criterion]
+) -> Optional[int]:
+    """Number of previous partitions any cell may reference.
+
+    ``None`` when a non-uniform descent makes the window unbounded
+    a priori. A recursion with no recursive calls has window 0.
+    """
+    coeffs = schedule.coefficient_map()
+    window = 0
+    for criterion in criteria:
+        if not criterion.is_uniform:
+            return None
+        # S(x) - S(r(x)) = sum(-a_k * c_k), a constant for uniform
+        # descents: exactly the criterion's min_delta.
+        window = max(window, criterion.min_delta(coeffs))
+    return window
+
+
+def window_rows(
+    schedule: Schedule, criteria: Iterable[Criterion]
+) -> Optional[int]:
+    """Table rows the kernel must keep resident (window + current)."""
+    size = window_size(schedule, criteria)
+    if size is None:
+        return None
+    return size + 1

@@ -1,0 +1,134 @@
+"""Tests for affine functions and abstract evaluation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.affine import Affine, affine_from_expr, vector_to_affine
+from repro.lang.errors import AnalysisError
+from repro.lang.parser import parse_expr
+
+
+def small_affines(dims=("x", "y", "z")):
+    coeff = st.integers(min_value=-5, max_value=5)
+    return st.builds(
+        lambda cs, const: Affine.of(dict(zip(dims, cs)), const),
+        st.tuples(*([coeff] * len(dims))),
+        st.integers(min_value=-10, max_value=10),
+    )
+
+
+def environments(dims=("x", "y", "z"), low=-8, high=8):
+    value = st.integers(min_value=low, max_value=high)
+    return st.fixed_dictionaries({d: value for d in dims})
+
+
+class TestConstruction:
+    def test_zero_coefficients_dropped(self):
+        affine = Affine.of({"x": 0, "y": 2})
+        assert affine.dims() == ("y",)
+
+    def test_equality_is_canonical(self):
+        assert Affine.of({"x": 1, "y": 2}) == Affine.of({"y": 2, "x": 1})
+
+    def test_constant(self):
+        affine = Affine.constant(7)
+        assert affine.is_constant
+        assert affine.const == 7
+
+    def test_variable(self):
+        affine = Affine.variable("i")
+        assert affine.coefficient("i") == 1
+        assert affine.coefficient("j") == 0
+
+
+class TestArithmetic:
+    @given(small_affines(), small_affines(), environments())
+    def test_addition_pointwise(self, a, b, env):
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+    @given(small_affines(), small_affines(), environments())
+    def test_subtraction_pointwise(self, a, b, env):
+        assert (a - b).evaluate(env) == a.evaluate(env) - b.evaluate(env)
+
+    @given(small_affines(), st.integers(-4, 4), environments())
+    def test_scaling_pointwise(self, a, k, env):
+        assert a.scale(k).evaluate(env) == k * a.evaluate(env)
+
+    @given(small_affines(), environments())
+    def test_negation(self, a, env):
+        assert (-a).evaluate(env) == -a.evaluate(env)
+
+    def test_substitute(self):
+        a = Affine.of({"x": 2, "y": 1}, 3)
+        result = a.substitute({"x": Affine.of({"t": 1}, -1)})
+        assert result == Affine.of({"t": 2, "y": 1}, 1)
+
+
+class TestBoxExtrema:
+    @given(small_affines())
+    def test_min_max_over_box_match_enumeration(self, a):
+        extents = {"x": 3, "y": 4, "z": 2}
+        values = [
+            a.evaluate({"x": x, "y": y, "z": z})
+            for x in range(3)
+            for y in range(4)
+            for z in range(2)
+        ]
+        assert a.min_over_box(extents) == min(values)
+        assert a.max_over_box(extents) == max(values)
+
+    def test_singleton_box(self):
+        a = Affine.of({"x": 5}, 1)
+        assert a.min_over_box({"x": 1}) == 1
+        assert a.max_over_box({"x": 1}) == 1
+
+
+class TestFromExpr:
+    def test_linear_expression(self):
+        affine = affine_from_expr(parse_expr("2*i - j + 3"), ["i", "j"])
+        assert affine == Affine.of({"i": 2, "j": -1}, 3)
+
+    def test_coefficient_on_right(self):
+        affine = affine_from_expr(parse_expr("i*3"), ["i"])
+        assert affine == Affine.of({"i": 3})
+
+    def test_nested_parens(self):
+        affine = affine_from_expr(parse_expr("(i - 1) - (j - 2)"), ["i", "j"])
+        assert affine == Affine.of({"i": 1, "j": -1}, 1)
+
+    def test_product_of_dims_is_not_affine(self):
+        assert affine_from_expr(parse_expr("i*j"), ["i", "j"]) is None
+
+    def test_division_is_not_affine(self):
+        assert affine_from_expr(parse_expr("i/2"), ["i"]) is None
+
+    def test_min_is_not_affine(self):
+        assert affine_from_expr(parse_expr("i min j"), ["i", "j"]) is None
+
+    def test_free_var_gives_none(self):
+        result = affine_from_expr(parse_expr("t + 1"), ["i"], free_vars=["t"])
+        assert result is None
+
+    def test_unknown_var_raises(self):
+        with pytest.raises(AnalysisError):
+            affine_from_expr(parse_expr("q + 1"), ["i"])
+
+    def test_vector_to_affine(self):
+        affine = vector_to_affine(["i", "j"], [1, -2], 5)
+        assert affine.coefficient("j") == -2
+        assert affine.const == 5
+
+    def test_vector_to_affine_length_mismatch(self):
+        with pytest.raises(ValueError):
+            vector_to_affine(["i"], [1, 2])
+
+
+class TestDisplay:
+    def test_str_simple(self):
+        assert str(Affine.of({"x": 1, "y": 1})) == "x + y"
+
+    def test_str_negative(self):
+        assert str(Affine.of({"x": 1}, -2)) == "x - 2"
+
+    def test_str_zero(self):
+        assert str(Affine.constant(0)) == "0"

@@ -1,0 +1,118 @@
+"""Tests for schedule validity criteria (Section 4.5)."""
+
+import pytest
+
+from repro.analysis.criteria import schedule_criteria
+from repro.lang.errors import ScheduleError
+from repro.lang.parser import parse_function
+from repro.lang.typecheck import check_function
+
+EN = {"en": "abcdefghijklmnopqrstuvwxyz"}
+DNA = {"dna": "acgt"}
+
+EDIT_DISTANCE = """
+int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i-1] == t[j-1] then d(i-1, j-1)
+  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1
+"""
+
+FORWARD = """
+prob forward(hmm h, state[h] s, seq[*] x, index[x] i) =
+  if i == 0 then (if s.isstart then 1.0 else 0.0)
+  else (if s.isend then 1.0 else s.emission[x[i-1]])
+    * sum(t in s.transitionsto : t.prob * forward(t.start, i - 1))
+"""
+
+
+def criteria_of(src, alphabets=EN):
+    func = check_function(parse_function(src.strip()), alphabets)
+    return schedule_criteria(func)
+
+
+class TestUniformCriteria:
+    def test_edit_distance_paper_equations(self):
+        """Section 2.3: S(x,y) > S(x-1,y), S(x,y-1), S(x-1,y-1)."""
+        criteria = criteria_of(EDIT_DISTANCE)
+        coeffs = {"i": 1, "j": 1}
+        # For S = i + j, the deltas are 1, 1, 2, 2 (one per call site).
+        deltas = sorted(c.min_delta(coeffs) for c in criteria)
+        assert deltas == [1, 1, 2, 2]
+        assert all(c.is_satisfied(coeffs) for c in criteria)
+
+    def test_invalid_schedule_detected(self):
+        criteria = criteria_of(EDIT_DISTANCE)
+        coeffs = {"i": 1, "j": -1}  # violates the d(i, j-1) dependence
+        assert not all(c.is_satisfied(coeffs) for c in criteria)
+
+    def test_uniform_needs_no_extents(self):
+        criteria = criteria_of(EDIT_DISTANCE)
+        for criterion in criteria:
+            assert not criterion.requires_extents
+
+    def test_2x_plus_y_also_valid_but_wider(self):
+        """Section 2.3: S = 2x + y is valid but has more partitions."""
+        criteria = criteria_of(EDIT_DISTANCE)
+        assert all(c.is_satisfied({"i": 2, "j": 1}) for c in criteria)
+
+    def test_zero_schedule_invalid(self):
+        criteria = criteria_of(EDIT_DISTANCE)
+        assert not any(c.is_satisfied({"i": 0, "j": 0}) for c in criteria)
+
+
+class TestFreeCriteria:
+    def test_forward_zero_state_coefficient_ok(self):
+        criteria = criteria_of(FORWARD, DNA)
+        (criterion,) = criteria
+        assert criterion.is_satisfied({"s": 0, "i": 1})
+
+    def test_forward_nonzero_state_coefficient_needs_extents(self):
+        (criterion,) = criteria_of(FORWARD, DNA)
+        with pytest.raises(ScheduleError, match="extents"):
+            criterion.is_satisfied({"s": 1, "i": 1})
+
+    def test_forward_with_extents_free_term(self):
+        (criterion,) = criteria_of(FORWARD, DNA)
+        # a_s = 1 over 5 states: worst case -(5-1); a_i = 1 gives +1.
+        assert criterion.min_delta({"s": 1, "i": 1},
+                                   {"s": 5, "i": 100}) == -3
+        # Large a_i can buy back validity: a_i = 5 > |a_s|*(Ns-1).
+        assert criterion.is_satisfied({"s": 1, "i": 5},
+                                      {"s": 5, "i": 100})
+
+
+class TestAffineCriteria:
+    def test_affine_descent_needs_extents(self):
+        criteria = criteria_of(
+            "int f(int x, int y) = if x == 0 then 0 else f(x - 1, x - y)"
+        )
+        (criterion,) = criteria
+        assert criterion.requires_extents
+        with pytest.raises(ScheduleError, match="extents"):
+            criterion.is_satisfied({"x": 1, "y": 1})
+
+    def test_affine_descent_zero_coefficient_needs_no_extents(self):
+        (criterion,) = criteria_of(
+            "int f(int x, int y) = if x == 0 then 0 else f(x - 1, x - y)"
+        )
+        # With a_y = 0 the affine component drops out entirely.
+        assert criterion.is_satisfied({"x": 1, "y": 0})
+
+    def test_affine_descent_with_extents(self):
+        (criterion,) = criteria_of(
+            "int f(int x, int y) = if x == 0 then 0 else f(x - 1, x - y)"
+        )
+        # delta = a_x*1 + a_y*(y - (x - y)) = a_x + a_y*(2y - x).
+        # With a = (1, 0): delta = 1 > 0 everywhere.
+        assert criterion.is_satisfied({"x": 1, "y": 0},
+                                      {"x": 10, "y": 10})
+        # With a = (1, 1): min delta = 1 + min(2y - x) = 1 - 9 < 0.
+        assert not criterion.is_satisfied({"x": 1, "y": 1},
+                                          {"x": 10, "y": 10})
+
+    def test_str_mentions_inequality(self):
+        (criterion,) = criteria_of(
+            "int f(int x) = if x == 0 then 0 else f(x - 1)"
+        )
+        assert "> 0" in str(criterion)

@@ -1,0 +1,95 @@
+"""Tests for descent-function extraction."""
+
+import pytest
+
+from repro.analysis.descent import extract_descents
+from repro.lang.errors import AnalysisError
+from repro.lang.parser import parse_function
+from repro.lang.typecheck import check_function
+
+EN = {"en": "abcdefghijklmnopqrstuvwxyz"}
+DNA = {"dna": "acgt"}
+
+EDIT_DISTANCE = """
+int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i-1] == t[j-1] then d(i-1, j-1)
+  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1
+"""
+
+FORWARD = """
+prob forward(hmm h, state[h] s, seq[*] x, index[x] i) =
+  if i == 0 then (if s.isstart then 1.0 else 0.0)
+  else (if s.isend then 1.0 else s.emission[x[i-1]])
+    * sum(t in s.transitionsto : t.prob * forward(t.start, i - 1))
+"""
+
+
+def descents_of(src, alphabets=EN):
+    func = check_function(parse_function(src.strip()), alphabets)
+    return extract_descents(func)
+
+
+class TestEditDistance:
+    def test_four_call_sites(self):
+        assert len(descents_of(EDIT_DISTANCE)) == 4
+
+    def test_all_uniform(self):
+        assert all(d.is_uniform for d in descents_of(EDIT_DISTANCE))
+
+    def test_offsets(self):
+        offsets = {d.uniform_offsets() for d in descents_of(EDIT_DISTANCE)}
+        assert offsets == {(-1, -1), (-1, 0), (0, -1)}
+
+    def test_component_lookup(self):
+        descent = descents_of(EDIT_DISTANCE)[0]
+        assert descent.component("i").uniform_offset == -1
+        with pytest.raises(KeyError):
+            descent.component("zz")
+
+
+class TestClassification:
+    def test_affine_component(self):
+        descents = descents_of(
+            "int f(int x, int y) = if x == 0 then 0 else f(x - 1, x - y)"
+        )
+        comp = descents[0].component("y")
+        assert comp.kind == "affine"
+        assert not descents[0].is_uniform
+
+    def test_identity_component_is_uniform_with_zero_offset(self):
+        descents = descents_of(
+            "int f(int x, int y) = if x == 0 then 0 else f(x - 1, y)"
+        )
+        assert descents[0].component("y").uniform_offset == 0
+
+    def test_forward_start_is_free(self):
+        descents = descents_of(FORWARD, DNA)
+        assert len(descents) == 1
+        comp = descents[0].component("s")
+        assert comp.is_free
+        assert descents[0].component("i").uniform_offset == -1
+
+    def test_free_via_reduce_binder(self):
+        assert descents_of(FORWARD, DNA)[0].has_free
+
+    def test_min_in_descent_rejected_as_nonaffine(self):
+        with pytest.raises(AnalysisError, match="not an affine"):
+            descents_of(
+                "int f(int x, int y) = if x == 0 then 0 else "
+                "f(x - 1, x min y)"
+            )
+
+    def test_nonaffine_product_rejected(self):
+        with pytest.raises(AnalysisError, match="affine"):
+            descents_of(
+                "int f(int x, int y) = if x == 0 then 0 else f(x - 1, x*y)"
+            )
+
+    def test_no_recursion_no_descents(self):
+        assert descents_of("int f(int n) = n + 1") == ()
+
+    def test_str_of_descent(self):
+        descent = descents_of(EDIT_DISTANCE)[0]
+        assert "i" in str(descent)

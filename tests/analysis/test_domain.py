@@ -1,0 +1,58 @@
+"""Tests for the box recursion domain."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.domain import Domain
+
+
+class TestConstruction:
+    def test_of_keeps_order(self):
+        domain = Domain.of(i=3, j=4)
+        assert domain.dims == ("i", "j")
+        assert domain.extents == (3, 4)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Domain(("i",), (1, 2))
+
+    def test_empty_extent_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Domain.of(i=0)
+
+
+class TestQueries:
+    def test_size(self):
+        assert Domain.of(i=3, j=4, k=2).size == 24
+
+    def test_rank(self):
+        assert Domain.of(i=3).rank == 1
+
+    def test_points_count_matches_size(self):
+        domain = Domain.of(i=3, j=2)
+        assert len(list(domain.points())) == domain.size
+
+    def test_points_lexicographic(self):
+        assert list(Domain.of(i=2, j=2).points()) == [
+            (0, 0), (0, 1), (1, 0), (1, 1)
+        ]
+
+    def test_contains(self):
+        domain = Domain.of(i=3, j=4)
+        assert domain.contains({"i": 2, "j": 3})
+        assert not domain.contains({"i": 3, "j": 0})
+        assert not domain.contains({"i": -1, "j": 0})
+
+    def test_contains_tuple(self):
+        domain = Domain.of(i=3)
+        assert domain.contains_tuple((2,))
+        assert not domain.contains_tuple((3,))
+
+    @given(st.lists(st.integers(1, 5), min_size=1, max_size=4))
+    def test_all_points_contained(self, extents):
+        dims = tuple(f"x{k}" for k in range(len(extents)))
+        domain = Domain(dims, tuple(extents))
+        assert all(domain.contains_tuple(p) for p in domain.points())
+
+    def test_str(self):
+        assert "0 <= i < 3" in str(Domain.of(i=3))

@@ -1,0 +1,129 @@
+"""Tests for the gene-finder case study (Section 6.2)."""
+
+import math
+
+import pytest
+
+from repro.apps.baselines.hmm_tools import (
+    HmmocBaseline,
+    forward_reference,
+)
+from repro.apps.gene_finder import GeneFinder, build_gene_finder_hmm
+from repro.ir.kernel import build_kernel
+from repro.runtime.engine import Engine
+from repro.runtime.sequences import random_dna
+from repro.schedule.schedule import Schedule
+
+
+@pytest.fixture(scope="module")
+def finder():
+    return GeneFinder()
+
+
+class TestModel:
+    def test_structure(self):
+        hmm = build_gene_finder_hmm()
+        assert hmm.n_states == 6
+        assert hmm.start_state.name == "begin"
+        names = {s.name for s in hmm.states}
+        assert {"intergenic", "codon1", "codon2", "codon3"} <= names
+
+    def test_transition_mass_conserved(self):
+        hmm = build_gene_finder_hmm()
+        for state in hmm.states:
+            if state.is_end:
+                continue
+            total = sum(t.prob for t in hmm.transitions_from(state))
+            assert total == pytest.approx(1.0)
+
+    def test_emissions_are_distributions(self):
+        hmm = build_gene_finder_hmm()
+        for state in hmm.states:
+            if state.is_silent:
+                continue
+            assert sum(p for _, p in state.emissions) == pytest.approx(
+                1.0
+            )
+
+
+class TestLikelihoods:
+    def test_matches_numpy_reference(self, finder):
+        seq = random_dna(60, seed=1)
+        assert finder.likelihood(seq) == pytest.approx(
+            forward_reference(finder.hmm, seq), rel=1e-9
+        )
+
+    def test_log_likelihood_no_underflow(self, finder):
+        seq = random_dna(3000, seed=2)
+        loglik = finder.log_likelihood(seq)
+        assert -1e7 < loglik < 0.0
+        assert math.isfinite(loglik)
+
+    def test_schedule_is_sequence_position(self, finder):
+        seq = random_dna(40, seed=3)
+        run = finder.engine.run(
+            finder.func, {"h": finder.hmm, "x": seq}
+        )
+        assert run.schedule == Schedule.of(s=0, i=1)
+
+    def test_scan_batches(self, finder):
+        seqs = [random_dna(30, seed=k) for k in range(5)]
+        result = finder.scan(seqs)
+        assert len(result.likelihoods) == 5
+        singles = [finder.likelihood(s) for s in seqs]
+        for got, want in zip(result.likelihoods, singles):
+            assert got == pytest.approx(want, rel=1e-9)
+
+    def test_likelihood_decreases_with_length(self, finder):
+        """Every extra symbol multiplies by probabilities < 1, so a
+        prefix is always more probable than its extension."""
+        from repro.runtime.values import DNA, Sequence
+
+        full = random_dna(200, seed=7)
+        prefix = Sequence(full.text[:80], DNA)
+        assert finder.log_likelihood(prefix) > (
+            finder.log_likelihood(full)
+        )
+
+    def test_background_composition_scores_higher(self, finder):
+        """The model is AT-biased overall; an AT-rich sequence must
+        outscore a GC-rich one of equal length."""
+        at_rich = random_dna(150, seed=11, gc_bias=0.15)
+        gc_rich = random_dna(150, seed=11, gc_bias=0.85)
+        assert finder.log_likelihood(at_rich) > (
+            finder.log_likelihood(gc_rich)
+        )
+
+
+class TestBaselineComparison:
+    def test_hmmoc_functional_agrees(self, finder):
+        seqs = [random_dna(25, seed=k) for k in range(3)]
+        kernel = build_kernel(finder.func, Schedule.of(s=0, i=1))
+        baseline = HmmocBaseline(kernel)
+        ours = [finder.likelihood(s) for s in seqs]
+        theirs = baseline.run(finder.hmm, seqs)
+        for a, b in zip(ours, theirs):
+            assert a == pytest.approx(b, rel=1e-9)
+
+    def test_gpu_speedup_at_scale(self, finder):
+        """Figure 13: ~x60 over HMMoC at large database sizes."""
+        from repro.analysis.domain import Domain
+        from repro.gpu.spec import GTX480
+        from repro.gpu.timing import kernel_cost
+
+        hmm = finder.hmm
+        kernel = build_kernel(
+            finder.func, Schedule.of(s=0, i=1), "logspace"
+        )
+        baseline = HmmocBaseline(kernel)
+        n_seqs, length = 10_000, 500
+        cpu = baseline.seconds(hmm, [length] * n_seqs)
+        per_problem = kernel_cost(
+            kernel,
+            Domain.of(s=hmm.n_states, i=length + 1),
+            GTX480,
+            mean_degree=hmm.mean_in_degree(),
+        ).seconds
+        gpu = per_problem * n_seqs / GTX480.sm_count
+        speedup = cpu / gpu
+        assert speedup > 10, speedup

@@ -1,0 +1,99 @@
+"""Tests for posterior decoding (forward x backward)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.hmm_algorithms import backward_function
+from repro.apps.posterior import PosteriorDecoder
+from repro.analysis.domain import Domain
+from repro.extensions.hmm import HmmBuilder
+from repro.lang.errors import RuntimeDslError
+from repro.runtime.sequences import random_dna
+from repro.runtime.values import DNA, Sequence
+from repro.schedule.schedule import Schedule
+from repro.schedule.solver import find_schedule
+
+
+def two_state_hmm():
+    return (
+        HmmBuilder("h", DNA)
+        .start("b")
+        .add_state("at_rich", {"a": 0.4, "c": 0.1, "g": 0.1, "t": 0.4})
+        .add_state("gc_rich", {"a": 0.1, "c": 0.4, "g": 0.4, "t": 0.1})
+        .end("e")
+        .transition("b", "at_rich", 0.5)
+        .transition("b", "gc_rich", 0.5)
+        .transition("at_rich", "at_rich", 0.8)
+        .transition("at_rich", "gc_rich", 0.15)
+        .transition("at_rich", "e", 0.05)
+        .transition("gc_rich", "gc_rich", 0.8)
+        .transition("gc_rich", "at_rich", 0.15)
+        .transition("gc_rich", "e", 0.05)
+        .build()
+    )
+
+
+@pytest.fixture(scope="module")
+def decoder():
+    return PosteriorDecoder(two_state_hmm())
+
+
+class TestBackwardSchedule:
+    def test_negative_coefficient_derived(self):
+        func = backward_function()
+        schedule = find_schedule(func, Domain.of(s=4, i=12, n=12))
+        assert schedule == Schedule.of(s=0, i=-1, n=0)
+
+
+class TestPosteriors:
+    def test_positions_sum_to_one(self, decoder):
+        seq = Sequence("aattggccaatt", DNA)
+        result = decoder.decode(seq)
+        for position in range(1, len(seq)):
+            total = result.posteriors[:, position].sum()
+            assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_probabilities_in_unit_interval(self, decoder):
+        result = decoder.decode(random_dna(20, seed=2))
+        assert (result.posteriors >= -1e-12).all()
+        assert (result.posteriors <= 1 + 1e-12).all()
+
+    def test_at_rich_region_decoded(self, decoder):
+        """A long AT block should decode to the AT-rich state."""
+        seq = Sequence("aattaattaatt" + "ggccggccggcc", DNA)
+        result = decoder.decode(seq)
+        path = result.state_path()
+        assert path[2] == "at_rich"
+        assert path[-3] == "gc_rich"
+
+    def test_probability_of_lookup(self, decoder):
+        seq = Sequence("aaaa", DNA)
+        result = decoder.decode(seq)
+        at = result.probability_of("at_rich", 2)
+        gc = result.probability_of("gc_rich", 2)
+        assert at > gc
+        assert at + gc == pytest.approx(1.0, abs=1e-9)
+
+    def test_likelihood_matches_forward(self, decoder):
+        from repro.apps.baselines.hmm_tools import forward_reference
+
+        seq = random_dna(15, seed=5)
+        result = decoder.decode(seq)
+        assert result.likelihood == pytest.approx(
+            forward_reference(decoder.hmm, seq), rel=1e-9
+        )
+
+    def test_zero_likelihood_rejected(self):
+        hmm = (
+            HmmBuilder("h", DNA)
+            .start("b")
+            .add_state("only_a", {"a": 1.0})
+            .end("e")
+            .transition("b", "only_a", 1.0)
+            .transition("only_a", "only_a", 0.5)
+            .transition("only_a", "e", 0.5)
+            .build()
+        )
+        decoder = PosteriorDecoder(hmm)
+        with pytest.raises(RuntimeDslError, match="zero likelihood"):
+            decoder.decode(Sequence("ccc", DNA))

@@ -1,0 +1,123 @@
+"""Tests for the Smith-Waterman case study (Section 6.1)."""
+
+import pytest
+
+from repro.apps.baselines.ssearch import SSearchBaseline, sw_score
+from repro.apps.smith_waterman import (
+    SmithWaterman,
+    smith_waterman_function,
+)
+from repro.runtime.engine import Engine
+from repro.runtime.sequences import random_database, random_protein
+from repro.runtime.values import PROTEIN, Sequence
+from repro.schedule.schedule import Schedule
+from repro.schedule.solver import find_schedule
+from repro.analysis.domain import Domain
+
+
+@pytest.fixture(scope="module")
+def sw():
+    return SmithWaterman()
+
+
+def reference(sw, query, target):
+    return sw_score(
+        query,
+        target,
+        sw.matrix.scores,
+        sw.matrix.row_alphabet.index_table(),
+        sw.matrix.col_alphabet.index_table(),
+        gap=sw.gap,
+    )
+
+
+class TestSchedule:
+    def test_diagonal_derived_automatically(self):
+        """Section 6.1: 'the expected parallelisation is along the
+        diagonal x + y' — and the tool derives it with no user input."""
+        func = smith_waterman_function()
+        schedule = find_schedule(func, Domain.of(i=50, j=80))
+        assert schedule == Schedule.of(i=1, j=1)
+
+
+class TestScores:
+    def test_self_alignment_is_sum_of_diagonal(self, sw):
+        seq = Sequence("ARNDC", PROTEIN)
+        expected = sum(sw.matrix.score(c, c) for c in seq.text)
+        assert sw.align(seq, seq).value == expected
+
+    def test_empty_query(self, sw):
+        assert sw.align(
+            Sequence("", PROTEIN), Sequence("ARN", PROTEIN)
+        ).value == 0
+
+    def test_disjoint_sequences_score_zero_floor(self, sw):
+        # Score never goes negative (local alignment).
+        a = Sequence("WWWW", PROTEIN)
+        b = Sequence("GGGG", PROTEIN)
+        assert sw.align(a, b).value >= 0
+
+    def test_matches_reference_on_random_pairs(self, sw):
+        for seed in range(5):
+            q = random_protein(25 + seed, seed=seed)
+            d = random_protein(40, seed=100 + seed)
+            assert sw.align(q, d).value == reference(sw, q, d)
+
+    def test_local_beats_substring(self, sw):
+        # Embedding the query inside junk must preserve its self-score.
+        q = Sequence("HWKYN", PROTEIN)
+        target = Sequence("GGGG" + q.text + "AAAA", PROTEIN)
+        assert sw.align(q, target).value >= sum(
+            sw.matrix.score(c, c) for c in q.text
+        )
+
+
+class TestSearch:
+    def test_search_matches_per_pair_alignment(self, sw):
+        q = random_protein(20, seed=1)
+        db = random_database(6, 30, seed=2)
+        result = sw.search(q, db)
+        expected = [reference(sw, q, t) for t in db]
+        assert [int(v) for v in result.values] == expected
+
+    def test_hits_sorted_by_score(self, sw):
+        q = random_protein(20, seed=3)
+        db = random_database(8, 30, seed=4)
+        hits = sw.hits(q, db, top=5)
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_planted_hit_ranks_first(self, sw):
+        q = random_protein(18, seed=5)
+        db = random_database(8, 30, seed=6)
+        planted = Sequence("AAA" + q.text + "GGG", PROTEIN,
+                           name="planted")
+        hits = sw.hits(q, list(db) + [planted], top=1)
+        assert hits[0].target.name == "planted"
+
+
+class TestBaselineModel:
+    def test_ssearch_linear_in_query(self):
+        baseline = SSearchBaseline()
+        db = [300] * 100
+        assert baseline.seconds(800, db) == pytest.approx(
+            4 * baseline.seconds(200, db)
+        )
+
+    def test_gpu_faster_than_cpu_at_scale(self, sw):
+        """Figure 12's headline: ours comfortably beats ssearch."""
+        baseline = SSearchBaseline()
+        db_lengths = [300] * 2000
+        query_len = 400
+        cpu = baseline.seconds(query_len, db_lengths)
+        func = sw.func
+        from repro.gpu.timing import kernel_cost
+        from repro.gpu.spec import GTX480
+        from repro.ir.kernel import build_kernel
+
+        kernel = build_kernel(func, Schedule.of(i=1, j=1))
+        per_problem = kernel_cost(
+            kernel, Domain.of(i=query_len + 1, j=301), GTX480
+        ).seconds
+        gpu_makespan = per_problem * len(db_lengths) / GTX480.sm_count
+        assert gpu_makespan < cpu

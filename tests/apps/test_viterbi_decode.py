@@ -1,0 +1,131 @@
+"""Tests for Viterbi decoding against brute-force path enumeration."""
+
+import itertools
+
+import pytest
+
+from repro.apps.viterbi_decode import ViterbiDecoder
+from repro.extensions.hmm import Hmm, HmmBuilder
+from repro.lang.errors import RuntimeDslError
+from repro.runtime.sequences import random_dna
+from repro.runtime.values import DNA, Sequence
+
+
+def two_state_hmm():
+    return (
+        HmmBuilder("h", DNA)
+        .start("b")
+        .add_state("at", {"a": 0.45, "c": 0.05, "g": 0.05, "t": 0.45})
+        .add_state("gc", {"a": 0.05, "c": 0.45, "g": 0.45, "t": 0.05})
+        .end("e")
+        .transition("b", "at", 0.5)
+        .transition("b", "gc", 0.5)
+        .transition("at", "at", 0.85)
+        .transition("at", "gc", 0.1)
+        .transition("at", "e", 0.05)
+        .transition("gc", "gc", 0.85)
+        .transition("gc", "at", 0.1)
+        .transition("gc", "e", 0.05)
+        .build()
+    )
+
+
+def brute_force_best(seq: Sequence, hmm: Hmm):
+    """Enumerate all state paths under Figure 11's conventions.
+
+    A path assigns a state to every position 1..n; the end state is
+    silent and must close the path. Returns (probability, names).
+    """
+    def path_prob(states):
+        prob = 1.0
+        previous = hmm.start_state.index
+        for position, index in enumerate(states, start=1):
+            edges = [
+                t for t in hmm.transitions
+                if t.source == previous and t.target == index
+            ]
+            if not edges:
+                return 0.0
+            prob *= edges[0].prob
+            state = hmm.states[index]
+            if not state.is_end:
+                prob *= state.emission(seq[position - 1])
+            previous = index
+        if not hmm.states[states[-1]].is_end:
+            return 0.0
+        return prob
+
+    best, best_path = 0.0, None
+    ids = [s.index for s in hmm.states]
+    for combo in itertools.product(ids, repeat=len(seq)):
+        p = path_prob(combo)
+        if p > best:
+            best, best_path = p, combo
+    names = [
+        hmm.states[s].name
+        for s in best_path
+        if not hmm.states[s].is_end
+    ]
+    return best, names
+
+
+@pytest.fixture(scope="module")
+def decoder():
+    return ViterbiDecoder(two_state_hmm())
+
+
+class TestViterbi:
+    def test_probability_matches_brute_force(self, decoder):
+        seq = Sequence("aattgg", DNA)
+        result = decoder.decode(seq)
+        best, _ = brute_force_best(seq, decoder.hmm)
+        assert result.probability == pytest.approx(best, rel=1e-12)
+
+    def test_path_matches_brute_force(self, decoder):
+        seq = Sequence("aattggcc", DNA)
+        result = decoder.decode(seq)
+        _, names = brute_force_best(seq, decoder.hmm)
+        assert result.path == names
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_sequences(self, decoder, seed):
+        seq = random_dna(6, seed=seed)
+        result = decoder.decode(seq)
+        best, names = brute_force_best(seq, decoder.hmm)
+        assert result.probability == pytest.approx(best, rel=1e-12)
+        assert result.path == names
+
+    def test_segmentation_shape(self, decoder):
+        """AT block then GC block should decode as such."""
+        seq = Sequence("aatataat" + "gcgcggcg", DNA)
+        result = decoder.decode(seq)
+        assert result.path[0] == "at"
+        assert result.path[-1] == "gc"
+
+    def test_viterbi_bounded_by_forward(self, decoder):
+        from repro.apps.baselines.hmm_tools import forward_reference
+
+        seq = random_dna(12, seed=9)
+        result = decoder.decode(seq)
+        assert result.probability <= forward_reference(
+            decoder.hmm, seq
+        ) * (1 + 1e-12)
+
+    def test_zero_probability_rejected(self):
+        hmm = (
+            HmmBuilder("h", DNA)
+            .start("b")
+            .add_state("only_a", {"a": 1.0})
+            .end("e")
+            .transition("b", "only_a", 1.0)
+            .transition("only_a", "only_a", 0.5)
+            .transition("only_a", "e", 0.5)
+            .build()
+        )
+        decoder = ViterbiDecoder(hmm)
+        with pytest.raises(RuntimeDslError, match="zero probability"):
+            decoder.decode(Sequence("gg", DNA))
+
+    def test_str(self, decoder):
+        result = decoder.decode(Sequence("aa", DNA))
+        assert "at" in str(result)

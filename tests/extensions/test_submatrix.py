@@ -1,0 +1,76 @@
+"""Tests for the substitution matrix extension (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.submatrix import SubstitutionMatrix, blosum62
+from repro.lang.errors import RuntimeDslError
+from repro.lang.parser import parse_program
+from repro.runtime.values import Alphabet, PROTEIN
+
+AB = Alphabet("ab", "ab")
+
+
+class TestConstruction:
+    def test_match_mismatch(self):
+        matrix = SubstitutionMatrix.match_mismatch("m", AB, 2, -1)
+        assert matrix.score("a", "a") == 2
+        assert matrix.score("a", "b") == -1
+
+    def test_from_scores_symmetric(self):
+        matrix = SubstitutionMatrix.from_scores(
+            "m", AB, {("a", "b"): 5}, default=0
+        )
+        assert matrix.score("a", "b") == 5
+        assert matrix.score("b", "a") == 5
+        assert matrix.score("a", "a") == 0
+
+    def test_from_scores_asymmetric(self):
+        matrix = SubstitutionMatrix.from_scores(
+            "m", AB, {("a", "b"): 5}, default=0, symmetric=False
+        )
+        assert matrix.score("b", "a") == 0
+
+    def test_shape_validation(self):
+        with pytest.raises(RuntimeDslError, match="shape"):
+            SubstitutionMatrix("m", AB, AB, np.zeros((3, 2)))
+
+    def test_from_decl(self):
+        program = parse_program(
+            'alphabet ab = "ab"\n'
+            "matrix cost[ab, ab] {\n"
+            "  header a b\n  default 9\n  row a : 0 1\n}"
+        )
+        decl = program.statements[1]
+        matrix = SubstitutionMatrix.from_decl(decl, {"ab": AB})
+        assert matrix.score("a", "b") == 1
+        assert matrix.score("b", "a") == 9  # default fills missing row
+
+    def test_to_dsl_roundtrip(self):
+        matrix = SubstitutionMatrix.match_mismatch("cost", AB, 3, -2)
+        text = matrix.to_dsl()
+        program = parse_program(f'alphabet ab = "ab"\n{text}')
+        again = SubstitutionMatrix.from_decl(
+            program.statements[1], {"ab": AB}
+        )
+        assert (again.scores == matrix.scores).all()
+
+
+class TestBlosum62:
+    def test_known_values(self):
+        matrix = blosum62()
+        assert matrix.score("W", "W") == 11
+        assert matrix.score("A", "A") == 4
+        assert matrix.score("W", "A") == -3
+
+    def test_symmetric(self):
+        matrix = blosum62()
+        for a in PROTEIN.chars[:8]:
+            for b in PROTEIN.chars[:8]:
+                assert matrix.score(a, b) == matrix.score(b, a)
+
+    def test_diagonal_positive(self):
+        matrix = blosum62()
+        assert all(
+            matrix.score(c, c) > 0 for c in PROTEIN.chars
+        )

@@ -1,0 +1,95 @@
+"""Tests for the lock-step executor: barriers and race detection."""
+
+import pytest
+
+from repro.analysis.domain import Domain
+from repro.gpu.executor import LockStepExecutor, RaceError
+from repro.lang.parser import parse_function
+from repro.lang.typecheck import check_function
+from repro.runtime.interpreter import memoised
+from repro.runtime.values import Bindings, ENGLISH, Sequence
+from repro.schedule.schedule import Schedule
+
+EN = {"en": ENGLISH.chars}
+
+EDIT_DISTANCE = """
+int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i-1] == t[j-1] then d(i-1, j-1)
+  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1
+"""
+
+
+def setup(s_text="abcab", t_text="bcab"):
+    func = check_function(parse_function(EDIT_DISTANCE.strip()), EN)
+    s = Sequence(s_text, ENGLISH)
+    t = Sequence(t_text, ENGLISH)
+    bindings = Bindings({"s": s, "t": t})
+    domain = Domain.of(i=len(s) + 1, j=len(t) + 1)
+    return func, bindings, domain
+
+
+class TestValidSchedules:
+    def test_diagonal_executes_cleanly(self):
+        func, bindings, domain = setup()
+        executor = LockStepExecutor(
+            func, Schedule.of(i=1, j=1), bindings, domain
+        )
+        table = executor.run()
+        oracle = memoised(func, bindings)
+        for point in domain.points():
+            assert table[point] == oracle(point)
+
+    def test_skewed_schedule_also_valid(self):
+        func, bindings, domain = setup()
+        executor = LockStepExecutor(
+            func, Schedule.of(i=2, j=1), bindings, domain
+        )
+        table = executor.run()
+        oracle = memoised(func, bindings)
+        assert table[domain.extents[0] - 1, domain.extents[1] - 1] == (
+            oracle((domain.extents[0] - 1, domain.extents[1] - 1))
+        )
+
+
+class TestInvalidSchedules:
+    def test_single_axis_races(self):
+        """S = i puts d(i, j-1) in the same partition as (i, j)."""
+        func, bindings, domain = setup()
+        executor = LockStepExecutor(
+            func, Schedule.of(i=1, j=0), bindings, domain
+        )
+        with pytest.raises(RaceError):
+            executor.run()
+
+    def test_reversed_schedule_reads_unwritten(self):
+        """S = -(i+j) runs the partitions backwards."""
+        func, bindings, domain = setup()
+        executor = LockStepExecutor(
+            func, Schedule.of(i=-1, j=-1), bindings, domain
+        )
+        with pytest.raises(RaceError):
+            executor.run()
+
+    def test_agreement_with_algebraic_criteria(self):
+        """Lock-step acceptance == criteria satisfaction, across many
+        candidate schedules (the paper's condition (1) made
+        executable)."""
+        from repro.analysis.criteria import schedule_criteria
+
+        func, bindings, domain = setup("abc", "cba")
+        criteria = schedule_criteria(func)
+        for coeffs in [
+            (1, 1), (1, 2), (2, 1), (3, 1), (1, 0), (0, 1),
+            (1, -1), (-1, 1), (2, 2),
+        ]:
+            schedule = Schedule(("i", "j"), coeffs)
+            executor = LockStepExecutor(func, schedule, bindings, domain)
+            algebraic = schedule.is_valid(criteria)
+            try:
+                executor.run()
+                executed = True
+            except RaceError:
+                executed = False
+            assert executed == algebraic, coeffs

@@ -1,0 +1,52 @@
+"""Tests for the device/CPU specifications."""
+
+import pytest
+
+from repro.gpu.spec import (
+    CpuSpec,
+    DeviceSpec,
+    GTX480,
+    XEON_E5520,
+    XEON_E5520_SSE,
+)
+
+
+class TestDeviceSpec:
+    def test_gtx480_shape(self):
+        assert GTX480.sm_count == 15
+        assert GTX480.warp_size == 32
+        assert GTX480.shared_memory_bytes == 48 * 1024
+
+    def test_transfer_seconds_has_latency_floor(self):
+        tiny = GTX480.transfer_seconds(1)
+        assert tiny >= GTX480.transfer_latency_s
+
+    def test_transfer_seconds_scales(self):
+        one_mb = GTX480.transfer_seconds(1e6)
+        ten_mb = GTX480.transfer_seconds(1e7)
+        assert ten_mb > one_mb
+        assert ten_mb - one_mb == pytest.approx(9e6 / GTX480.transfer_bandwidth)
+
+    def test_memory_hierarchy_ordering(self):
+        assert GTX480.shared_read_cycles < GTX480.global_read_cycles
+        assert GTX480.shared_write_cycles < GTX480.global_write_cycles
+
+    def test_custom_spec(self):
+        spec = DeviceSpec(sm_count=2, warp_size=16)
+        assert spec.sm_count == 2
+
+
+class TestCpuSpec:
+    def test_scalar_speedup_is_one(self):
+        assert XEON_E5520.effective_speedup() == 1.0
+
+    def test_sse_configuration_speedup(self):
+        assert XEON_E5520_SSE.effective_speedup() > 10
+
+    def test_speedup_floor(self):
+        spec = CpuSpec(simd_width=1, threads=1)
+        assert spec.effective_speedup() == 1.0
+
+    def test_clock_rates_match_testbed(self):
+        assert GTX480.clock_hz == pytest.approx(1.40e9)
+        assert XEON_E5520.clock_hz == pytest.approx(2.26e9)

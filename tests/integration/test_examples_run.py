@@ -1,0 +1,43 @@
+"""Every shipped example stays runnable, end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=[e.stem for e in EXAMPLES]
+)
+def test_example_runs_cleanly(example):
+    completed = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must narrate"
+    # Examples self-check against references; any mismatch marker in
+    # their output is a failure even if they exited 0.
+    for marker in ("MISMATCH", "BAD", "Traceback"):
+        assert marker not in completed.stdout, completed.stdout
+
+
+def test_expected_examples_present():
+    names = {e.stem for e in EXAMPLES}
+    assert {
+        "quickstart",
+        "smith_waterman_search",
+        "gene_finding",
+        "profile_search",
+        "codegen_tour",
+        "dsl_script",
+        "rna_folding",
+        "mutual_recursion",
+        "posterior_decoding",
+    } <= names

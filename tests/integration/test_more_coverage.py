@@ -1,0 +1,170 @@
+"""Additional cross-cutting coverage: coupled HMM groups, cost-model
+properties, script-level conveniences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.domain import Domain
+from repro.extensions.hmm import HmmBuilder
+from repro.gpu.spec import GTX480
+from repro.gpu.timing import kernel_cost, partition_sizes
+from repro.ir.kernel import build_kernel
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import check_program
+from repro.runtime.mutual import solve_mutual
+from repro.runtime.values import Bindings, DNA, Sequence
+from repro.schedule.schedule import Schedule
+
+
+class TestCoupledHmmGroup:
+    """A mutual group whose cross-descents include free (HMM-field)
+    components: two coupled forward-style recursions that hand control
+    to each other every position."""
+
+    SRC = '''
+alphabet dna = "acgt"
+
+prob fa(hmm h, state[h] s, seq[*] x, index[x] i) =
+  if i == 0 then (if s.isstart then 1.0 else 0.0)
+  else (if s.isend then 1.0 else s.emission[x[i-1]])
+    * sum(t in s.transitionsto : t.prob * fb(t.start, i - 1))
+
+prob fb(hmm h, state[h] s, seq[*] x, index[x] i) =
+  if i == 0 then (if s.isstart then 1.0 else 0.0)
+  else (if s.isend then 1.0 else s.emission[x[i-1]])
+    * sum(t in s.transitionsto : t.prob * fa(t.start, i - 1))
+'''
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        checked = check_program(parse_program(self.SRC))
+        funcs = {n: checked.function(n) for n in ("fa", "fb")}
+        hmm = (
+            HmmBuilder("h", DNA)
+            .start("b")
+            .add_state("m", {"a": 0.5, "c": 0.2, "g": 0.2, "t": 0.1})
+            .end("e")
+            .transition("b", "m", 1.0)
+            .transition("m", "m", 0.9)
+            .transition("m", "e", 0.1)
+            .build()
+        )
+        x = Sequence("acgta", DNA)
+        bindings = {
+            n: Bindings({"h": hmm, "x": x}) for n in funcs
+        }
+        return funcs, bindings, hmm, x
+
+    def test_schedules_found_and_race_free(self, setup):
+        funcs, bindings, hmm, x = setup
+        result = solve_mutual(funcs, bindings, engine="lockstep")
+        # Free state components force zero state coefficients; both
+        # functions schedule on the position.
+        for name in funcs:
+            coeffs = result.mutual[name].schedule.coefficient_map()
+            assert coeffs["s"] == 0
+            assert coeffs["i"] != 0
+
+    def test_alternation_semantics(self, setup):
+        """fa at even depth uses fb's values: since both recursions
+        are symmetric here, fa == fb cell for cell."""
+        funcs, bindings, hmm, x = setup
+        result = solve_mutual(funcs, bindings, engine="serial")
+        assert np.allclose(result.tables["fa"], result.tables["fb"])
+
+    def test_matches_single_function_forward(self, setup):
+        """The symmetric coupled pair equals the plain forward."""
+        from repro.apps.hmm_algorithms import forward_function
+        from repro.runtime.interpreter import memoised
+
+        funcs, bindings, hmm, x = setup
+        result = solve_mutual(funcs, bindings, engine="serial")
+        oracle = memoised(
+            forward_function(), Bindings({"h": hmm, "x": x})
+        )
+        for s in range(hmm.n_states):
+            for i in range(len(x) + 1):
+                assert result.tables["fa"][s, i] == pytest.approx(
+                    oracle((s, i))
+                )
+
+
+class TestCostModelProperties:
+    @pytest.fixture(scope="class")
+    def kernel(self):
+        from repro.apps.smith_waterman import smith_waterman_function
+
+        return build_kernel(
+            smith_waterman_function(), Schedule.of(i=1, j=1)
+        )
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        n=st.integers(8, 300),
+        grow=st.integers(1, 100),
+    )
+    def test_cost_monotone_in_domain(self, kernel, n, grow):
+        small = kernel_cost(
+            kernel, Domain.of(i=n, j=n), GTX480
+        ).seconds
+        large = kernel_cost(
+            kernel, Domain.of(i=n + grow, j=n + grow), GTX480
+        ).seconds
+        assert large > small
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        coeffs=st.tuples(st.integers(-3, 3), st.integers(-3, 3)),
+        extents=st.tuples(st.integers(1, 20), st.integers(1, 20)),
+    )
+    def test_partition_sizes_conserve_cells(self, coeffs, extents):
+        schedule = Schedule(("i", "j"), coeffs)
+        domain = Domain(("i", "j"), extents)
+        sizes = partition_sizes(schedule, domain)
+        assert int(sizes.sum()) == domain.size
+
+    def test_sync_cost_proportional_to_partitions(self, kernel):
+        domain = Domain.of(i=65, j=65)
+        diag = kernel_cost(kernel, domain, GTX480)
+        assert diag.sync_cycles == pytest.approx(
+            diag.partitions * GTX480.sync_cycles
+        )
+
+
+class TestScriptConveniences:
+    def test_print_map_result_variable(self, tmp_path):
+        from repro.runtime.program import run_script
+        from repro.runtime.sequences import random_database, write_fasta
+
+        db = random_database(3, 10, alphabet=DNA, seed=8)
+        path = tmp_path / "db.fa"
+        write_fasta(path, db)
+        script = (
+            'alphabet dna = "acgt"\n'
+            "int d(seq[dna] s, index[s] i, seq[dna] t, index[t] j) =\n"
+            "  if i == 0 then j else if j == 0 then i\n"
+            "  else if s[i-1] == t[j-1] then d(i-1, j-1)\n"
+            "  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1\n"
+            f'load db = fasta("{path}")\n'
+            'let q = "acgt"\n'
+            "map scores = d(q, |q|, _, |_|) over db\n"
+            "print scores\n"
+        )
+        result = run_script(script)
+        assert isinstance(result.last, list)
+        assert len(result.last) == 3
+
+    def test_len_of_loaded_collection(self, tmp_path):
+        from repro.runtime.program import run_script
+        from repro.runtime.sequences import random_database, write_fasta
+
+        db = random_database(4, 10, alphabet=DNA, seed=9)
+        path = tmp_path / "db.fa"
+        write_fasta(path, db)
+        script = (
+            'alphabet dna = "acgt"\n'
+            f'load db = fasta("{path}")\n'
+            "print |db|\n"
+        )
+        assert run_script(script).last == 4

@@ -1,0 +1,161 @@
+"""Tests for the CUDA C emitter (Figure 10's template)."""
+
+import pytest
+
+from repro.ir.cuda import emit_cuda
+from repro.ir.kernel import build_kernel
+from repro.lang.parser import parse_function
+from repro.lang.typecheck import check_function
+from repro.schedule.schedule import Schedule
+
+EN = {"en": "abcdefghijklmnopqrstuvwxyz"}
+DNA = {"dna": "acgt"}
+
+EDIT_DISTANCE = """
+int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i-1] == t[j-1] then d(i-1, j-1)
+  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1
+"""
+
+FORWARD = """
+prob forward(hmm h, state[h] s, seq[*] x, index[x] i) =
+  if i == 0 then (if s.isstart then 1.0 else 0.0)
+  else (if s.isend then 1.0 else s.emission[x[i-1]])
+    * sum(t in s.transitionsto : t.prob * forward(t.start, i - 1))
+"""
+
+
+def cuda_for(src, schedule, alphabets=EN):
+    func = check_function(parse_function(src.strip()), alphabets)
+    return emit_cuda(build_kernel(func, schedule))
+
+
+class TestTemplate:
+    def test_global_kernel_signature(self):
+        text = cuda_for(EDIT_DISTANCE, Schedule.of(i=1, j=1))
+        assert "__global__ void d_kernel(" in text
+        assert "long* farr" in text
+
+    def test_thread_identity_preamble(self):
+        """Figure 10: parfor threads t in 0..tn."""
+        text = cuda_for(EDIT_DISTANCE, Schedule.of(i=1, j=1))
+        assert "const int t = threadIdx.x;" in text
+        assert "const int tn = blockDim.x;" in text
+
+    def test_outer_space_loop_thread_strided(self):
+        """Figure 10: i starts at lower+t and strides by tn."""
+        text = cuda_for(EDIT_DISTANCE, Schedule.of(i=1, j=1))
+        assert "+ t;" in text
+        assert "i += tn" in text
+
+    def test_sync_after_each_partition(self):
+        text = cuda_for(EDIT_DISTANCE, Schedule.of(i=1, j=1))
+        assert "__syncthreads();" in text
+        # The sync is inside the time loop, once.
+        assert text.count("__syncthreads();") == 1
+
+    def test_time_loop_not_strided(self):
+        text = cuda_for(EDIT_DISTANCE, Schedule.of(i=1, j=1))
+        assert "p++" in text
+
+    def test_table_linearised_row_major(self):
+        text = cuda_for(EDIT_DISTANCE, Schedule.of(i=1, j=1))
+        assert "(ub_j + 1)" in text
+
+    def test_sequences_as_pointer_params(self):
+        text = cuda_for(EDIT_DISTANCE, Schedule.of(i=1, j=1))
+        assert "const long* seq_s" in text
+        assert "const long* seq_t" in text
+
+
+class TestHmmKernel:
+    def test_reduce_loop_emitted(self):
+        text = cuda_for(FORWARD, Schedule.of(s=0, i=1), DNA)
+        assert "for (int _e = hmm_h_inoff[" in text
+        assert "hmm_h_inids[_e];" in text
+
+    def test_model_arrays_in_signature(self):
+        text = cuda_for(FORWARD, Schedule.of(s=0, i=1), DNA)
+        for piece in ("emis", "tprob", "tsrc", "inoff", "inids"):
+            assert f"hmm_h_{piece}" in text
+
+    def test_prob_table_is_double(self):
+        text = cuda_for(FORWARD, Schedule.of(s=0, i=1), DNA)
+        assert "double* farr" in text
+
+    def test_state_loop_strided_for_forward(self):
+        # With S = i, the space loop over states takes the threads.
+        text = cuda_for(FORWARD, Schedule.of(s=0, i=1), DNA)
+        assert "s += tn" in text
+
+
+class TestHelpers:
+    def test_ceild_floord_defined(self):
+        text = cuda_for(EDIT_DISTANCE, Schedule.of(i=1, j=1))
+        assert "#define ceild" in text
+        assert "#define floord" in text
+
+    def test_divisibility_guard_for_nonunit_pinned(self):
+        text = cuda_for(EDIT_DISTANCE, Schedule.of(i=1, j=2))
+        assert "% 2 == 0" in text
+        assert "floord(" in text
+
+
+class TestWindowedVariant:
+    """Section 4.8's shared-memory ring buffer, as emitted CUDA."""
+
+    def test_shared_ring_buffer_declared(self):
+        from repro.ir.cuda import emit_cuda
+        from repro.ir.kernel import build_kernel
+
+        func = check_function(parse_function(EDIT_DISTANCE.strip()), EN)
+        kernel = build_kernel(func, Schedule.of(i=1, j=1))
+        text = emit_cuda(kernel, windowed=True)
+        assert "extern __shared__" in text
+        assert "swin[" in text
+        assert "win_cols" in text
+        assert "_kernel_windowed(" in text
+
+    def test_reads_go_through_the_window(self):
+        from repro.ir.cuda import emit_cuda
+        from repro.ir.kernel import build_kernel
+
+        func = check_function(parse_function(EDIT_DISTANCE.strip()), EN)
+        kernel = build_kernel(func, Schedule.of(i=1, j=1))
+        text = emit_cuda(kernel, windowed=True)
+        # Ring of window + 1 = 3 rows; no global reads of farr remain.
+        assert "% 3" in text
+        assert "farr[(" not in text.split("swin")[0]
+
+    def test_results_written_back_to_global(self):
+        from repro.ir.cuda import emit_cuda
+        from repro.ir.kernel import build_kernel
+
+        func = check_function(parse_function(EDIT_DISTANCE.strip()), EN)
+        kernel = build_kernel(func, Schedule.of(i=1, j=1))
+        text = emit_cuda(kernel, windowed=True)
+        assert "farr[" in text  # the write-back of the final window
+
+    def test_windowed_rejected_without_uniform_descents(self):
+        from repro.apps.rna_folding import nussinov_function
+        from repro.ir.cuda import emit_cuda
+        from repro.ir.kernel import build_kernel
+        from repro.lang.errors import CodegenError
+
+        kernel = build_kernel(nussinov_function(),
+                              Schedule.of(i=-1, j=1))
+        assert kernel.window is None
+        with pytest.raises(CodegenError, match="uniform"):
+            emit_cuda(kernel, windowed=True)
+
+    def test_plain_variant_unchanged(self):
+        from repro.ir.cuda import emit_cuda
+        from repro.ir.kernel import build_kernel
+
+        func = check_function(parse_function(EDIT_DISTANCE.strip()), EN)
+        kernel = build_kernel(func, Schedule.of(i=1, j=1))
+        text = emit_cuda(kernel)
+        assert "swin" not in text
+        assert "__global__ void d_kernel(" in text

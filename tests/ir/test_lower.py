@@ -1,0 +1,175 @@
+"""Tests for lowering DSL bodies to the kernel IR."""
+
+import math
+
+import pytest
+
+from repro.ir import expr as ir
+from repro.ir.lower import lower_function
+from repro.lang.errors import AnalysisError
+from repro.lang.parser import parse_function
+from repro.lang.typecheck import check_function
+
+EN = {"en": "abcdefghijklmnopqrstuvwxyz"}
+DNA = {"dna": "acgt"}
+
+EDIT_DISTANCE = """
+int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i-1] == t[j-1] then d(i-1, j-1)
+  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1
+"""
+
+FORWARD = """
+prob forward(hmm h, state[h] s, seq[*] x, index[x] i) =
+  if i == 0 then (if s.isstart then 1.0 else 0.0)
+  else (if s.isend then 1.0 else s.emission[x[i-1]])
+    * sum(t in s.transitionsto : t.prob * forward(t.start, i - 1))
+"""
+
+
+def lowered(src, alphabets=EN, mode="direct"):
+    func = check_function(parse_function(src.strip()), alphabets)
+    return lower_function(func, prob_mode=mode)
+
+
+class TestStructure:
+    def test_calls_become_table_reads(self):
+        body = lowered(EDIT_DISTANCE)
+        reads = [
+            n for n in ir.walk(body.cell) if isinstance(n, ir.TableRead)
+        ]
+        assert len(reads) == 4
+
+    def test_branches_become_selects(self):
+        body = lowered(EDIT_DISTANCE)
+        selects = [
+            n for n in ir.walk(body.cell) if isinstance(n, ir.Select)
+        ]
+        assert len(selects) == 3
+
+    def test_char_literals_become_codes(self):
+        body = lowered(
+            "int f(seq[en] s, index[s] i) = "
+            "if s[i] == 'a' then 1 else 0"
+        )
+        consts = [
+            n.value
+            for n in ir.walk(body.cell)
+            if isinstance(n, ir.Const)
+        ]
+        assert ord("a") in consts
+
+    def test_return_kind(self):
+        assert lowered(EDIT_DISTANCE).return_kind == "int"
+        assert lowered(FORWARD, DNA).return_kind == "prob"
+
+    def test_reduce_becomes_loop(self):
+        body = lowered(FORWARD, DNA)
+        loops = [
+            n for n in ir.walk(body.cell)
+            if isinstance(n, ir.ReduceLoop)
+        ]
+        assert len(loops) == 1
+        assert loops[0].source == "to"
+        assert loops[0].kind == "sum"
+
+    def test_scalar_param_becomes_argref(self):
+        body = lowered("float f(float g, seq[en] s, index[s] i) = g")
+        assert isinstance(body.cell, ir.ArgRef)
+
+    def test_int_division_kind(self):
+        body = lowered("int f(int n) = n / 2")
+        assert isinstance(body.cell, ir.Binary)
+        assert body.cell.kind == "int"
+
+
+class TestLogspace:
+    def test_prob_literal_becomes_log(self):
+        body = lowered(FORWARD, DNA, mode="logspace")
+        consts = [
+            n.value
+            for n in ir.walk(body.cell)
+            if isinstance(n, ir.Const) and isinstance(n.value, float)
+        ]
+        assert 0.0 in consts            # log(1.0)
+        assert float("-inf") in consts  # log(0.0)
+
+    def test_multiplication_becomes_addition(self):
+        body = lowered(FORWARD, DNA, mode="logspace")
+        ops = [
+            n.op for n in ir.walk(body.cell) if isinstance(n, ir.Binary)
+        ]
+        assert "+" in ops
+        assert "*" not in ops
+
+    def test_sum_reduce_is_logspace(self):
+        body = lowered(FORWARD, DNA, mode="logspace")
+        (loop,) = [
+            n for n in ir.walk(body.cell)
+            if isinstance(n, ir.ReduceLoop)
+        ]
+        assert loop.logspace
+
+    def test_direct_sum_reduce_is_linear(self):
+        body = lowered(FORWARD, DNA, mode="direct")
+        (loop,) = [
+            n for n in ir.walk(body.cell)
+            if isinstance(n, ir.ReduceLoop)
+        ]
+        assert not loop.logspace
+
+    def test_prob_addition_becomes_logaddexp(self):
+        body = lowered(
+            "prob f(hmm h, state[h] s, seq[*] x, index[x] i) = "
+            "s.emission[x[i]] + s.emission[x[i]]",
+            DNA,
+            mode="logspace",
+        )
+        assert isinstance(body.cell, ir.Binary)
+        assert body.cell.op == "logaddexp"
+
+    def test_prob_subtraction_rejected_in_logspace(self):
+        with pytest.raises(AnalysisError, match="log space"):
+            lowered(
+                "prob f(hmm h, state[h] s, seq[*] x, index[x] i) = "
+                "s.emission[x[i]] - s.emission[x[i]]",
+                DNA,
+                mode="logspace",
+            )
+
+    def test_unknown_mode_rejected(self):
+        func = check_function(
+            parse_function("int f(int n) = n"), {}
+        )
+        from repro.ir.lower import lower_function as lf
+
+        with pytest.raises(ValueError, match="unknown probability"):
+            lf(func, prob_mode="nope")
+
+
+class TestOpCounts:
+    def test_edit_distance_counts(self):
+        counts = lowered(EDIT_DISTANCE).counts
+        assert counts.table_reads == 4
+        assert counts.seq_reads == 2
+        assert counts.select == 3
+        assert counts.compare == 3
+
+    def test_forward_reduce_counts(self):
+        counts = lowered(FORWARD, DNA).counts
+        assert counts.reduce_count == 1
+        assert counts.reduce_body is not None
+        assert counts.reduce_body.table_reads == 1
+
+    def test_scaled_total_weights_reduce(self):
+        counts = lowered(FORWARD, DNA).counts
+        light = counts.scaled_total(1.0)
+        heavy = counts.scaled_total(4.0)
+        assert heavy["table_reads"] > light["table_reads"]
+
+    def test_scaled_total_without_reduce(self):
+        counts = lowered(EDIT_DISTANCE).counts
+        totals = counts.scaled_total(10.0)
+        assert totals["table_reads"] == 4

@@ -1,0 +1,183 @@
+"""Tests for the vectorised NumPy backend."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.kernel import build_kernel
+from repro.ir.npbackend import (
+    compile_vector_kernel,
+    eligible,
+    emit_vector_source,
+)
+from repro.ir.pybackend import compile_kernel
+from repro.lang.errors import CodegenError
+from repro.lang.parser import parse_function
+from repro.lang.typecheck import check_function
+from repro.runtime.engine import Engine
+from repro.runtime.values import ENGLISH, DNA, Sequence
+from repro.schedule.schedule import Schedule
+
+EN = {"en": ENGLISH.chars}
+
+EDIT_DISTANCE = """
+int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i-1] == t[j-1] then d(i-1, j-1)
+  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1
+"""
+
+FORWARD = """
+prob forward(hmm h, state[h] s, seq[*] x, index[x] i) =
+  if i == 0 then (if s.isstart then 1.0 else 0.0)
+  else (if s.isend then 1.0 else s.emission[x[i-1]])
+    * sum(t in s.transitionsto : t.prob * forward(t.start, i - 1))
+"""
+
+
+def checked(src, alphabets=EN):
+    return check_function(parse_function(src.strip()), alphabets)
+
+
+class TestEligibility:
+    def test_edit_distance_eligible(self):
+        kernel = build_kernel(checked(EDIT_DISTANCE),
+                              Schedule.of(i=1, j=1))
+        assert eligible(kernel)
+
+    def test_reduce_kernels_not_eligible(self):
+        kernel = build_kernel(
+            checked(FORWARD, {"dna": DNA.chars}), Schedule.of(s=0, i=1)
+        )
+        assert not eligible(kernel)
+
+    def test_one_dimensional_not_eligible(self):
+        kernel = build_kernel(
+            checked("int f(int n) = if n == 0 then 0 else f(n-1) + 1"),
+            Schedule.of(n=1),
+        )
+        assert not eligible(kernel)
+
+    def test_non_unit_pin_not_eligible(self):
+        kernel = build_kernel(checked(EDIT_DISTANCE),
+                              Schedule.of(i=1, j=2))
+        assert not eligible(kernel)
+
+    def test_ineligible_emit_raises(self):
+        kernel = build_kernel(
+            checked("int f(int n) = if n == 0 then 0 else f(n-1) + 1"),
+            Schedule.of(n=1),
+        )
+        with pytest.raises(CodegenError, match="not eligible"):
+            emit_vector_source(kernel)
+
+
+class TestAgreement:
+    def _run_both(self, func, schedule, ctx, extents, dtype=np.int64):
+        kernel = build_kernel(func, schedule)
+        scalar_fn, _ = compile_kernel(kernel)
+        vector_fn, _ = compile_vector_kernel(kernel)
+        a = np.zeros(extents, dtype=dtype)
+        b = np.zeros(extents, dtype=dtype)
+        scalar_fn(a, dict(ctx))
+        vector_fn(b, dict(ctx))
+        return a, b
+
+    def test_edit_distance_tables_identical(self):
+        func = checked(EDIT_DISTANCE)
+        s = Sequence("kitten", ENGLISH)
+        t = Sequence("sitting", ENGLISH)
+        ctx = {"ub_i": 6, "ub_j": 7, "seq_s": s.codes,
+               "seq_t": t.codes}
+        a, b = self._run_both(func, Schedule.of(i=1, j=1), ctx, (7, 8))
+        assert (a == b).all()
+
+    def test_row_schedule_agrees(self):
+        """S = i pins nothing vectorisable... S=(0,1) pins j."""
+        func = checked(
+            "int f(seq[en] s, index[s] i, seq[en] t, index[t] j) = "
+            "if j == 0 then i else f(i, j-1) + 1"
+        )
+        s = Sequence("abc", ENGLISH)
+        t = Sequence("abcd", ENGLISH)
+        ctx = {"ub_i": 3, "ub_j": 4, "seq_s": s.codes,
+               "seq_t": t.codes}
+        a, b = self._run_both(func, Schedule.of(i=0, j=1), ctx, (4, 5))
+        assert (a == b).all()
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        s_text=st.text(alphabet="abc", min_size=1, max_size=8),
+        t_text=st.text(alphabet="abc", min_size=1, max_size=8),
+    )
+    def test_random_strings(self, s_text, t_text):
+        func = checked(EDIT_DISTANCE)
+        s = Sequence(s_text, ENGLISH)
+        t = Sequence(t_text, ENGLISH)
+        ctx = {
+            "ub_i": len(s), "ub_j": len(t),
+            "seq_s": s.codes, "seq_t": t.codes,
+        }
+        a, b = self._run_both(
+            func, Schedule.of(i=1, j=1), ctx,
+            (len(s) + 1, len(t) + 1),
+        )
+        assert (a == b).all()
+
+    def test_positive_offset_descent_clamped(self):
+        """Descents towards larger indices stress the index clamp."""
+        func = checked(
+            "int f(seq[en] s, index[s] i, seq[en] t, index[t] j) = "
+            "if i >= 3 then j else if j == 0 then i "
+            "else f(i+1, j-1) + 1"
+        )
+        s = Sequence("abc", ENGLISH)
+        t = Sequence("abcd", ENGLISH)
+        ctx = {"ub_i": 3, "ub_j": 4, "seq_s": s.codes,
+               "seq_t": t.codes}
+        a, b = self._run_both(
+            func, Schedule.of(i=-1, j=1), ctx, (4, 5)
+        )
+        assert (a == b).all()
+
+
+class TestEngineIntegration:
+    def test_auto_uses_vector_for_eligible(self):
+        engine = Engine(backend="auto")
+        func = checked(EDIT_DISTANCE)
+        compiled = engine.compile(func, Schedule.of(i=1, j=1))
+        assert "np.arange" in compiled.source
+
+    def test_auto_falls_back_for_hmm(self):
+        engine = Engine(backend="auto")
+        func = checked(FORWARD, {"dna": DNA.chars})
+        compiled = engine.compile(func, Schedule.of(s=0, i=1))
+        assert "np.arange" not in compiled.source
+
+    def test_scalar_forced(self):
+        engine = Engine(backend="scalar")
+        func = checked(EDIT_DISTANCE)
+        compiled = engine.compile(func, Schedule.of(i=1, j=1))
+        assert "np.arange" not in compiled.source
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            Engine(backend="simd")
+
+    def test_backends_cached_separately(self):
+        func = checked(EDIT_DISTANCE)
+        scalar = Engine(backend="scalar")
+        scalar.compile(func, Schedule.of(i=1, j=1))
+        vector = Engine(backend="vector")
+        vector.compile(func, Schedule.of(i=1, j=1))
+        assert scalar.cache_misses == vector.cache_misses == 1
+
+    def test_results_identical_across_backends(self):
+        func = checked(EDIT_DISTANCE)
+        s = Sequence("saturday", ENGLISH)
+        t = Sequence("sunday", ENGLISH)
+        a = Engine(backend="scalar").run(func, {"s": s, "t": t})
+        b = Engine(backend="vector").run(func, {"s": s, "t": t})
+        assert a.value == b.value == 3
+        assert (a.table == b.table).all()

@@ -1,0 +1,180 @@
+"""Tests for the DSL tokeniser."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import Token, TokenKind, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]
+
+
+class TestBasics:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == TokenKind.EOF
+
+    def test_integer(self):
+        (tok,) = tokenize("42")[:-1]
+        assert tok.kind == TokenKind.INT
+        assert tok.text == "42"
+
+    def test_float(self):
+        (tok,) = tokenize("0.25")[:-1]
+        assert tok.kind == TokenKind.FLOAT
+        assert tok.text == "0.25"
+
+    def test_float_with_exponent(self):
+        (tok,) = tokenize("1.5e-3")[:-1]
+        assert tok.kind == TokenKind.FLOAT
+        assert tok.text == "1.5e-3"
+
+    def test_int_then_dot_is_not_float(self):
+        # 's.start' style accesses must not glue digits and dots.
+        toks = texts("1 .start")
+        assert toks == ["1", ".", "start"]
+
+    def test_name(self):
+        (tok,) = tokenize("forward")[:-1]
+        assert tok.kind == TokenKind.NAME
+
+    def test_name_with_underscore_and_digits(self):
+        (tok,) = tokenize("x_1")[:-1]
+        assert tok.kind == TokenKind.NAME
+        assert tok.text == "x_1"
+
+    def test_keyword(self):
+        (tok,) = tokenize("if")[:-1]
+        assert tok.kind == TokenKind.KEYWORD
+
+    def test_string(self):
+        (tok,) = tokenize('"kitten"')[:-1]
+        assert tok.kind == TokenKind.STRING
+        assert tok.text == "kitten"
+
+    def test_char_literal(self):
+        (tok,) = tokenize("'a'")[:-1]
+        assert tok.kind == TokenKind.CHAR
+        assert tok.text == "a"
+
+    def test_two_char_symbols(self):
+        assert texts("== != <= >= ->") == ["==", "!=", "<=", ">=", "->"]
+
+    def test_maximal_munch_of_arrow(self):
+        assert texts("a->b") == ["a", "->", "b"]
+
+    def test_single_char_symbols(self):
+        assert texts("( ) [ ] { } + - * / < > = , : . | _") == [
+            "(", ")", "[", "]", "{", "}", "+", "-", "*", "/",
+            "<", ">", "=", ",", ":", ".", "|", "_",
+        ]
+
+
+class TestTrivia:
+    def test_line_comment_slash(self):
+        assert texts("1 // comment\n2") == ["1", "2"]
+
+    def test_line_comment_hash(self):
+        assert texts("1 # comment\n2") == ["1", "2"]
+
+    def test_whitespace_and_newlines(self):
+        assert texts("a\n\t b") == ["a", "b"]
+
+    def test_comment_at_end_of_input(self):
+        assert texts("x // trailing") == ["x"]
+
+
+class TestSpans:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("ab\n  cd")
+        assert tokens[0].span.start.line == 1
+        assert tokens[0].span.start.column == 1
+        assert tokens[1].span.start.line == 2
+        assert tokens[1].span.start.column == 3
+
+    def test_span_end_is_exclusive(self):
+        (tok,) = tokenize("abc")[:-1]
+        assert tok.span.end.column == 4
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_unterminated_string_at_newline(self):
+        with pytest.raises(LexError):
+            tokenize('"abc\ndef"')
+
+    def test_bad_char_literal(self):
+        with pytest.raises(LexError):
+            tokenize("'ab'")
+
+    def test_empty_char_literal(self):
+        with pytest.raises(LexError):
+            tokenize("''")
+
+
+class TestHelpers:
+    def test_is_symbol(self):
+        (tok,) = tokenize("+")[:-1]
+        assert tok.is_symbol("+")
+        assert not tok.is_symbol("-")
+
+    def test_is_keyword(self):
+        (tok,) = tokenize("min")[:-1]
+        assert tok.is_keyword("min")
+        assert not tok.is_symbol("min")
+
+    def test_str_of_eof(self):
+        assert str(tokenize("")[-1]) == "end of input"
+
+
+class TestFuzz:
+    """The lexer is total over ASCII: tokens or LexError, nothing else."""
+
+    def test_arbitrary_ascii_never_crashes(self):
+        from hypothesis import given, settings, strategies as st
+
+        @settings(deadline=None, max_examples=300)
+        @given(st.text(
+            alphabet=st.characters(min_codepoint=9, max_codepoint=126),
+            max_size=40,
+        ))
+        def run(text):
+            try:
+                tokens = tokenize(text)
+            except LexError:
+                return
+            assert tokens[-1].kind == TokenKind.EOF
+
+        run()
+
+    def test_token_texts_reassemble(self):
+        from hypothesis import given, settings, strategies as st
+
+        @settings(deadline=None, max_examples=200)
+        @given(st.text(alphabet="abij+-*/()[]<>=:,. 0123456789",
+                       max_size=30))
+        def run(text):
+            try:
+                tokens = tokenize(text)
+            except LexError:
+                return
+            # Space-joined token texts always re-lex cleanly (the
+            # kinds may differ — '=' '=' re-lexes as '==').
+            joined = " ".join(t.text for t in tokens[:-1])
+            again = tokenize(joined)
+            assert again[-1].kind == TokenKind.EOF
+
+        run()

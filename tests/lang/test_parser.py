@@ -1,0 +1,297 @@
+"""Tests for the DSL parser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.ast import BinOpKind
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_expr, parse_function, parse_program
+
+EDIT_DISTANCE = """
+alphabet en = "abcdefghijklmnopqrstuvwxyz"
+int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i-1] == t[j-1] then d(i-1, j-1)
+  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1
+"""
+
+
+class TestExpressions:
+    def test_integer_literal(self):
+        expr = parse_expr("42")
+        assert isinstance(expr, ast.IntLit)
+        assert expr.value == 42
+
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, ast.BinOp)
+        assert expr.op == BinOpKind.ADD
+        assert isinstance(expr.right, ast.BinOp)
+        assert expr.right.op == BinOpKind.MUL
+
+    def test_precedence_add_over_min(self):
+        # Figure 7 parenthesises (a min b) + 1, so min binds looser.
+        expr = parse_expr("a min b + 1")
+        assert isinstance(expr, ast.BinOp)
+        assert expr.op == BinOpKind.MIN
+        assert isinstance(expr.right, ast.BinOp)
+        assert expr.right.op == BinOpKind.ADD
+
+    def test_min_left_associative(self):
+        expr = parse_expr("a min b min c")
+        assert expr.op == BinOpKind.MIN
+        assert isinstance(expr.left, ast.BinOp)
+        assert expr.left.op == BinOpKind.MIN
+
+    def test_comparison_looser_than_arithmetic(self):
+        expr = parse_expr("a + 1 == b * 2")
+        assert expr.op == BinOpKind.EQ
+        assert expr.left.op == BinOpKind.ADD
+        assert expr.right.op == BinOpKind.MUL
+
+    def test_unary_minus_desugars_to_subtraction(self):
+        expr = parse_expr("-x")
+        assert isinstance(expr, ast.BinOp)
+        assert expr.op == BinOpKind.SUB
+        assert isinstance(expr.left, ast.IntLit)
+        assert expr.left.value == 0
+
+    def test_if_then_else(self):
+        expr = parse_expr("if a == 0 then 1 else 2")
+        assert isinstance(expr, ast.If)
+        assert isinstance(expr.cond, ast.BinOp)
+
+    def test_nested_if_in_else(self):
+        expr = parse_expr("if a == 0 then 1 else if b == 0 then 2 else 3")
+        assert isinstance(expr.else_branch, ast.If)
+
+    def test_call(self):
+        expr = parse_expr("d(i - 1, j)")
+        assert isinstance(expr, ast.Call)
+        assert expr.func == "d"
+        assert len(expr.args) == 2
+
+    def test_call_no_args(self):
+        expr = parse_expr("f()")
+        assert isinstance(expr, ast.Call)
+        assert expr.args == ()
+
+    def test_sequence_index(self):
+        expr = parse_expr("s[i - 1]")
+        assert isinstance(expr, ast.SeqIndex)
+        assert expr.seq == "s"
+
+    def test_matrix_index(self):
+        expr = parse_expr("m[s[i-1], t[j-1]]")
+        assert isinstance(expr, ast.MatrixIndex)
+        assert isinstance(expr.row, ast.SeqIndex)
+        assert isinstance(expr.col, ast.SeqIndex)
+
+    def test_field_access(self):
+        expr = parse_expr("t.start")
+        assert isinstance(expr, ast.Field)
+        assert expr.name == "start"
+
+    def test_chained_field_access(self):
+        expr = parse_expr("t.start.isend")
+        assert isinstance(expr, ast.Field)
+        assert expr.name == "isend"
+        assert isinstance(expr.subject, ast.Field)
+
+    def test_emission(self):
+        expr = parse_expr("s.emission[x[i-1]]")
+        assert isinstance(expr, ast.Emission)
+        assert isinstance(expr.symbol, ast.SeqIndex)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("t.nonsense")
+
+    def test_sum_reduction(self):
+        expr = parse_expr("sum(t in s.transitionsto : t.prob)")
+        assert isinstance(expr, ast.Reduce)
+        assert expr.kind == ast.ReduceKind.SUM
+        assert expr.var == "t"
+
+    def test_min_reduction_vs_infix_min(self):
+        reduction = parse_expr("min(t in s.transitionsto : t.prob)")
+        assert isinstance(reduction, ast.Reduce)
+        infix = parse_expr("a min (b + c)")
+        assert isinstance(infix, ast.BinOp)
+        assert infix.op == BinOpKind.MIN
+
+    def test_max_reduction(self):
+        expr = parse_expr("max(t in s.transitionsfrom : t.prob)")
+        assert isinstance(expr, ast.Reduce)
+        assert expr.kind == ast.ReduceKind.MAX
+
+    def test_length_bars(self):
+        expr = parse_expr("|s|")
+        assert isinstance(expr, ast.Len)
+        assert expr.seq == "s"
+
+    def test_placeholder(self):
+        expr = parse_expr("_")
+        assert isinstance(expr, ast.Placeholder)
+
+    def test_char_literal(self):
+        expr = parse_expr("'a'")
+        assert isinstance(expr, ast.CharLit)
+
+    def test_bool_literals(self):
+        assert parse_expr("true").value is True
+        assert parse_expr("false").value is False
+
+    def test_float_literal(self):
+        expr = parse_expr("0.25")
+        assert isinstance(expr, ast.FloatLit)
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 2")
+
+    def test_missing_operand(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 +")
+
+
+class TestFunctionDefs:
+    def test_edit_distance_shape(self):
+        program = parse_program(EDIT_DISTANCE)
+        func = program.function("d")
+        assert func.name == "d"
+        assert [p.name for p in func.params] == ["s", "i", "t", "j"]
+        assert str(func.params[1].type) == "index[s]"
+        assert isinstance(func.body, ast.If)
+
+    def test_star_alphabet(self):
+        func = parse_function("prob f(seq[*] x, index[x] i) = 1.0")
+        assert func.params[0].type.args == ("*",)
+
+    def test_hmm_param(self):
+        func = parse_function(
+            "prob f(hmm h, state[h] s, seq[*] x, index[x] i) = 1.0"
+        )
+        assert func.params[0].type.name == "hmm"
+        assert func.params[1].type.name == "state"
+
+    def test_matrix_param(self):
+        func = parse_function(
+            "int f(matrix[en, en] m, seq[en] s, index[s] i) = 0"
+        )
+        assert func.params[0].type.args == ("en", "en")
+
+    def test_find_calls(self):
+        program = parse_program(EDIT_DISTANCE)
+        calls = ast.find_calls(program.function("d").body, "d")
+        assert len(calls) == 4
+
+
+class TestDeclarations:
+    def test_alphabet(self):
+        program = parse_program('alphabet dna = "acgt"')
+        decl = program.statements[0]
+        assert isinstance(decl, ast.AlphabetDecl)
+        assert decl.chars == "acgt"
+
+    def test_alphabet_duplicate_chars_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program('alphabet bad = "aa"')
+
+    def test_matrix(self):
+        program = parse_program(
+            """
+            alphabet ab = "ab"
+            matrix cost[ab, ab] {
+              header a b
+              default 1
+              row a : 0 1
+              row b : 1 0
+            }
+            """
+        )
+        decl = program.statements[1]
+        assert isinstance(decl, ast.MatrixDecl)
+        assert decl.header == ("a", "b")
+        assert decl.default == 1
+        assert decl.rows[0].values == (0, 1)
+
+    def test_matrix_negative_values(self):
+        program = parse_program(
+            """
+            alphabet ab = "ab"
+            matrix cost[ab, ab] { header a b row a : -1 -2 row b : 3 -4 }
+            """
+        )
+        decl = program.statements[1]
+        assert decl.rows[0].values == (-1, -2)
+        assert decl.rows[1].values == (3, -4)
+
+    def test_hmm(self):
+        program = parse_program(
+            """
+            alphabet dna = "acgt"
+            hmm h [dna] {
+              state begin : start
+              state exon emits { a: 0.3, c: 0.2, g: 0.2, t: 0.3 }
+              state fin : end
+              trans begin -> exon : 1.0
+              trans exon -> exon : 0.9
+              trans exon -> fin : 0.1
+            }
+            """
+        )
+        decl = program.statements[1]
+        assert isinstance(decl, ast.HmmDecl)
+        assert len(decl.states) == 3
+        assert decl.states[1].kind == "emit"
+        assert dict(decl.states[1].emissions)["a"] == 0.3
+        assert decl.transitions[0].prob == 1.0
+
+    def test_schedule_decl(self):
+        program = parse_program(
+            EDIT_DISTANCE + "\nschedule d : i + j"
+        )
+        decl = program.statements[-1]
+        assert isinstance(decl, ast.ScheduleDecl)
+        assert decl.func == "d"
+
+
+class TestScriptStatements:
+    def test_let(self):
+        program = parse_program('let s = "kitten"')
+        stmt = program.statements[0]
+        assert isinstance(stmt, ast.LetStmt)
+        assert isinstance(stmt.value, ast.StrLit)
+
+    def test_load(self):
+        program = parse_program('load db = fasta("seqs.fa")')
+        stmt = program.statements[0]
+        assert isinstance(stmt, ast.LoadStmt)
+        assert stmt.format == "fasta"
+        assert stmt.path == "seqs.fa"
+
+    def test_print(self):
+        program = parse_program(EDIT_DISTANCE + '\nprint d("ab", 2, "ba", 2)')
+        stmt = program.statements[-1]
+        assert isinstance(stmt, ast.PrintStmt)
+        assert isinstance(stmt.value, ast.Call)
+
+    def test_map(self):
+        program = parse_program(
+            EDIT_DISTANCE + "\nlet q = \"abc\"\nmap out = d(q, |q|, _, |_|) over db"
+        )
+        stmt = program.statements[-1]
+        assert isinstance(stmt, ast.MapStmt)
+        assert stmt.over == "db"
+        assert isinstance(stmt.template.args[2], ast.Placeholder)
+        assert stmt.template.args[3].seq == "_"
+
+    def test_parse_error_has_span(self):
+        try:
+            parse_program("int f( = 1")
+        except ParseError as err:
+            assert err.span is not None
+        else:
+            pytest.fail("expected ParseError")

@@ -1,0 +1,81 @@
+"""Tests for source spans and caret diagnostics."""
+
+from repro.lang.errors import DslError, TypeCheckError
+from repro.lang.source import Position, SourceText, Span
+
+
+class TestSpan:
+    def test_point(self):
+        span = Span.point(3, 7, 42)
+        assert span.start == span.end
+        assert span.start.line == 3
+
+    def test_merge(self):
+        first = Span(Position(1, 1, 0), Position(1, 4, 3))
+        last = Span(Position(2, 1, 10), Position(2, 6, 15))
+        merged = Span.merge(first, last)
+        assert merged.start == first.start
+        assert merged.end == last.end
+
+    def test_str(self):
+        assert str(Span.point(2, 5, 9)) == "2:5"
+
+
+class TestSourceText:
+    TEXT = "int f(int n) =\n  if n == 0 then 0\n  else f(n - 1)\n"
+
+    def test_line_lookup(self):
+        src = SourceText(self.TEXT)
+        assert src.line(1) == "int f(int n) ="
+        assert src.line(3) == "  else f(n - 1)"
+
+    def test_line_out_of_range(self):
+        src = SourceText(self.TEXT)
+        assert src.line(0) == ""
+        assert src.line(99) == ""
+
+    def test_render_points_at_span(self):
+        src = SourceText(self.TEXT, name="prog.dsl")
+        span = Span(Position(2, 6, 21), Position(2, 7, 22))
+        rendered = src.render(span, "boom")
+        lines = rendered.splitlines()
+        assert lines[0] == "prog.dsl:2:6: boom"
+        assert lines[1].strip() == "if n == 0 then 0"
+        caret_col = lines[2].index("^")
+        assert lines[1][caret_col] == "n"
+
+    def test_render_multichar_span(self):
+        src = SourceText("abcdef")
+        span = Span(Position(1, 2, 1), Position(1, 5, 4))
+        rendered = src.render(span, "x")
+        assert "^^^" in rendered
+
+    def test_render_synthetic_span(self):
+        src = SourceText("abc")
+        assert src.render(Span.point(0, 0, 0), "msg") == "msg"
+
+
+class TestErrorRendering:
+    def test_render_with_source(self):
+        src = SourceText("let x = !", name="t.dsl")
+        err = DslError("bad", Span.point(1, 9, 8))
+        assert err.render(src).startswith("t.dsl:1:9: bad")
+
+    def test_render_without_source(self):
+        err = TypeCheckError("oops")
+        assert err.render() == "oops"
+
+    def test_end_to_end_caret_from_typechecker(self):
+        from repro.lang.errors import TypeCheckError as TCE
+        from repro.lang.parser import parse_program
+        from repro.lang.typecheck import check_program
+
+        text = 'alphabet en = "ab"\nint f(seq[en] s, index[s] i) = q\n'
+        try:
+            check_program(parse_program(text))
+        except TCE as err:
+            rendered = err.render(SourceText(text, "x.dsl"))
+            assert "x.dsl:2:" in rendered
+            assert "^" in rendered
+        else:
+            raise AssertionError("expected a type error")

@@ -1,0 +1,89 @@
+"""Fuzzing the front end: random programs never crash the checker.
+
+Any random token soup must produce a clean diagnostic (LexError /
+ParseError / TypeCheckError), never an internal exception — the
+property a production compiler front end owes its users.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.errors import DslError
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import check_program
+
+FRAGMENTS = [
+    'alphabet en = "abc"',
+    "int f(int n) =",
+    "int f(seq[en] s, index[s] i) =",
+    "if i == 0 then",
+    "else",
+    "f(i - 1)",
+    "f(n - 1, 2)",
+    "s[i]",
+    "i + 1",
+    "min",
+    "max(k in 0 .. n : k)",
+    "sum(t in s.transitionsto : t.prob)",
+    "let q =",
+    '"abc"',
+    "print",
+    "map out = f(q, |q|) over db",
+    "schedule f : i + j",
+    "0.5",
+    "'a'",
+    "..",
+    "(",
+    ")",
+    "hmm h [en] { state b : start state e : end }",
+]
+
+
+@settings(deadline=None, max_examples=300)
+@given(
+    st.lists(st.sampled_from(FRAGMENTS), min_size=1, max_size=8)
+)
+def test_random_fragment_programs_fail_cleanly(pieces):
+    text = "\n".join(pieces)
+    try:
+        check_program(parse_program(text))
+    except DslError:
+        pass  # a clean diagnostic is the expected outcome
+
+
+@settings(deadline=None, max_examples=200)
+@given(
+    st.text(
+        alphabet="abijn ()[]{}+-*/<>=.,:|_0123456789\n\"'",
+        max_size=80,
+    )
+)
+def test_arbitrary_text_fails_cleanly(text):
+    try:
+        check_program(parse_program(text))
+    except DslError:
+        pass
+
+
+@settings(deadline=None, max_examples=100)
+@given(
+    ret=st.sampled_from(["int", "float", "prob"]),
+    body=st.sampled_from(
+        ["n", "n + 1", "1.5", "n / 0", "f(n - 1)", "f(n) + 1",
+         "if n == 0 then 0 else f(n - 1)", "true", "'a'",
+         "sum(k in 0 .. n : f(k))"]
+    ),
+)
+def test_single_function_shapes_fail_cleanly(ret, body):
+    text = f"{ret} f(int n) = {body}"
+    try:
+        checked = check_program(parse_program(text))
+    except DslError:
+        return
+    # When it checks, the analysis must also either work or
+    # diagnose cleanly.
+    from repro.analysis.criteria import schedule_criteria
+
+    try:
+        schedule_criteria(checked.function("f"))
+    except DslError:
+        pass

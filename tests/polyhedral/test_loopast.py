@@ -1,0 +1,159 @@
+"""Tests for the loop-nest AST: bounds, emitters, enumeration."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.affine import Affine
+from repro.polyhedral.loopast import (
+    Assign,
+    Bound,
+    Div,
+    Guard,
+    Loop,
+    Stmt,
+    affine_c_text,
+    emit_c,
+    iterate,
+)
+
+
+class TestDiv:
+    def test_unit_divisor_passthrough(self):
+        div = Div(Affine.of({"p": 1}, -3), 1, "floor")
+        assert div.evaluate({"p": 10}) == 7
+        assert div.c_text() == "p-3"
+
+    @given(st.integers(-50, 50), st.integers(1, 7))
+    def test_ceil_floor_match_math(self, num, d):
+        import math
+
+        affine = Affine.constant(num)
+        assert Div(affine, d, "ceil").evaluate({}) == math.ceil(num / d)
+        assert Div(affine, d, "floor").evaluate({}) == (
+            math.floor(num / d)
+        )
+
+    def test_c_text_helpers(self):
+        assert Div(Affine.variable("p"), 2, "ceil").c_text() == (
+            "ceild(p,2)"
+        )
+        assert Div(Affine.variable("p"), 2, "floor").c_text() == (
+            "floord(p,2)"
+        )
+
+    def test_bad_divisor(self):
+        with pytest.raises(ValueError):
+            Div(Affine.constant(1), 0, "ceil")
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            Div(Affine.constant(1), 1, "up")
+
+
+class TestBound:
+    def test_max_of_terms(self):
+        bound = Bound("max", (
+            Div(Affine.constant(0), 1, "ceil"),
+            Div(Affine.of({"p": 1}, -5), 1, "ceil"),
+        ))
+        assert bound.evaluate({"p": 3}) == 0
+        assert bound.evaluate({"p": 9}) == 4
+        assert bound.c_text() == "max(0,p-5)"
+
+    def test_single_term_no_wrapper(self):
+        bound = Bound("min", (Div(Affine.variable("n"), 1, "floor"),))
+        assert bound.c_text() == "n"
+
+    def test_needs_terms(self):
+        with pytest.raises(ValueError):
+            Bound("max", ())
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            Bound("sup", (Div(Affine.constant(0), 1, "ceil"),))
+
+
+class TestAffineCText:
+    def test_positive_first(self):
+        assert affine_c_text(Affine.of({"m": -1, "p": 1})) == "p-m"
+
+    def test_coefficients(self):
+        assert affine_c_text(Affine.of({"x": 2}, 1)) == "2*x+1"
+
+    def test_zero(self):
+        assert affine_c_text(Affine.constant(0)) == "0"
+
+
+class TestIterate:
+    def _loop(self, var, lo, hi, body, step=1):
+        return Loop(
+            var,
+            Bound("max", (Div(Affine.constant(lo), 1, "ceil"),)),
+            Bound("min", (Div(Affine.constant(hi), 1, "floor"),)),
+            body,
+            step=step,
+        )
+
+    def test_stmt_yields_environment(self):
+        stmt = Stmt("S", (Affine.variable("i"),))
+        nest = (self._loop("i", 0, 2, (stmt,)),)
+        visited = [env["i"] for _, env in iterate(nest, {})]
+        assert visited == [0, 1, 2]
+
+    def test_strided_loop(self):
+        stmt = Stmt("S", ())
+        nest = (self._loop("i", 0, 6, (stmt,), step=3),)
+        visited = [env["i"] for _, env in iterate(nest, {})]
+        assert visited == [0, 3, 6]
+
+    def test_assign_binds(self):
+        stmt = Stmt("S", ())
+        nest = (
+            self._loop(
+                "i", 0, 2,
+                (Assign("j", Div(Affine.of({"i": 2}), 1, "floor"),
+                        (stmt,)),),
+            ),
+        )
+        visited = [(e["i"], e["j"]) for _, e in iterate(nest, {})]
+        assert visited == [(0, 0), (1, 2), (2, 4)]
+
+    def test_guard_filters(self):
+        stmt = Stmt("S", ())
+        nest = (
+            self._loop(
+                "i", 0, 5,
+                (Guard(Affine.variable("i"), 2, (stmt,)),),
+            ),
+        )
+        visited = [e["i"] for _, e in iterate(nest, {})]
+        assert visited == [0, 2, 4]
+
+    def test_empty_loop_body_skipped(self):
+        nest = (self._loop("i", 3, 1, (Stmt("S", ()),)),)
+        assert list(iterate(nest, {})) == []
+
+
+class TestEmitC:
+    def test_assign_and_guard_rendering(self):
+        stmt = Stmt("S1", (Affine.variable("j"),))
+        nest = (
+            Guard(Affine.variable("p"), 2,
+                  (Assign("j", Div(Affine.variable("p"), 2, "floor"),
+                          (stmt,)),)),
+        )
+        text = emit_c(nest)
+        assert "if ((p)%2==0) {" in text
+        assert "j = floord(p,2);" in text
+        assert "S1(j);" in text
+
+    def test_strided_for(self):
+        stmt = Stmt("S", ())
+        loop = Loop(
+            "i",
+            Bound("max", (Div(Affine.constant(0), 1, "ceil"),)),
+            Bound("min", (Div(Affine.constant(9), 1, "floor"),)),
+            (stmt,),
+            step=4,
+        )
+        assert "i+=4" in emit_c((loop,))

@@ -1,0 +1,72 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import DEMO, main
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["--demo"]) == 0
+        out = capsys.readouterr().out
+        assert "3" in out
+
+    def test_script_file(self, tmp_path, capsys):
+        script = tmp_path / "prog.dsl"
+        script.write_text(DEMO)
+        assert main([str(script)]) == 0
+        assert "3" in capsys.readouterr().out
+
+    def test_time_flag(self, tmp_path, capsys):
+        script = tmp_path / "prog.dsl"
+        script.write_text(DEMO)
+        assert main([str(script), "--time"]) == 0
+        err = capsys.readouterr().err
+        assert "partitions" in err
+        assert "simulated" in err
+
+    def test_cuda_flag(self, capsys):
+        assert main(["--demo", "--cuda"]) == 0
+        assert "__global__" in capsys.readouterr().err
+
+    def test_missing_script(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_nonexistent_script(self):
+        with pytest.raises(SystemExit):
+            main(["/nonexistent/prog.dsl"])
+
+    def test_dsl_error_rendered_with_caret(self, tmp_path, capsys):
+        script = tmp_path / "bad.dsl"
+        script.write_text(
+            'alphabet en = "ab"\n'
+            "int f(seq[en] s, index[s] i) = if i == 0 then 0 else k\n"
+            'print f("ab", 2)\n'
+        )
+        assert main([str(script)]) == 1
+        err = capsys.readouterr().err
+        assert "unknown variable" in err
+        assert "^" in err  # caret diagnostics
+
+    def test_logspace_mode(self, tmp_path, capsys):
+        script = tmp_path / "fwd.dsl"
+        script.write_text(
+            'alphabet dna = "acgt"\n'
+            "hmm h [dna] {\n"
+            "  state b : start\n"
+            "  state m emits { a: 0.5, t: 0.5 }\n"
+            "  state e : end\n"
+            "  trans b -> m : 1.0\n"
+            "  trans m -> m : 0.5\n"
+            "  trans m -> e : 0.5\n"
+            "}\n"
+            "prob fw(hmm h, state[h] s, seq[*] x, index[x] i) =\n"
+            "  if i == 0 then (if s.isstart then 1.0 else 0.0)\n"
+            "  else (if s.isend then 1.0 else s.emission[x[i-1]])\n"
+            "    * sum(t in s.transitionsto : t.prob * fw(t.start, i-1))\n"
+            'print fw(h, h.end, "at", 2)\n'
+        )
+        assert main([str(script), "--prob-mode", "logspace"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip().startswith("0.25")

@@ -1,0 +1,50 @@
+"""The shipped .dsl scripts stay runnable through the CLI."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+
+SCRIPTS = sorted(
+    (Path(__file__).resolve().parents[2] / "examples" / "scripts")
+    .glob("*.dsl")
+)
+
+
+@pytest.mark.parametrize(
+    "script", SCRIPTS, ids=[s.stem for s in SCRIPTS]
+)
+def test_script_runs(script, capsys):
+    assert main([str(script)]) == 0
+    out = capsys.readouterr().out
+    assert out.strip()
+
+
+def test_scripts_exist():
+    assert {s.stem for s in SCRIPTS} >= {
+        "edit_distance", "smith_waterman", "forward"
+    }
+
+
+def test_edit_distance_values(capsys):
+    script = next(s for s in SCRIPTS if s.stem == "edit_distance")
+    assert main([str(script)]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines == ["3", "0"]
+
+
+def test_forward_logspace_agrees_with_direct(capsys):
+    script = next(s for s in SCRIPTS if s.stem == "forward")
+    assert main([str(script)]) == 0
+    direct = float(capsys.readouterr().out.strip())
+    assert main([str(script), "--prob-mode", "logspace"]) == 0
+    logspace = float(capsys.readouterr().out.strip())
+    assert logspace == pytest.approx(direct, rel=1e-9)
+
+
+def test_nussinov_script_values(capsys):
+    script = next(s for s in SCRIPTS if s.stem == "nussinov")
+    assert main([str(script)]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines == ["3", "5"]  # hairpin pairs, stem-loop pairs

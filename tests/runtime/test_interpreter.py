@@ -1,0 +1,212 @@
+"""Tests for the memoised interpreter (the semantic oracle)."""
+
+import pytest
+
+from repro.extensions.hmm import HmmBuilder
+from repro.lang.errors import RuntimeDslError
+from repro.lang.parser import parse_function
+from repro.lang.typecheck import check_function
+from repro.runtime.interpreter import domain_extents, memoised
+from repro.runtime.values import Bindings, DNA, ENGLISH, Sequence
+
+EN = {"en": ENGLISH.chars}
+
+EDIT_DISTANCE = """
+int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i-1] == t[j-1] then d(i-1, j-1)
+  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1
+"""
+
+
+def checked(src, alphabets=EN):
+    return check_function(parse_function(src.strip()), alphabets)
+
+
+class TestEditDistance:
+    def test_kitten_sitting(self):
+        func = checked(EDIT_DISTANCE)
+        call = memoised(
+            func,
+            Bindings({"s": Sequence("kitten", ENGLISH),
+                      "t": Sequence("sitting", ENGLISH)}),
+        )
+        assert call((6, 7)) == 3
+
+    def test_empty_strings(self):
+        func = checked(EDIT_DISTANCE)
+        call = memoised(
+            func,
+            Bindings({"s": Sequence("", ENGLISH),
+                      "t": Sequence("abc", ENGLISH)}),
+        )
+        assert call((0, 3)) == 3
+
+    def test_identical_strings(self):
+        func = checked(EDIT_DISTANCE)
+        call = memoised(
+            func,
+            Bindings({"s": Sequence("same", ENGLISH),
+                      "t": Sequence("same", ENGLISH)}),
+        )
+        assert call((4, 4)) == 0
+
+    def test_symmetry(self):
+        func = checked(EDIT_DISTANCE)
+        a, b = "flaw", "lawn"
+        one = memoised(func, Bindings({
+            "s": Sequence(a, ENGLISH), "t": Sequence(b, ENGLISH)}))
+        two = memoised(func, Bindings({
+            "s": Sequence(b, ENGLISH), "t": Sequence(a, ENGLISH)}))
+        assert one((4, 4)) == two((4, 4))
+
+
+class TestArithmetic:
+    def test_fibonacci(self):
+        func = checked(
+            "int fib(int n) = if n < 2 then n else fib(n-1) + fib(n-2)"
+        )
+        call = memoised(func, Bindings({}))
+        assert [call((k,)) for k in range(10)] == [
+            0, 1, 1, 2, 3, 5, 8, 13, 21, 34
+        ]
+
+    def test_int_division_truncates_like_c(self):
+        func = checked("int f(int n) = (0 - 7) / 2")
+        call = memoised(func, Bindings({}))
+        assert call((0,)) == -3  # C truncation, not floor (-4)
+
+    def test_division_by_zero(self):
+        func = checked("int f(int n) = n / (n - n)")
+        call = memoised(func, Bindings({}))
+        with pytest.raises(RuntimeDslError, match="zero"):
+            call((1,))
+
+    def test_min_max_chain(self):
+        func = checked("int f(int n) = (n min 3) max 1")
+        call = memoised(func, Bindings({}))
+        assert call((0,)) == 1
+        assert call((2,)) == 2
+        assert call((9,)) == 3
+
+    def test_float_arithmetic(self):
+        func = checked("float f(float g, int n) = g * 2.0 + 1.0")
+        call = memoised(func, Bindings({"g": 1.5}))
+        assert call((0,)) == pytest.approx(4.0)
+
+    def test_comparisons(self):
+        func = checked(
+            "int f(int n) = if n <= 2 then if n >= 1 then 1 else 0 "
+            "else if n != 5 then 2 else 3"
+        )
+        call = memoised(func, Bindings({}))
+        assert call((0,)) == 0
+        assert call((2,)) == 1
+        assert call((4,)) == 2
+        assert call((5,)) == 3
+
+
+class TestHmm:
+    def _hmm(self):
+        return (
+            HmmBuilder("h", DNA)
+            .start("b")
+            .add_state("m", {"a": 0.5, "c": 0.5})
+            .end("e")
+            .transition("b", "m", 1.0)
+            .transition("m", "m", 0.5)
+            .transition("m", "e", 0.5)
+            .build()
+        )
+
+    def test_forward_by_hand(self):
+        src = """
+        prob forward(hmm h, state[h] s, seq[*] x, index[x] i) =
+          if i == 0 then (if s.isstart then 1.0 else 0.0)
+          else (if s.isend then 1.0 else s.emission[x[i-1]])
+            * sum(t in s.transitionsto : t.prob * forward(t.start, i-1))
+        """
+        func = checked(src, {"dna": DNA.chars})
+        hmm = self._hmm()
+        x = Sequence("ac", DNA)
+        call = memoised(func, Bindings({"h": hmm, "x": x}))
+        # By hand: F(m,1) = 0.5 (emit a) * 1.0; F(m,2) = 0.5 * 0.5*F(m,1)
+        assert call((1, 1)) == pytest.approx(0.5)
+        assert call((1, 2)) == pytest.approx(0.125)
+        # End state is silent: F(e,2) = 0.5 * F(m,1) = 0.25.
+        assert call((2, 2)) == pytest.approx(0.25)
+
+    def test_transition_fields(self):
+        src = """
+        prob g(hmm h, transition[h] t, seq[*] x, index[x] i) = t.prob
+        """
+        func = checked(src, {"dna": DNA.chars})
+        hmm = self._hmm()
+        call = memoised(
+            func, Bindings({"h": hmm, "x": Sequence("a", DNA)})
+        )
+        assert call((0, 0)) == pytest.approx(1.0)
+        assert call((1, 0)) == pytest.approx(0.5)
+
+    def test_out_reduction(self):
+        src = """
+        prob g(hmm h, state[h] s, seq[*] x, index[x] i) =
+          sum(t in s.transitionsfrom : t.prob)
+        """
+        func = checked(src, {"dna": DNA.chars})
+        call = memoised(
+            func, Bindings({"h": self._hmm(), "x": Sequence("a", DNA)})
+        )
+        assert call((1, 0)) == pytest.approx(1.0)  # 0.5 + 0.5
+        assert call((2, 0)) == pytest.approx(0.0)  # end: no outgoing
+
+    def test_min_over_empty_set_raises(self):
+        src = """
+        prob g(hmm h, state[h] s, seq[*] x, index[x] i) =
+          min(t in s.transitionsfrom : t.prob)
+        """
+        func = checked(src, {"dna": DNA.chars})
+        call = memoised(
+            func, Bindings({"h": self._hmm(), "x": Sequence("a", DNA)})
+        )
+        with pytest.raises(RuntimeDslError, match="empty"):
+            call((2, 0))
+
+
+class TestDomainExtents:
+    def test_index_extent_is_length_plus_one(self):
+        func = checked(EDIT_DISTANCE)
+        extents = domain_extents(
+            func,
+            Bindings({"s": Sequence("abc", ENGLISH),
+                      "t": Sequence("ab", ENGLISH)}),
+        )
+        assert extents == (4, 3)
+
+    def test_int_needs_initial(self):
+        func = checked("int f(int n) = n")
+        with pytest.raises(RuntimeDslError, match="initial"):
+            domain_extents(func, Bindings({}))
+        assert domain_extents(
+            func, Bindings({}), {"n": 9}
+        ) == (10,)
+
+    def test_state_extent_is_state_count(self):
+        src = "prob g(hmm h, state[h] s, seq[*] x, index[x] i) = 1.0"
+        func = checked(src, {"dna": DNA.chars})
+        hmm = (
+            HmmBuilder("h", DNA).start("b")
+            .add_state("m", {"a": 1.0}).end("e")
+            .transition("b", "m", 1.0).transition("m", "e", 1.0)
+            .build()
+        )
+        extents = domain_extents(
+            func, Bindings({"h": hmm, "x": Sequence("acg", DNA)})
+        )
+        assert extents == (3, 4)
+
+    def test_missing_binding(self):
+        func = checked(EDIT_DISTANCE)
+        with pytest.raises(RuntimeDslError, match="missing binding"):
+            domain_extents(func, Bindings({}))

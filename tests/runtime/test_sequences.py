@@ -1,0 +1,76 @@
+"""Tests for FASTA I/O and synthetic data generation."""
+
+import pytest
+
+from repro.lang.errors import RuntimeDslError
+from repro.runtime.sequences import (
+    parse_fasta,
+    random_database,
+    random_dna,
+    random_protein,
+    read_fasta,
+    write_fasta,
+)
+from repro.runtime.values import DNA, PROTEIN
+
+
+class TestFasta:
+    def test_parse_basic(self):
+        text = ">one\nacgt\n>two\nac\ngt\n"
+        seqs = parse_fasta(text, DNA)
+        assert [s.name for s in seqs] == ["one", "two"]
+        assert seqs[1].text == "acgt"
+
+    def test_case_folding_to_alphabet(self):
+        seqs = parse_fasta(">x\nACGT\n", DNA)
+        assert seqs[0].text == "acgt"
+
+    def test_uppercase_alphabet_folds_up(self):
+        seqs = parse_fasta(">x\narn\n", PROTEIN)
+        assert seqs[0].text == "ARN"
+
+    def test_headerless_data_rejected(self):
+        with pytest.raises(RuntimeDslError, match="header"):
+            parse_fasta("acgt\n", DNA)
+
+    def test_blank_lines_skipped(self):
+        seqs = parse_fasta(">x\n\nacgt\n\n", DNA)
+        assert seqs[0].text == "acgt"
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "db.fa"
+        original = random_database(5, 40, alphabet=DNA, seed=7)
+        write_fasta(path, original)
+        loaded = read_fasta(path, DNA)
+        assert [s.text for s in loaded] == [s.text for s in original]
+
+    def test_long_lines_wrapped(self, tmp_path):
+        path = tmp_path / "one.fa"
+        write_fasta(path, [random_dna(150, seed=1, name="long")])
+        lines = path.read_text().splitlines()
+        assert all(len(line) <= 60 for line in lines[1:])
+
+
+class TestSynthetic:
+    def test_deterministic_by_seed(self):
+        assert random_dna(50, seed=3).text == random_dna(50, seed=3).text
+        assert random_dna(50, seed=3).text != random_dna(50, seed=4).text
+
+    def test_gc_bias(self):
+        gc_rich = random_dna(5000, seed=1, gc_bias=0.8).text
+        gc_frac = (gc_rich.count("g") + gc_rich.count("c")) / 5000
+        assert gc_frac > 0.7
+
+    def test_protein_alphabet(self):
+        seq = random_protein(100, seed=2)
+        assert seq.alphabet is PROTEIN
+
+    def test_database_shape(self):
+        db = random_database(20, 100, seed=5)
+        assert len(db) == 20
+        mean = sum(len(s) for s in db) / len(db)
+        assert 60 < mean < 140
+
+    def test_database_min_length(self):
+        db = random_database(50, 10, seed=6)
+        assert all(len(s) >= 8 for s in db)

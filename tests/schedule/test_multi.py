@@ -1,0 +1,119 @@
+"""Tests for conditional parallelisation (Section 4.7)."""
+
+import pytest
+
+from repro.analysis.criteria import schedule_criteria
+from repro.analysis.domain import Domain
+from repro.lang.errors import ScheduleError
+from repro.lang.parser import parse_function
+from repro.lang.typecheck import check_function
+from repro.schedule.multi import derive_schedule_set
+from repro.schedule.schedule import Schedule
+from repro.schedule.solver import find_schedule
+
+EN = {"en": "abcdefghijklmnopqrstuvwxyz"}
+DNA = {"dna": "acgt"}
+
+
+def checked(src, alphabets=EN):
+    return check_function(parse_function(src.strip()), alphabets)
+
+
+DIAGONAL_ONLY = (
+    "int f(seq[en] a, index[a] x, seq[en] b, index[b] y) = "
+    "if x == 0 then 0 else f(x - 1, y - 1)"
+)
+
+EDIT_DISTANCE = """
+int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i-1] == t[j-1] then d(i-1, j-1)
+  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1
+"""
+
+
+class TestPaperExample:
+    """Section 4.7: f(x,y) = .. f(x-1, y-1) has two minimal schedules."""
+
+    def test_two_candidates(self):
+        schedule_set = derive_schedule_set(checked(DIAGONAL_ONLY))
+        assert set(schedule_set) == {
+            Schedule.of(x=1, y=0),
+            Schedule.of(x=0, y=1),
+        }
+
+    def test_runtime_selection(self):
+        schedule_set = derive_schedule_set(checked(DIAGONAL_ONLY))
+        assert schedule_set.select({"x": 3, "y": 100}) == (
+            Schedule.of(x=1, y=0)
+        )
+        assert schedule_set.select({"x": 100, "y": 3}) == (
+            Schedule.of(x=0, y=1)
+        )
+
+    def test_nonminimal_schedules_excluded(self):
+        """(2,1), (2,2), (3,3) are valid but never minimal."""
+        schedule_set = derive_schedule_set(checked(DIAGONAL_ONLY))
+        assert Schedule.of(x=2, y=1) not in list(schedule_set)
+        assert Schedule.of(x=2, y=2) not in list(schedule_set)
+
+    def test_selection_index(self):
+        schedule_set = derive_schedule_set(checked(DIAGONAL_ONLY))
+        idx = schedule_set.selection_index({"x": 3, "y": 100})
+        assert list(schedule_set)[idx] == Schedule.of(x=1, y=0)
+
+
+class TestGeneralProperties:
+    def test_edit_distance_single_schedule(self):
+        """Most problems have one schedule (Section 4.7 note)."""
+        schedule_set = derive_schedule_set(checked(EDIT_DISTANCE))
+        assert set(schedule_set) == {Schedule.of(i=1, j=1)}
+
+    def test_all_candidates_valid(self):
+        func = checked(DIAGONAL_ONLY)
+        criteria = schedule_criteria(func)
+        for schedule in derive_schedule_set(func):
+            assert schedule.is_valid(criteria)
+
+    def test_candidates_cover_runtime_optimum(self):
+        """For every box, the set's choice matches the runtime search
+        (restricted to non-negative coefficients)."""
+        func = checked(DIAGONAL_ONLY)
+        schedule_set = derive_schedule_set(func)
+        for extents in [(3, 9), (9, 3), (5, 5), (2, 30)]:
+            domain = Domain(("x", "y"), extents)
+            runtime_best = find_schedule(func, domain)
+            chosen = schedule_set.select(domain.extent_map())
+            assert chosen.num_partitions(domain) == (
+                runtime_best.num_partitions(domain)
+            )
+
+    def test_nonuniform_rejected(self):
+        func = checked(
+            "int f(int x, int y) = if x == 0 then 0 else f(x - 1, x - y)"
+        )
+        with pytest.raises(ScheduleError, match="uniform"):
+            derive_schedule_set(func)
+
+    def test_unsatisfiable_raises(self):
+        func = checked("int f(int n) = f(n) + 1")
+        with pytest.raises(ScheduleError, match="no valid schedule"):
+            derive_schedule_set(func)
+
+    def test_three_dims(self):
+        func = checked(
+            "int g(int x, int y, int z) = if x == 0 then 0 else "
+            "g(x-1, y-1, z-1)"
+        )
+        schedule_set = derive_schedule_set(func)
+        assert set(schedule_set) == {
+            Schedule.of(x=1, y=0, z=0),
+            Schedule.of(x=0, y=1, z=0),
+            Schedule.of(x=0, y=0, z=1),
+        }
+
+    def test_len_and_iter(self):
+        schedule_set = derive_schedule_set(checked(EDIT_DISTANCE))
+        assert len(schedule_set) == 1
+        assert list(iter(schedule_set))

@@ -1,0 +1,160 @@
+"""Tests for mutual-recursion scheduling (the Section 9 extension)."""
+
+import pytest
+
+from repro.analysis.callgraph import group_of, recursive_groups
+from repro.analysis.cross import extract_cross_descents
+from repro.analysis.domain import Domain
+from repro.lang.errors import ScheduleError
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import check_program
+from repro.schedule.mutual_rec import (
+    FunctionSchedule,
+    MutualSchedule,
+    brute_force_mutual_valid,
+    find_mutual_schedules,
+    group_criteria,
+)
+from repro.schedule.schedule import Schedule
+
+PING_PONG = """
+int f(int n) = if n == 0 then 0 else g(n - 1) + 1
+int g(int n) = if n == 0 then 0 else f(n - 1) + 2
+"""
+
+SAME_STEP = """
+int f(int n) = if n == 0 then 0 else g(n) + 1
+int g(int n) = if n == 0 then 0 else f(n - 1) + 2
+"""
+
+THREE_WAY = """
+int a(int n) = if n == 0 then 0 else b(n - 1)
+int b(int n) = if n == 0 then 1 else c(n - 1)
+int c(int n) = if n == 0 then 2 else a(n - 1)
+"""
+
+
+def funcs_of(src, names):
+    checked = check_program(parse_program(src))
+    return {name: checked.function(name) for name in names}
+
+
+class TestCallGraph:
+    def test_mutual_group_detected(self):
+        checked = check_program(parse_program(PING_PONG))
+        groups = recursive_groups(checked.functions)
+        assert ("f", "g") in groups
+
+    def test_self_recursion_is_singleton_group(self):
+        checked = check_program(
+            parse_program("int f(int n) = if n == 0 then 0 else f(n-1)")
+        )
+        assert recursive_groups(checked.functions) == [("f",)]
+
+    def test_nonrecursive_function_in_no_group(self):
+        checked = check_program(parse_program("int f(int n) = n + 1"))
+        assert recursive_groups(checked.functions) == []
+        assert group_of(checked, "f") == ("f",)
+
+    def test_three_way_cycle(self):
+        checked = check_program(parse_program(THREE_WAY))
+        assert ("a", "b", "c") in recursive_groups(checked.functions)
+
+
+class TestCrossDescents:
+    def test_descents_per_callee(self):
+        funcs = funcs_of(PING_PONG, ("f", "g"))
+        descents = extract_cross_descents(funcs["f"], funcs)
+        assert len(descents) == 1
+        assert descents[0].callee == "g"
+        assert str(descents[0].components[0].affine) == "n - 1"
+
+    def test_self_call_also_extracted(self):
+        funcs = funcs_of(
+            "int f(int n) = if n == 0 then 0 else f(n-1) + g(n-1)\n"
+            "int g(int n) = if n == 0 then 0 else f(n-1)",
+            ("f", "g"),
+        )
+        descents = extract_cross_descents(funcs["f"], funcs)
+        assert {d.callee for d in descents} == {"f", "g"}
+
+
+class TestJointSolver:
+    def test_ping_pong_schedules(self):
+        funcs = funcs_of(PING_PONG, ("f", "g"))
+        domains = {"f": Domain.of(n=10), "g": Domain.of(n=10)}
+        mutual = find_mutual_schedules(funcs, domains)
+        assert brute_force_mutual_valid(mutual, funcs, domains)
+        # f(n) needs g(n-1); g(n) needs f(n-1): S_f = n, S_g = n (any
+        # offset pair with |o_f - o_g| < 1... validity check instead:
+        criteria = group_criteria(funcs)
+        coeffs = {
+            name: dict(zip(funcs[name].dim_names,
+                           mutual[name].schedule.coefficients))
+            for name in funcs
+        }
+        offsets = {name: mutual[name].offset for name in funcs}
+        for criterion in criteria:
+            assert criterion.min_delta(coeffs, offsets, domains) > 0
+
+    def test_same_step_needs_offsets(self):
+        """g(n) feeds f(n) at the *same* coordinates: only the offset
+        can separate them (S_g must run strictly before S_f)."""
+        funcs = funcs_of(SAME_STEP, ("f", "g"))
+        domains = {"f": Domain.of(n=8), "g": Domain.of(n=8)}
+        mutual = find_mutual_schedules(funcs, domains)
+        assert brute_force_mutual_valid(mutual, funcs, domains)
+        f_at = mutual["f"].partition_of((3,))
+        g_at = mutual["g"].partition_of((3,))
+        assert g_at < f_at
+
+    def test_three_way_cycle_scheduled(self):
+        funcs = funcs_of(THREE_WAY, ("a", "b", "c"))
+        domains = {n: Domain.of(n=6) for n in funcs}
+        mutual = find_mutual_schedules(funcs, domains)
+        assert brute_force_mutual_valid(mutual, funcs, domains)
+
+    def test_impossible_group_raises(self):
+        funcs = funcs_of(
+            "int f(int n) = g(n) + 1\nint g(int n) = f(n) + 1",
+            ("f", "g"),
+        )
+        domains = {"f": Domain.of(n=4), "g": Domain.of(n=4)}
+        with pytest.raises(ScheduleError, match="no compatible"):
+            find_mutual_schedules(funcs, domains)
+
+    def test_search_space_guard(self):
+        funcs = funcs_of(THREE_WAY, ("a", "b", "c"))
+        domains = {n: Domain.of(n=6) for n in funcs}
+        with pytest.raises(ScheduleError, match="candidates"):
+            find_mutual_schedules(
+                funcs, domains, coeff_bound=30, offset_bound=30
+            )
+
+    def test_minimality_of_global_span(self):
+        """The first valid assignment has the fewest global partitions."""
+        funcs = funcs_of(PING_PONG, ("f", "g"))
+        domains = {"f": Domain.of(n=12), "g": Domain.of(n=12)}
+        mutual = find_mutual_schedules(funcs, domains)
+        assert mutual.total_partitions(domains) <= 2 * 12 + 1
+
+
+class TestMutualScheduleApi:
+    def test_partition_arithmetic(self):
+        fs = FunctionSchedule(Schedule.of(n=1), offset=3)
+        assert fs.partition_of((4,)) == 7
+        assert fs.min_partition(Domain.of(n=5)) == 3
+        assert fs.max_partition(Domain.of(n=5)) == 7
+
+    def test_global_range(self):
+        mutual = MutualSchedule({
+            "f": FunctionSchedule(Schedule.of(n=1), 0),
+            "g": FunctionSchedule(Schedule.of(n=1), 1),
+        })
+        domains = {"f": Domain.of(n=4), "g": Domain.of(n=4)}
+        assert mutual.global_range(domains) == (0, 4)
+        assert mutual.total_partitions(domains) == 5
+
+    def test_str_rendering(self):
+        fs = FunctionSchedule(Schedule.of(n=1), offset=-1)
+        assert str(fs).endswith("- 1")

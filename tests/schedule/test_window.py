@@ -1,0 +1,74 @@
+"""Tests for the sliding-window optimisation (Section 4.8)."""
+
+from repro.analysis.criteria import schedule_criteria
+from repro.lang.parser import parse_function
+from repro.lang.typecheck import check_function
+from repro.schedule.schedule import Schedule
+from repro.schedule.window import window_rows, window_size
+
+EN = {"en": "abcdefghijklmnopqrstuvwxyz"}
+
+EDIT_DISTANCE = """
+int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i-1] == t[j-1] then d(i-1, j-1)
+  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1
+"""
+
+
+def criteria_of(src, alphabets=EN):
+    func = check_function(parse_function(src.strip()), alphabets)
+    return schedule_criteria(func)
+
+
+class TestWindowSize:
+    def test_edit_distance_diagonal_window_is_two(self):
+        """d(i-1, j-1) is two diagonals back under S = i + j."""
+        criteria = criteria_of(EDIT_DISTANCE)
+        assert window_size(Schedule.of(i=1, j=1), criteria) == 2
+
+    def test_window_depends_on_schedule(self):
+        criteria = criteria_of(
+            "int f(int x, int y) = if x == 0 then 0 else "
+            "f(x - 1, y) + f(x - 1, y - 1)"
+        )
+        assert window_size(Schedule.of(x=1, y=0), criteria) == 1
+        assert window_size(Schedule.of(x=2, y=1), criteria) == 3
+
+    def test_no_recursion_window_zero(self):
+        criteria = criteria_of("int f(int n) = n + 1")
+        assert window_size(Schedule.of(n=1), criteria) == 0
+
+    def test_rows_is_window_plus_one(self):
+        criteria = criteria_of(EDIT_DISTANCE)
+        assert window_rows(Schedule.of(i=1, j=1), criteria) == 3
+
+    def test_affine_descent_has_no_window(self):
+        criteria = criteria_of(
+            "int f(int x, int y) = if x == 0 then 0 else f(x - 1, x - y)"
+        )
+        assert window_size(Schedule.of(x=1, y=0), criteria) is None
+        assert window_rows(Schedule.of(x=1, y=0), criteria) is None
+
+    def test_window_bounds_lookback(self):
+        """Brute check: every dependence lands within the window."""
+        from repro.analysis.descent import extract_descents
+        from repro.analysis.domain import Domain
+
+        func = check_function(parse_function(EDIT_DISTANCE.strip()), EN)
+        schedule = Schedule.of(i=1, j=1)
+        window = window_size(schedule, schedule_criteria(func))
+        domain = Domain.of(i=5, j=5)
+        for point in domain.points():
+            values = dict(zip(domain.dims, point))
+            here = schedule.partition_of(point)
+            for descent in extract_descents(func):
+                target = tuple(
+                    comp.affine.evaluate(values)
+                    for comp in descent.components
+                )
+                if not domain.contains_tuple(target):
+                    continue
+                there = schedule.partition_of(target)
+                assert here - window <= there < here
