@@ -1,0 +1,22 @@
+"""Repo-level pytest configuration.
+
+Puts ``src/`` on ``sys.path`` so a bare ``python -m pytest -x -q``
+collects and runs without exporting ``PYTHONPATH=src`` (the package
+uses a src-layout and need not be installed to be tested). The same
+path is exported through ``PYTHONPATH`` so tests that launch
+subprocesses (the examples suite) inherit it too.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent / "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+_existing = os.environ.get("PYTHONPATH", "")
+if SRC not in _existing.split(os.pathsep):
+    os.environ["PYTHONPATH"] = (
+        SRC + os.pathsep + _existing if _existing else SRC
+    )

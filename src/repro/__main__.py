@@ -1,4 +1,4 @@
-"""Command-line entry point: run DSL scripts.
+"""Command-line entry point: run DSL scripts, serve, submit.
 
 Usage::
 
@@ -7,9 +7,17 @@ Usage::
     python -m repro script.dsl --cuda     # dump synthesised CUDA
     python -m repro --demo                # run the built-in demo
 
+    python -m repro serve --port 8753 --workers 4 --cache-dir .kcache
+    python -m repro submit --port 8753 --program prog.dsl \\
+        --function d --args '{"s": "kitten", "t": "sitting"}'
+    python -m repro submit --port 8753 --stats
+
 The runtime environment mirrors the paper's (Section 3): a script
 declares alphabets/matrices/models/functions and then drives them with
-``let``/``load``/``print``/``map`` statements.
+``let``/``load``/``print``/``map`` statements. ``serve`` instead runs
+the batch compile-and-execute service of :mod:`repro.service`
+(persistent kernel cache, admission-controlled job queue, request
+coalescing into batched ``map`` runs); ``submit`` is its client.
 """
 
 from __future__ import annotations
@@ -38,8 +46,174 @@ print d(q, |q|, r, |r|)
 """
 
 
+def serve_main(argv) -> int:
+    """``python -m repro serve``: run the batch compute service."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve DSL compile-and-execute jobs over HTTP "
+        "(persistent kernel cache, batched map execution).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8753)
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker threads (one engine each)",
+    )
+    parser.add_argument(
+        "--queue-capacity", type=int, default=1024,
+        help="bounded submission queue size (admission control)",
+    )
+    parser.add_argument(
+        "--batch-window", type=float, default=0.01,
+        help="seconds to wait for coalescible requests",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=64,
+        help="flush a batch at this many jobs",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the persistent kernel cache "
+        "(omit for in-memory only)",
+    )
+    parser.add_argument(
+        "--cache-capacity", type=int, default=256,
+        help="in-memory kernel cache entries (LRU bound)",
+    )
+    parser.add_argument(
+        "--prob-mode", choices=("direct", "logspace"), default="direct",
+    )
+    parser.add_argument(
+        "--backend", choices=("auto", "scalar", "vector"),
+        default="auto",
+    )
+    args = parser.parse_args(argv)
+
+    from .service.server import ComputeService, make_http_server
+
+    service = ComputeService(
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        cache_dir=args.cache_dir,
+        cache_capacity=args.cache_capacity,
+        prob_mode=args.prob_mode,
+        backend=args.backend,
+    )
+    server = make_http_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"repro service on http://{host}:{port} "
+        f"({args.workers} workers, cache="
+        f"{args.cache_dir or 'memory-only'})",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("draining...", file=sys.stderr)
+    finally:
+        server.shutdown()
+        service.shutdown(drain=True)
+        print(service.stats().render(), file=sys.stderr)
+    return 0
+
+
+def submit_main(argv) -> int:
+    """``python -m repro submit``: client for a running service."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro submit",
+        description="Submit jobs to (or read stats from) a running "
+        "`python -m repro serve` instance.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8753)
+    parser.add_argument(
+        "--program", help="path to a declaration-only .dsl program"
+    )
+    parser.add_argument("--function", help="function to run")
+    parser.add_argument(
+        "--args", default="{}",
+        help='JSON arguments, e.g. \'{"s": "kitten", "t": "sitting"}\'',
+    )
+    parser.add_argument(
+        "--count", type=int, default=1,
+        help="submit this many concurrent copies (exercises batching)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-job timeout in seconds",
+    )
+    parser.add_argument(
+        "--reduce", choices=("max", "min"), default=None,
+        help="whole-table reduction instead of a coordinate",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print the service stats snapshot and exit",
+    )
+    args = parser.parse_args(argv)
+
+    import json as _json
+
+    from .service.server import fetch_remote_stats, submit_remote
+    from .service.stats import ServiceStats
+
+    if args.stats:
+        try:
+            snapshot = fetch_remote_stats(args.host, args.port)
+        except OSError as err:
+            print(f"error: cannot reach service at "
+                  f"{args.host}:{args.port} ({err})", file=sys.stderr)
+            return 1
+        snapshot.pop("_status", None)
+        print(ServiceStats(**snapshot).render())
+        return 0
+
+    if not args.program or not args.function:
+        parser.error("--program and --function are required "
+                     "(or use --stats)")
+    program = Path(args.program).read_text()
+    try:
+        call_args = _json.loads(args.args)
+    except _json.JSONDecodeError as err:
+        parser.error(f"--args is not valid JSON: {err}")
+
+    import concurrent.futures
+
+    def one(_index: int):
+        try:
+            return submit_remote(
+                args.host, args.port, program, args.function,
+                args=call_args, timeout=args.timeout,
+                reduce=args.reduce,
+            )
+        except OSError as err:
+            return {"ok": False, "error": f"cannot reach service at "
+                                          f"{args.host}:{args.port} "
+                                          f"({err})"}
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(
+        max_workers=min(args.count, 64)
+    ) as pool:
+        for reply in pool.map(one, range(args.count)):
+            if reply.get("ok"):
+                print(reply["value"])
+            else:
+                failures += 1
+                print(f"error: {reply.get('error')}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     """Entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        return submit_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Synthesise and run GPU programs from recursion "

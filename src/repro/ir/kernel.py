@@ -93,6 +93,56 @@ class Kernel:
             "scalars": scalars,
         }
 
+    # -- serialisation -------------------------------------------------------
+    #
+    # A kernel is the unit the persistent compile cache stores: the
+    # whole plan (checked function, schedule, nest, lowered body)
+    # round-trips through pickle, and the executable callable is
+    # rebuilt by re-exec'ing the backend's generated source.
+
+    #: Bump when the pickled layout of Kernel (or anything it
+    #: references) changes incompatibly; stale cache entries are then
+    #: rejected instead of mis-loaded.
+    SERIAL_FORMAT = 1
+
+    def to_payload(self) -> bytes:
+        """Serialize the full kernel plan for the persistent cache."""
+        import pickle
+
+        return pickle.dumps(
+            {"format": Kernel.SERIAL_FORMAT,
+             "schedule": self.schedule.to_json(),
+             "kernel": self},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    @staticmethod
+    def from_payload(data: bytes) -> "Kernel":
+        """Rebuild a kernel plan from :meth:`to_payload` output.
+
+        Raises ``ValueError`` on any malformed or version-mismatched
+        payload — callers treat that as a cache miss, never a crash.
+        """
+        import pickle
+
+        try:
+            record = pickle.loads(data)
+            if record["format"] != Kernel.SERIAL_FORMAT:
+                raise ValueError(
+                    f"kernel payload format {record['format']!r} != "
+                    f"{Kernel.SERIAL_FORMAT}"
+                )
+            kernel = record["kernel"]
+        except ValueError:
+            raise
+        except Exception as err:
+            raise ValueError(f"corrupt kernel payload: {err}") from err
+        if not isinstance(kernel, Kernel):
+            raise ValueError(
+                f"kernel payload holds {type(kernel).__name__}"
+            )
+        return kernel
+
     def calling_param_kinds(self) -> Dict[str, str]:
         """Map calling parameter name -> coarse kind."""
         kinds: Dict[str, str] = {}

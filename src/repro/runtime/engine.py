@@ -5,9 +5,11 @@
 * the schedule search (automatic, Section 4.6 — or verification of a
   user-provided schedule, Section 4.5);
 * kernel compilation (polyhedral nest + lowered cell expression) with
-  a cache keyed by (function, schedule, probability mode) — the paper
-  caches generated code per function to amortise the ~1 s CLooG
-  overhead (Section 6);
+  an LRU-bounded cache keyed by a content hash of (function source
+  form, schedule, probability mode, backend) — the paper caches
+  generated code per function to amortise the ~1 s CLooG overhead
+  (Section 6); pass ``kernel_cache=PersistentKernelCache(dir)`` to
+  persist compilation products across processes;
 * context preparation (device layout of sequences, matrices, models);
 * single-problem runs and ``map`` runs over problem collections with
   conditional parallelisation (Section 4.7);
@@ -50,8 +52,16 @@ from ..lang.types import (
 from ..schedule.multi import ScheduleSet, derive_schedule_set
 from ..schedule.schedule import Schedule
 from ..schedule.solver import DEFAULT_BOUND, find_schedule
+from ..service.cache import (
+    CacheInfo,
+    LRUKernelCache,
+    kernel_cache_key,
+)
 from .interpreter import domain_extents
 from .values import Bindings, Sequence
+
+#: Default bound of the engine's in-memory kernel cache.
+DEFAULT_CACHE_CAPACITY = 256
 
 
 @dataclass
@@ -124,6 +134,8 @@ class Engine:
         schedule_bound: int = DEFAULT_BOUND,
         solver: str = "orthant",
         backend: str = "auto",
+        kernel_cache: Optional[LRUKernelCache] = None,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
     ) -> None:
         if backend not in ("auto", "scalar", "vector"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -133,10 +145,21 @@ class Engine:
         self.schedule_bound = schedule_bound
         self.solver = solver
         self.backend = backend
-        self._cache: Dict[Tuple[str, Tuple[int, ...], str],
-                          CompiledKernel] = {}
+        # LRU-bounded by default; pass a shared
+        # ``service.cache.PersistentKernelCache`` to keep compilation
+        # products across processes (and across a worker pool).
+        # NB ``is not None``: an empty cache is falsy (it has __len__).
+        self._cache = (
+            kernel_cache
+            if kernel_cache is not None
+            else LRUKernelCache(cache_capacity)
+        )
         self.cache_hits = 0
         self.cache_misses = 0
+
+    def cache_info(self) -> CacheInfo:
+        """Counter snapshot of the kernel cache (both tiers)."""
+        return self._cache.cache_info()
 
     # -- compilation ----------------------------------------------------------
 
@@ -154,11 +177,13 @@ class Engine:
         """
         from ..ir import npbackend
 
-        key = (func.name, schedule.coefficients, self.prob_mode,
-               self.backend)
-        if key in self._cache:
+        key = kernel_cache_key(
+            func, schedule, self.prob_mode, self.backend
+        )
+        cached = self._cache.lookup(key)
+        if cached is not None:
             self.cache_hits += 1
-            return self._cache[key]
+            return cached
         self.cache_misses += 1
         started = time.perf_counter()
         kernel = build_kernel(func, schedule, self.prob_mode)
@@ -171,7 +196,7 @@ class Engine:
             run, source = compile_kernel(kernel)
         elapsed = time.perf_counter() - started
         compiled = CompiledKernel(kernel, run, source, elapsed)
-        self._cache[key] = compiled
+        self._cache.store(key, compiled)
         return compiled
 
     def schedule_for(

@@ -75,6 +75,27 @@ class Schedule:
             )
         return Schedule.from_affine(affine, dims)
 
+    # -- serialisation -------------------------------------------------------
+
+    def to_json(self) -> Dict[str, list]:
+        """A JSON-safe representation (dims + coefficients)."""
+        return {
+            "dims": list(self.dims),
+            "coefficients": list(self.coefficients),
+        }
+
+    @staticmethod
+    def from_json(data: Mapping[str, Sequence]) -> "Schedule":
+        """Rebuild a schedule from :meth:`to_json` output."""
+        try:
+            dims = tuple(str(d) for d in data["dims"])
+            coefficients = tuple(int(c) for c in data["coefficients"])
+        except (KeyError, TypeError, ValueError) as err:
+            raise ScheduleError(
+                f"malformed serialized schedule: {data!r}"
+            ) from err
+        return Schedule(dims, coefficients)
+
     # -- basic queries -------------------------------------------------------
 
     @property

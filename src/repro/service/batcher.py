@@ -1,0 +1,131 @@
+"""Coalesce concurrent single-problem requests into ``map`` batches.
+
+The paper's conditional-parallelisation machinery (Section 4.7) packs
+many independent problems into one launch; serially executing one-off
+requests would waste it. The batcher buckets admitted jobs by their
+:attr:`~repro.service.queue.Job.group_key` (same program, function
+and extraction coordinates) and flushes a bucket when it reaches
+``max_batch`` jobs or when its oldest job has waited ``window``
+seconds — the classic size-or-time trigger.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .queue import GroupKey, Job, JobQueue
+
+
+@dataclass
+class Batch:
+    """Jobs that will run as one batched ``map`` launch."""
+
+    key: GroupKey
+    jobs: List[Job] = field(default_factory=list)
+
+    @property
+    def program_sha(self) -> str:
+        """The shared program hash."""
+        return self.key[0]
+
+    @property
+    def function(self) -> str:
+        """The shared function name."""
+        return self.key[1]
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+class Batcher(threading.Thread):
+    """Pulls jobs off the admission queue into keyed buckets.
+
+    Runs as a daemon thread; :meth:`stop` drains every open bucket so
+    no admitted job is lost on shutdown.
+    """
+
+    def __init__(
+        self,
+        jobs: JobQueue,
+        batches: "_queue.Queue[Optional[Batch]]",
+        window: float = 0.01,
+        max_batch: int = 32,
+    ) -> None:
+        super().__init__(name="repro-batcher", daemon=True)
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.jobs = jobs
+        self.batches = batches
+        self.window = max(0.0, window)
+        self.max_batch = max_batch
+        self._buckets: Dict[GroupKey, List[Job]] = {}
+        self._opened: Dict[GroupKey, float] = {}
+        self._stop = threading.Event()
+        self._drained = threading.Event()
+
+    # -- thread body ---------------------------------------------------------
+
+    def run(self) -> None:
+        # Poll at half the window but never slower than 20 Hz, so a
+        # stop() request (or a size-triggered flush for another key)
+        # is noticed promptly even under long windows.
+        poll = min(max(self.window / 2.0, 0.001), 0.05)
+        while True:
+            job = self.jobs.pop(timeout=poll)
+            now = time.monotonic()
+            if job is not None:
+                self._add(job, now)
+            self._flush_due(now)
+            if self._stop.is_set() and job is None:
+                # Stop requested and the queue stayed empty for one
+                # poll: flush the stragglers and leave.
+                if self.jobs.depth() == 0:
+                    self._flush_all()
+                    self._drained.set()
+                    return
+
+    def _add(self, job: Job, now: float) -> None:
+        key = job.group_key
+        bucket = self._buckets.setdefault(key, [])
+        if not bucket:
+            self._opened[key] = now
+        bucket.append(job)
+        if len(bucket) >= self.max_batch:
+            self._flush(key)
+
+    def _flush_due(self, now: float) -> None:
+        due = [
+            key
+            for key, opened in self._opened.items()
+            if now - opened >= self.window
+        ]
+        for key in due:
+            self._flush(key)
+
+    def _flush_all(self) -> None:
+        for key in list(self._buckets):
+            self._flush(key)
+
+    def _flush(self, key: GroupKey) -> None:
+        bucket = self._buckets.pop(key, None)
+        self._opened.pop(key, None)
+        if bucket:
+            self.batches.put(Batch(key, bucket))
+
+    # -- shutdown ------------------------------------------------------------
+
+    def stop(self, drain_timeout: float = 5.0) -> bool:
+        """Flush everything and stop; True if fully drained."""
+        self._stop.set()
+        if not self.is_alive():
+            self._flush_all()
+            return True
+        return self._drained.wait(drain_timeout)
+
+    def open_jobs(self) -> int:
+        """Jobs currently buffered in buckets (approximate)."""
+        return sum(len(b) for b in self._buckets.values())

@@ -1,0 +1,365 @@
+"""Content-addressed kernel caches: in-memory LRU + persistent disk.
+
+The paper's economics (Section 6) hinge on compiling once per
+function (~1 s of CLooG overhead) and running thousands of problems
+against the product. This module makes that amortisation survive the
+process: compilation products are keyed by a canonical content hash
+of everything that determines the generated code —
+
+    (checked function source form, schedule dims + coefficients,
+     probability mode, backend, serial format version)
+
+— and stored in two tiers:
+
+* :class:`LRUKernelCache` — a bounded, thread-safe in-memory tier with
+  hit/miss/eviction counters (the :class:`~repro.runtime.engine.Engine`
+  default);
+* :class:`PersistentKernelCache` — the same memory tier backed by a
+  directory of pickled kernel plans. Writes are atomic (temp file +
+  ``os.replace``); loads are corruption-tolerant (a bad entry is
+  evicted and counted, never fatal); the executable callable is
+  rebuilt by re-exec'ing the backend's generated source.
+
+Nothing here imports the runtime at module level, so the engine can
+depend on this module without a cycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+#: Bump when the cache key derivation changes; old on-disk entries
+#: then simply miss instead of colliding.
+KEY_FORMAT = 1
+
+
+class CacheInfo(NamedTuple):
+    """A ``functools.lru_cache``-style counter snapshot, extended with
+    the disk tier's counters (all zero for memory-only caches)."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+    evictions: int
+    disk_hits: int
+    disk_stores: int
+    corrupt_evictions: int
+
+
+def canonical_kernel_form(
+    func, schedule, prob_mode: str, backend: str
+) -> str:
+    """The canonical text a cache key hashes.
+
+    ``str(func.definition)`` is the checked function's source form
+    (return type, parameter types, body) — everything compilation
+    reads from the function. Alphabet contents, matrices and models
+    are *runtime* context (the generated code reads them from ``ctx``)
+    and are deliberately absent. The source form is memoised on the
+    function object — ``map`` workloads derive a key per problem.
+    """
+    form = getattr(func, "_cache_source_form", None)
+    if form is None:
+        form = str(func.definition)
+        try:
+            func._cache_source_form = form
+        except AttributeError:  # frozen/slotted functions: recompute
+            pass
+    return "\n".join(
+        (
+            f"v{KEY_FORMAT}",
+            form,
+            ",".join(schedule.dims),
+            ",".join(str(c) for c in schedule.coefficients),
+            prob_mode,
+            backend,
+        )
+    )
+
+
+def kernel_cache_key(
+    func, schedule, prob_mode: str, backend: str
+) -> str:
+    """Content-addressed cache key: sha256 of the canonical form."""
+    text = canonical_kernel_form(func, schedule, prob_mode, backend)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def encode_compiled(compiled) -> bytes:
+    """Serialize a ``CompiledKernel`` for the disk tier."""
+    return pickle.dumps(
+        {
+            "format": KEY_FORMAT,
+            "payload": compiled.kernel.to_payload(),
+            "source": compiled.source,
+            "compile_seconds": compiled.compile_seconds,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def decode_compiled(data: bytes):
+    """Rebuild a ``CompiledKernel`` from :func:`encode_compiled` bytes.
+
+    The executable callable is reconstructed by re-exec'ing the
+    generated source (both backends emit a self-contained module
+    defining ``kernel(T, ctx)``). Raises ``ValueError`` on anything
+    malformed — callers treat that as a miss.
+    """
+    from ..ir.kernel import Kernel
+    from ..runtime.engine import CompiledKernel
+
+    try:
+        record = pickle.loads(data)
+        if record["format"] != KEY_FORMAT:
+            raise ValueError(
+                f"cache record format {record['format']!r} != {KEY_FORMAT}"
+            )
+        kernel = Kernel.from_payload(record["payload"])
+        source = record["source"]
+        namespace: Dict[str, object] = {}
+        exec(  # noqa: S102 - our own generated code
+            compile(source, f"<cached-kernel:{kernel.name}>", "exec"),
+            namespace,
+        )
+        run = namespace["kernel"]
+    except ValueError:
+        raise
+    except Exception as err:
+        raise ValueError(f"corrupt cache record: {err}") from err
+    return CompiledKernel(
+        kernel, run, source, float(record.get("compile_seconds", 0.0))
+    )
+
+
+class LRUKernelCache:
+    """Bounded in-memory tier: least-recently-used eviction, counters.
+
+    Thread-safe; also speaks enough of the mapping protocol
+    (``values``/``__len__``/``__contains__``/``__getitem__``) for the
+    existing callers that iterate the engine's cache.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.disk_hits = 0
+        self.disk_stores = 0
+        self.corrupt_evictions = 0
+
+    # -- core protocol -------------------------------------------------------
+
+    def lookup(self, key: str):
+        """The cached product for ``key``, or None (counted)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
+            self.misses += 1
+            return None
+
+    def store(self, key: str, compiled) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU overflow."""
+        with self._lock:
+            self._entries[key] = compiled
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def cache_info(self) -> CacheInfo:
+        """Counter snapshot."""
+        with self._lock:
+            return CacheInfo(
+                self.hits,
+                self.misses,
+                self.capacity,
+                len(self._entries),
+                self.evictions,
+                self.disk_hits,
+                self.disk_stores,
+                self.corrupt_evictions,
+            )
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    # -- mapping compatibility ----------------------------------------------
+
+    def values(self) -> List[object]:
+        """The cached products, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries.values())
+
+    def keys(self) -> List[str]:
+        """The cached keys, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries.keys())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __getitem__(self, key: str):
+        with self._lock:
+            return self._entries[key]
+
+
+class PersistentKernelCache(LRUKernelCache):
+    """Memory tier + content-addressed directory of kernel plans.
+
+    One file per key (``<sha256>.kpkl``) under ``directory``. Writes
+    go to a temp file in the same directory and ``os.replace`` into
+    place, so concurrent processes only ever observe complete entries.
+    A load that fails for any reason evicts the file and counts a
+    ``corrupt_eviction`` — a damaged cache degrades to recompilation,
+    never to a crash. ``disk_capacity`` (entries) bounds the directory
+    by evicting the oldest files (mtime order).
+    """
+
+    SUFFIX = ".kpkl"
+
+    def __init__(
+        self,
+        directory: str,
+        capacity: int = 256,
+        disk_capacity: Optional[int] = None,
+    ) -> None:
+        super().__init__(capacity)
+        if disk_capacity is not None and disk_capacity < 1:
+            raise ValueError(
+                f"disk_capacity must be >= 1, got {disk_capacity}"
+            )
+        self.directory = str(directory)
+        self.disk_capacity = disk_capacity
+        os.makedirs(self.directory, exist_ok=True)
+
+    # -- tiered lookup -------------------------------------------------------
+
+    def lookup(self, key: str):
+        """Memory first, then disk (promoting into memory)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
+        compiled = self._load_from_disk(key)
+        with self._lock:
+            if compiled is not None:
+                self.hits += 1
+                self.disk_hits += 1
+                self._store_memory(key, compiled)
+                return compiled
+            self.misses += 1
+            return None
+
+    def store(self, key: str, compiled) -> None:
+        """Insert into both tiers; disk errors degrade to memory-only."""
+        with self._lock:
+            self._store_memory(key, compiled)
+        try:
+            self._write_to_disk(key, compiled)
+            with self._lock:
+                self.disk_stores += 1
+        except OSError:
+            pass  # a read-only / full disk never fails compilation
+        self._prune_disk()
+
+    def _store_memory(self, key: str, compiled) -> None:
+        self._entries[key] = compiled
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    # -- disk tier -----------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key + self.SUFFIX)
+
+    def _load_from_disk(self, key: str):
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            return None
+        try:
+            return decode_compiled(data)
+        except ValueError:
+            self._evict_file(path)
+            with self._lock:
+                self.corrupt_evictions += 1
+            return None
+
+    def _write_to_disk(self, key: str, compiled) -> None:
+        data = encode_compiled(compiled)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=".tmp-", suffix=self.SUFFIX, dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_path, self._path(key))
+        except OSError:
+            self._evict_file(tmp_path)
+            raise
+
+    def _prune_disk(self) -> None:
+        if self.disk_capacity is None:
+            return
+        try:
+            entries = [
+                os.path.join(self.directory, name)
+                for name in os.listdir(self.directory)
+                if name.endswith(self.SUFFIX)
+                and not name.startswith(".tmp-")
+            ]
+            if len(entries) <= self.disk_capacity:
+                return
+            entries.sort(key=lambda p: os.path.getmtime(p))
+            for path in entries[: len(entries) - self.disk_capacity]:
+                self._evict_file(path)
+        except OSError:
+            pass
+
+    @staticmethod
+    def _evict_file(path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    def disk_keys(self) -> Tuple[str, ...]:
+        """The keys currently present on disk."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return ()
+        return tuple(
+            name[: -len(self.SUFFIX)]
+            for name in sorted(names)
+            if name.endswith(self.SUFFIX) and not name.startswith(".tmp-")
+        )

@@ -1,0 +1,357 @@
+"""The compute service facade and its stdlib HTTP front end.
+
+:class:`ComputeService` wires the serving layer together::
+
+    submit(program, function, args)
+        │  parse/check once per program (ProgramRegistry)
+        │  bind args, admission control (JobQueue)
+        ▼
+    Batcher ── coalesces same-function jobs (window / max-batch) ──▶
+    WorkerPool ── N engines, shared kernel cache ──▶ map_run batches
+
+The HTTP layer is deliberately small (``http.server`` +
+``http.client``, JSON bodies, no dependencies):
+
+* ``POST /submit``  ``{"program": "...", "function": "f",
+  "args": {...}, "timeout": 5.0}`` → ``{"ok": true, "value": ...,
+  "job_id": "...", "latency_seconds": ...}``;
+* ``GET /stats`` → the :class:`~repro.service.stats.ServiceStats`
+  snapshot as JSON;
+* ``GET /healthz`` → ``{"ok": true}``.
+"""
+
+from __future__ import annotations
+
+import json
+import queue as _queue
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Mapping, Optional
+
+from ..gpu.spec import DeviceSpec
+from ..lang.errors import DslError
+from ..runtime.engine import Engine
+from .batcher import Batch, Batcher
+from .cache import LRUKernelCache, PersistentKernelCache
+from .programs import ProgramRegistry
+from .queue import AdmissionError, Job, JobHandle, JobQueue
+from .stats import ServiceStats, StatsRegistry
+from .workers import WorkerPool
+
+
+class ComputeService:
+    """A long-running batch compile-and-execute service."""
+
+    def __init__(
+        self,
+        workers: int = 4,
+        queue_capacity: int = 1024,
+        batch_window: float = 0.01,
+        max_batch: int = 64,
+        cache_dir: Optional[str] = None,
+        cache_capacity: int = 256,
+        prob_mode: str = "direct",
+        backend: str = "auto",
+        device: Optional[DeviceSpec] = None,
+        default_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        backoff_seconds: float = 0.05,
+    ) -> None:
+        self.kernel_cache = (
+            PersistentKernelCache(cache_dir, capacity=cache_capacity)
+            if cache_dir is not None
+            else LRUKernelCache(cache_capacity)
+        )
+        self.registry = ProgramRegistry()
+        self.stats_registry = StatsRegistry()
+        self.jobs = JobQueue(queue_capacity)
+        self.batch_queue: "_queue.Queue[Optional[Batch]]" = _queue.Queue()
+        self.batcher = Batcher(
+            self.jobs, self.batch_queue,
+            window=batch_window, max_batch=max_batch,
+        )
+        self.default_timeout = default_timeout
+        self.max_retries = max_retries
+
+        def engine_factory() -> Engine:
+            return Engine(
+                device=device,
+                prob_mode=prob_mode,
+                backend=backend,
+                kernel_cache=self.kernel_cache,
+            )
+
+        self.pool = WorkerPool(
+            self.batch_queue,
+            engine_factory,
+            self.registry,
+            self.stats_registry,
+            workers=workers,
+            backoff_seconds=backoff_seconds,
+        )
+        self._closed = False
+        self.batcher.start()
+        self.pool.start()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        program: str,
+        function: str,
+        args: Optional[Mapping[str, object]] = None,
+        timeout: Optional[float] = None,
+        reduce: Optional[str] = None,
+    ) -> JobHandle:
+        """Admit one problem; returns its :class:`JobHandle`.
+
+        Raises :class:`~repro.lang.errors.DslError` on a bad program
+        or arguments (checked synchronously, so malformed work never
+        occupies the queue) and
+        :class:`~repro.service.queue.AdmissionError` under overload.
+        """
+        service_program = self.registry.register(program)
+        bindings, at, initial = service_program.bind(
+            function, args or {}
+        )
+        job = Job(
+            program_sha=service_program.sha,
+            function=function,
+            bindings=bindings,
+            at=at,
+            initial=initial,
+            reduce=reduce,
+            timeout=(
+                timeout if timeout is not None else self.default_timeout
+            ),
+            retries_left=self.max_retries,
+        )
+        try:
+            self.jobs.submit(job)
+        except AdmissionError:
+            self.stats_registry.job_rejected()
+            raise
+        self.stats_registry.job_submitted()
+        return job.handle
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """Current service snapshot (queue, batches, cache, latency)."""
+        return self.stats_registry.snapshot(
+            queue_depth=self.jobs.depth(),
+            cache_info=self.kernel_cache.cache_info(),
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def shutdown(self, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop the service; ``drain`` finishes every admitted job."""
+        if self._closed:
+            return
+        self._closed = True
+        self.jobs.close()
+        if drain:
+            self.batcher.stop(drain_timeout=timeout)
+            self.batch_queue.join()  # all emitted batches executed
+        else:
+            self.batcher.stop(drain_timeout=0.0)
+        self.pool.shutdown(timeout=timeout)
+
+    def __enter__(self) -> "ComputeService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+# -- HTTP front end -----------------------------------------------------------
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """JSON-over-HTTP adapter for one :class:`ComputeService`."""
+
+    server: "ServiceHTTPServer"
+    #: Cap a single request body at 16 MiB — admission control for
+    #: memory, not just queue slots.
+    MAX_BODY = 16 * 1024 * 1024
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/stats":
+            self._reply(200, self.server.service.stats().to_dict())
+        elif self.path == "/healthz":
+            self._reply(200, {"ok": True})
+        else:
+            self._reply(404, {"ok": False, "error": "unknown path"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/submit":
+            self._reply(404, {"ok": False, "error": "unknown path"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = 0
+        if length <= 0 or length > self.MAX_BODY:
+            self._reply(
+                413 if length > self.MAX_BODY else 400,
+                {"ok": False, "error": "missing or oversized body"},
+            )
+            return
+        try:
+            request = json.loads(self.rfile.read(length))
+            program = request["program"]
+            function = request["function"]
+        except (json.JSONDecodeError, KeyError, TypeError) as err:
+            self._reply(
+                400,
+                {"ok": False,
+                 "error": f"bad request: {err!r} (need JSON with "
+                          f"'program' and 'function')"},
+            )
+            return
+        timeout = request.get("timeout")
+        try:
+            handle = self.server.service.submit(
+                program,
+                function,
+                args=request.get("args") or {},
+                timeout=timeout,
+                reduce=request.get("reduce"),
+            )
+            value = handle.result(
+                timeout=timeout if timeout is not None
+                else self.server.result_timeout
+            )
+        except AdmissionError as err:
+            self._reply(
+                503, {"ok": False, "error": err.reason,
+                      "rejected": True},
+            )
+            return
+        except DslError as err:
+            self._reply(400, {"ok": False, "error": err.message})
+            return
+        except Exception as err:
+            self._reply(500, {"ok": False, "error": str(err)})
+            return
+        self._reply(
+            200,
+            {"ok": True,
+             "value": value,
+             "job_id": handle.job_id,
+             "latency_seconds": handle.latency_seconds},
+        )
+
+    def _reply(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # requests are accounted in ServiceStats, not stderr
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one compute service."""
+
+    daemon_threads = True
+    # The stdlib default accept backlog is 5, which resets connections
+    # when ~100 clients connect in the same instant (the service's
+    # whole point). Match the admission queue's scale instead.
+    request_queue_size = 128
+
+    def __init__(
+        self,
+        address,
+        service: ComputeService,
+        result_timeout: float = 60.0,
+    ) -> None:
+        super().__init__(address, _ServiceHandler)
+        self.service = service
+        self.result_timeout = result_timeout
+
+
+def make_http_server(
+    service: ComputeService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    result_timeout: float = 60.0,
+) -> ServiceHTTPServer:
+    """Bind (but do not run) the HTTP front end; port 0 picks one."""
+    return ServiceHTTPServer((host, port), service, result_timeout)
+
+
+def serve_in_thread(server: ServiceHTTPServer) -> threading.Thread:
+    """Run ``server.serve_forever`` on a daemon thread (for tests)."""
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-http", daemon=True
+    )
+    thread.start()
+    return thread
+
+
+# -- client helpers -----------------------------------------------------------
+
+
+def _http_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[Dict[str, object]] = None,
+    timeout: float = 60.0,
+) -> Dict[str, object]:
+    from http.client import HTTPConnection
+
+    connection = HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None
+            else None
+        )
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        data = json.loads(response.read().decode("utf-8"))
+        data["_status"] = response.status
+        return data
+    finally:
+        connection.close()
+
+
+def submit_remote(
+    host: str,
+    port: int,
+    program: str,
+    function: str,
+    args: Optional[Mapping[str, object]] = None,
+    timeout: Optional[float] = None,
+    reduce: Optional[str] = None,
+    http_timeout: float = 60.0,
+) -> Dict[str, object]:
+    """POST one job to a running service; returns the JSON reply."""
+    payload: Dict[str, object] = {
+        "program": program,
+        "function": function,
+        "args": dict(args or {}),
+    }
+    if timeout is not None:
+        payload["timeout"] = timeout
+    if reduce is not None:
+        payload["reduce"] = reduce
+    return _http_json(
+        host, port, "POST", "/submit", payload, timeout=http_timeout
+    )
+
+
+def fetch_remote_stats(
+    host: str, port: int, http_timeout: float = 10.0
+) -> Dict[str, object]:
+    """GET the ``/stats`` snapshot of a running service."""
+    return _http_json(host, port, "GET", "/stats", timeout=http_timeout)

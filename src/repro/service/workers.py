@@ -1,0 +1,195 @@
+"""The worker pool: N threads, one engine each, shared kernel cache.
+
+Each worker owns a full :class:`~repro.runtime.engine.Engine` (the
+engines share one kernel cache, so a function compiled by any worker
+is a hit for all) and executes whole batches through
+:meth:`~repro.runtime.engine.Engine.map_run` — the paper's batched
+``map`` path, not a serial loop of one-off runs.
+
+Failure policy per batch attempt:
+
+* DSL errors (parse/type/schedule/runtime-DSL) are *permanent*: the
+  input is wrong, retrying cannot help, every job in the batch fails
+  immediately;
+* anything else is treated as *transient*: jobs with retry budget
+  left are retried with exponential backoff (jobs without budget
+  fail);
+* a job whose per-job timeout has passed is failed with
+  :class:`~repro.service.queue.JobTimeoutError` before an attempt
+  starts — a batch already executing is never preempted (threads
+  cannot be killed safely), so a timeout bounds *queue + retry* wait,
+  not one engine call.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+import time
+from typing import Callable, List, Optional
+
+from ..lang.errors import DslError
+from ..runtime.engine import Engine
+from .batcher import Batch
+from .programs import ProgramRegistry
+from .queue import Job, JobState, JobTimeoutError
+from .stats import StatsRegistry
+
+
+class WorkerPool:
+    """Executes batches from a queue until shut down."""
+
+    def __init__(
+        self,
+        batches: "_queue.Queue[Optional[Batch]]",
+        engine_factory: Callable[[], Engine],
+        registry: ProgramRegistry,
+        stats: StatsRegistry,
+        workers: int = 4,
+        backoff_seconds: float = 0.05,
+        backoff_cap_seconds: float = 1.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.batches = batches
+        self.engine_factory = engine_factory
+        self.registry = registry
+        self.stats = stats
+        self.backoff_seconds = backoff_seconds
+        self.backoff_cap_seconds = backoff_cap_seconds
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-worker-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every worker thread (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for thread in self._threads:
+            thread.start()
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop workers after the queue drains (one sentinel each)."""
+        for _ in self._threads:
+            self.batches.put(None)
+        deadline = time.monotonic() + timeout
+        for thread in self._threads:
+            if not self._started:
+                break
+            thread.join(max(0.0, deadline - time.monotonic()))
+
+    @property
+    def size(self) -> int:
+        """Number of worker threads."""
+        return len(self._threads)
+
+    # -- execution -----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        engine = self.engine_factory()
+        while True:
+            batch = self.batches.get()
+            try:
+                if batch is None:
+                    return
+                self.execute_batch(engine, batch)
+            finally:
+                self.batches.task_done()
+
+    def execute_batch(self, engine: Engine, batch: Batch) -> None:
+        """Run one batch to completion (public for tests/tools)."""
+        try:
+            program = self.registry.get(batch.program_sha)
+            func = program.function(batch.function)
+        except Exception as err:
+            self._fail_jobs(batch.jobs, err)
+            return
+        at = dict(batch.key[2])
+        initial = dict(batch.key[3])
+        reduce = batch.key[4]
+
+        live = list(batch.jobs)
+        delay = self.backoff_seconds
+        while True:
+            live = self._expire(live)
+            if not live:
+                return
+            for job in live:
+                job.handle.state = JobState.RUNNING
+            try:
+                result = engine.map_run(
+                    func,
+                    {},
+                    [job.bindings for job in live],
+                    at=at or None,
+                    initial=initial or None,
+                    reduce=reduce,
+                )
+            except DslError as err:
+                self._fail_jobs(live, err)  # permanent: bad input
+                return
+            except Exception as err:
+                live = self._spend_retry_budget(live, err)
+                if not live:
+                    return
+                self.stats.retry()
+                time.sleep(min(delay, self.backoff_cap_seconds))
+                delay *= 2.0
+                continue
+            now = time.monotonic()
+            self.stats.batch_executed(len(live))
+            for job, value in zip(live, result.values):
+                latency = job.age(now)
+                job.handle.resolve(value, latency)
+                self.stats.job_completed(latency)
+            return
+
+    # -- helpers -------------------------------------------------------------
+
+    def _expire(self, jobs: List[Job]) -> List[Job]:
+        now = time.monotonic()
+        live: List[Job] = []
+        for job in jobs:
+            if job.expired(now):
+                job.handle.reject(
+                    JobTimeoutError(
+                        f"job {job.job_id} exceeded its "
+                        f"{job.timeout}s timeout after waiting "
+                        f"{job.age(now):.3f}s"
+                    ),
+                    state=JobState.TIMED_OUT,
+                    latency=job.age(now),
+                )
+                self.stats.job_timed_out()
+            else:
+                live.append(job)
+        return live
+
+    def _spend_retry_budget(
+        self, jobs: List[Job], error: BaseException
+    ) -> List[Job]:
+        """Decrement budgets; fail jobs that are out of retries."""
+        retryable: List[Job] = []
+        exhausted: List[Job] = []
+        for job in jobs:
+            if job.retries_left > 0:
+                job.retries_left -= 1
+                retryable.append(job)
+            else:
+                exhausted.append(job)
+        self._fail_jobs(exhausted, error)
+        return retryable
+
+    def _fail_jobs(self, jobs: List[Job], error: BaseException) -> None:
+        for job in jobs:
+            job.handle.reject(error, latency=job.age())
+            self.stats.job_failed()

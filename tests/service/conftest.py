@@ -1,0 +1,49 @@
+"""Shared fixtures for the service-layer tests."""
+
+import pytest
+
+from repro import check_function, parse_function
+from repro.runtime import ENGLISH
+
+EDIT_PROGRAM = '''\
+alphabet en = "abcdefghijklmnopqrstuvwxyz"
+
+int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i-1] == t[j-1] then d(i-1, j-1)
+  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1
+'''
+
+FORWARD_PROGRAM = '''\
+alphabet dna = "acgt"
+
+hmm h [dna] {
+  state b : start
+  state m emits { a: 0.4, c: 0.1, g: 0.1, t: 0.4 }
+  state e : end
+  trans b -> m : 1.0
+  trans m -> m : 0.5
+  trans m -> e : 0.5
+}
+
+prob fw(hmm h, state[h] s, seq[*] x, index[x] i) =
+  if i == 0 then (if s.isstart then 1.0 else 0.0)
+  else (if s.isend then 1.0 else s.emission[x[i-1]])
+    * sum(t in s.transitionsto : t.prob * fw(t.start, i-1))
+'''
+
+EDIT_FUNC_SRC = """\
+int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i-1] == t[j-1] then d(i-1, j-1)
+  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1"""
+
+
+@pytest.fixture
+def edit_func():
+    """The checked edit-distance function (standalone form)."""
+    return check_function(
+        parse_function(EDIT_FUNC_SRC), {"en": ENGLISH.chars}
+    )

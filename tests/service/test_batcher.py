@@ -1,0 +1,97 @@
+"""Coalescing behaviour of the batch scheduler."""
+
+import queue as _queue
+import time
+
+from repro.service.batcher import Batch, Batcher
+from repro.service.queue import JobQueue
+
+from .test_queue import make_job
+
+
+def drain(batches):
+    out = []
+    while True:
+        try:
+            out.append(batches.get_nowait())
+        except _queue.Empty:
+            return out
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class TestBatcher:
+    def test_same_key_jobs_coalesce(self):
+        jobs, batches = JobQueue(64), _queue.Queue()
+        batcher = Batcher(jobs, batches, window=0.05, max_batch=32)
+        batcher.start()
+        submitted = [make_job() for _ in range(5)]
+        for job in submitted:
+            jobs.submit(job)
+        assert wait_for(lambda: not batches.empty())
+        batcher.stop()
+        (batch,) = drain(batches)
+        assert len(batch) == 5
+        assert [j.job_id for j in batch.jobs] == [
+            j.job_id for j in submitted
+        ]
+
+    def test_distinct_keys_stay_separate(self):
+        jobs, batches = JobQueue(64), _queue.Queue()
+        batcher = Batcher(jobs, batches, window=0.02, max_batch=32)
+        batcher.start()
+        for _ in range(3):
+            jobs.submit(make_job(function="d"))
+        for _ in range(2):
+            jobs.submit(make_job(function="g"))
+        assert wait_for(lambda: batches.qsize() >= 2)
+        batcher.stop()
+        got = {b.function: len(b) for b in drain(batches)}
+        assert got == {"d": 3, "g": 2}
+
+    def test_max_batch_flushes_immediately(self):
+        jobs, batches = JobQueue(64), _queue.Queue()
+        batcher = Batcher(jobs, batches, window=30.0, max_batch=4)
+        batcher.start()
+        for _ in range(4):
+            jobs.submit(make_job())
+        # The window is half a minute: only the size trigger can
+        # flush this quickly.
+        assert wait_for(lambda: not batches.empty(), timeout=2.0)
+        batcher.stop(drain_timeout=1.0)
+        sizes = sorted(len(b) for b in drain(batches))
+        assert sizes[-1] == 4
+
+    def test_window_flushes_partial_batch(self):
+        jobs, batches = JobQueue(64), _queue.Queue()
+        batcher = Batcher(jobs, batches, window=0.02, max_batch=1000)
+        batcher.start()
+        jobs.submit(make_job())
+        assert wait_for(lambda: not batches.empty(), timeout=2.0)
+        batcher.stop()
+        (batch,) = drain(batches)
+        assert len(batch) == 1
+
+    def test_stop_drains_buffered_jobs(self):
+        jobs, batches = JobQueue(64), _queue.Queue()
+        batcher = Batcher(jobs, batches, window=60.0, max_batch=1000)
+        batcher.start()
+        for _ in range(3):
+            jobs.submit(make_job())
+        assert batcher.stop(drain_timeout=5.0)
+        total = sum(len(b) for b in drain(batches))
+        assert total == 3
+
+    def test_batch_metadata(self):
+        job = make_job()
+        batch = Batch(job.group_key, [job])
+        assert batch.program_sha == "sha"
+        assert batch.function == "d"
+        assert len(batch) == 1

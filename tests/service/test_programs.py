@@ -1,0 +1,99 @@
+"""Service-side program registry and argument binding."""
+
+import pytest
+
+from repro.lang.errors import DslError, RuntimeDslError
+from repro.runtime.values import Sequence
+from repro.service.programs import ProgramRegistry, ServiceProgram
+
+from .conftest import EDIT_PROGRAM, FORWARD_PROGRAM
+
+
+class TestServiceProgram:
+    def test_checks_and_exposes_functions(self):
+        program = ServiceProgram(EDIT_PROGRAM)
+        assert program.function("d").name == "d"
+        assert len(program.sha) == 64
+
+    def test_rejects_imperative_statements(self):
+        with pytest.raises(RuntimeDslError, match="declaration-only"):
+            ServiceProgram(EDIT_PROGRAM + '\nprint d("ab", 2, "b", 1)\n')
+
+    def test_rejects_bad_programs(self):
+        with pytest.raises(DslError):
+            ServiceProgram("int f(seq[nope] s, index[s] i) = 0")
+
+    def test_let_constants_available(self):
+        program = ServiceProgram(
+            EDIT_PROGRAM + "\nlet target = \"sitting\"\n"
+        )
+        bindings, _, _ = program.bind(
+            "d", {"s": "kitten", "t": {"ref": "target"}}
+        )
+        assert str(bindings["t"].text) == "sitting"
+
+
+class TestBinding:
+    def test_strings_coerce_to_sequences(self):
+        program = ServiceProgram(EDIT_PROGRAM)
+        bindings, at, initial = program.bind(
+            "d", {"s": "kitten", "t": "sitting"}
+        )
+        assert isinstance(bindings["s"], Sequence)
+        assert at == {} and initial == {}
+
+    def test_recursive_args_become_coordinates(self):
+        program = ServiceProgram(EDIT_PROGRAM)
+        _, at, _ = program.bind(
+            "d", {"s": "kitten", "t": "sitting", "i": 3, "j": 4}
+        )
+        assert at == {"i": 3, "j": 4}
+
+    def test_hmm_param_autobinds_by_name(self):
+        program = ServiceProgram(FORWARD_PROGRAM)
+        bindings, _, _ = program.bind("fw", {"x": "acgt"})
+        assert "h" in bindings  # the declared model, bound implicitly
+
+    def test_unknown_parameter_rejected(self):
+        program = ServiceProgram(EDIT_PROGRAM)
+        with pytest.raises(RuntimeDslError, match="no parameter"):
+            program.bind("d", {"s": "a", "t": "b", "zz": 1})
+
+    def test_missing_calling_parameter_rejected(self):
+        program = ServiceProgram(EDIT_PROGRAM)
+        with pytest.raises(RuntimeDslError, match="missing value"):
+            program.bind("d", {"s": "kitten"})
+
+    def test_bad_ref_rejected(self):
+        program = ServiceProgram(EDIT_PROGRAM)
+        with pytest.raises(RuntimeDslError, match="no declared global"):
+            program.bind(
+                "d", {"s": "a", "t": {"ref": "nothing"}}
+            )
+
+    def test_uncovered_string_rejected(self):
+        program = ServiceProgram(EDIT_PROGRAM)
+        with pytest.raises(RuntimeDslError, match="alphabet"):
+            program.bind("d", {"s": "kitten", "t": "UPPER!"})
+
+
+class TestProgramRegistry:
+    def test_checks_once_per_distinct_text(self):
+        registry = ProgramRegistry()
+        first = registry.register(EDIT_PROGRAM)
+        second = registry.register(EDIT_PROGRAM)
+        assert first is second
+        assert len(registry) == 1
+
+    def test_get_by_sha(self):
+        registry = ProgramRegistry()
+        program = registry.register(EDIT_PROGRAM)
+        assert registry.get(program.sha) is program
+        with pytest.raises(KeyError):
+            registry.get("deadbeef")
+
+    def test_distinct_texts_distinct_programs(self):
+        registry = ProgramRegistry()
+        a = registry.register(EDIT_PROGRAM)
+        b = registry.register(FORWARD_PROGRAM)
+        assert a is not b and len(registry) == 2
