@@ -87,9 +87,34 @@ def serve_main(argv) -> int:
         "--backend", choices=("auto", "scalar", "vector"),
         default="auto",
     )
+    parser.add_argument(
+        "--chaos-rate", type=float, default=0.0,
+        help="inject launch failures / transfer truncations at this "
+        "rate (supervised recovery; for soak testing)",
+    )
+    parser.add_argument(
+        "--chaos-corrupt", type=float, default=0.0,
+        help="per-cell corruption rate for injected memory faults",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed of the deterministic fault injector",
+    )
     args = parser.parse_args(argv)
 
     from .service.server import ComputeService, make_http_server
+
+    fault_plan = None
+    if args.chaos_rate > 0.0 or args.chaos_corrupt > 0.0:
+        from .resilience import FaultPlan
+
+        fault_plan = FaultPlan(
+            seed=args.chaos_seed,
+            launch_fail_rate=args.chaos_rate,
+            truncate_rate=args.chaos_rate,
+            corrupt_rate=args.chaos_corrupt,
+            corrupt_mode="bitflip",
+        )
 
     service = ComputeService(
         workers=args.workers,
@@ -100,6 +125,7 @@ def serve_main(argv) -> int:
         cache_capacity=args.cache_capacity,
         prob_mode=args.prob_mode,
         backend=args.backend,
+        fault_plan=fault_plan,
     )
     server = make_http_server(service, args.host, args.port)
     host, port = server.server_address[:2]

@@ -181,7 +181,7 @@ def emit_vector_source(
     time_loop, space_loop, assign = shape
     refs = kernel.referenced_names()
     lines: List[str] = [_PRELUDE, ""]
-    lines.append(f"def {func_name}(T, ctx):")
+    lines.append(f"def {func_name}(T, ctx, part_lo=None, part_hi=None):")
     pad = "    "
     for ub in kernel.ub_params():
         lines.append(f"{pad}{ub} = ctx['{ub}']")
@@ -204,10 +204,13 @@ def emit_vector_source(
             )
 
     p = time_loop.var
-    lines.append(
-        f"{pad}for {p} in range({bound_py(time_loop.lower)}, "
-        f"{bound_py(time_loop.upper)} + 1):"
-    )
+    lines.append(f"{pad}_plo = {bound_py(time_loop.lower)}")
+    lines.append(f"{pad}_phi = {bound_py(time_loop.upper)}")
+    lines.append(f"{pad}if part_lo is not None and part_lo > _plo:")
+    lines.append(f"{pad}    _plo = part_lo")
+    lines.append(f"{pad}if part_hi is not None and part_hi < _phi:")
+    lines.append(f"{pad}    _phi = part_hi")
+    lines.append(f"{pad}for {p} in range(_plo, _phi + 1):")
     inner = pad + "    "
     lines.append(
         f"{inner}_lo = {bound_py(space_loop.lower)}"

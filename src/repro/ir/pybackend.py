@@ -306,10 +306,17 @@ class _CellEmitter:
 def emit_kernel_source(
     kernel: Kernel, func_name: str = "kernel"
 ) -> str:
-    """Emit the full Python module source for one kernel."""
+    """Emit the full Python module source for one kernel.
+
+    The generated function takes optional ``part_lo``/``part_hi``
+    arguments that clamp the outer time loop to a partition range —
+    the execution supervisor uses this to replay only the failed
+    span of the schedule after a device fault. With both left at
+    ``None`` the kernel runs every partition, exactly as before.
+    """
     refs = kernel.referenced_names()
     lines: List[str] = [_PRELUDE, ""]
-    lines.append(f"def {func_name}(T, ctx):")
+    lines.append(f"def {func_name}(T, ctx, part_lo=None, part_hi=None):")
     pad = "    "
     for ub in kernel.ub_params():
         lines.append(f"{pad}{ub} = ctx['{ub}']")
@@ -331,7 +338,23 @@ def emit_kernel_source(
                 f"{pad}hmm_{hmm}_{piece} = ctx['hmm_{hmm}_{piece}']"
             )
     emitter = _CellEmitter()
-    _emit_nest(kernel, kernel.nest.roots, emitter, lines, pad)
+    roots = kernel.nest.roots
+    if (
+        len(roots) == 1
+        and isinstance(roots[0], loopast.Loop)
+        and roots[0].var == kernel.nest.time_var
+    ):
+        time_loop = roots[0]
+        lines.append(f"{pad}_plo = {bound_py(time_loop.lower)}")
+        lines.append(f"{pad}_phi = {bound_py(time_loop.upper)}")
+        lines.append(f"{pad}if part_lo is not None and part_lo > _plo:")
+        lines.append(f"{pad}    _plo = part_lo")
+        lines.append(f"{pad}if part_hi is not None and part_hi < _phi:")
+        lines.append(f"{pad}    _phi = part_hi")
+        lines.append(f"{pad}for {time_loop.var} in range(_plo, _phi + 1):")
+        _emit_nest(kernel, time_loop.body, emitter, lines, pad + "    ")
+    else:
+        _emit_nest(kernel, roots, emitter, lines, pad)
     lines.append(f"{pad}return T")
     return "\n".join(lines)
 

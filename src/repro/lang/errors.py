@@ -57,3 +57,15 @@ class CodegenError(DslError):
 
 class RuntimeDslError(DslError):
     """Raised for execution-time failures (bad input data, overflow...)."""
+
+
+class BackendDivergenceError(DslError):
+    """Two independent backends disagree on the same kernel.
+
+    Raised by the divergence oracle when a suspect partition range,
+    re-executed cleanly on both the primary and the reference backend,
+    still mismatches — i.e. the discrepancy is deterministic and the
+    generated code is wrong, not the (simulated) hardware. Subclassing
+    :class:`DslError` makes it *permanent* to the serving layer: a
+    compiler bug is never retried.
+    """

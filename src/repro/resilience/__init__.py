@@ -1,0 +1,62 @@
+"""Fault injection, supervised execution and cross-backend oracles.
+
+This package hardens the paper's execution model against the failure
+modes real accelerators exhibit. :mod:`~repro.resilience.faults`
+defines the seeded, deterministic injection plane;
+:mod:`~repro.resilience.checkpoint` the partition-barrier snapshot
+format; :mod:`~repro.resilience.supervisor` the checkpointed
+execution layer that detects faults and replays only the failed
+partition range; :mod:`~repro.resilience.oracle` the cross-backend
+divergence oracle that separates injected corruption from genuine
+compiler bugs; and :mod:`~repro.resilience.reference` the serial
+interpreter fallback that graceful degradation demotes to.
+"""
+
+from .checkpoint import (
+    Checkpoint,
+    CheckpointLog,
+    partition_ranges,
+    table_checksum,
+)
+from .faults import (
+    CellCorruption,
+    DeviceFault,
+    FaultEscalation,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultSite,
+    KernelHang,
+    LaunchFault,
+    TransferFault,
+)
+from .oracle import DivergenceOracle, tables_agree
+from .reference import serial_reference_run
+from .supervisor import (
+    ExecutionSupervisor,
+    SupervisionPolicy,
+    SupervisorStats,
+)
+
+__all__ = [
+    "CellCorruption",
+    "Checkpoint",
+    "CheckpointLog",
+    "DeviceFault",
+    "DivergenceOracle",
+    "ExecutionSupervisor",
+    "FaultEscalation",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSite",
+    "KernelHang",
+    "LaunchFault",
+    "SupervisionPolicy",
+    "SupervisorStats",
+    "TransferFault",
+    "partition_ranges",
+    "serial_reference_run",
+    "table_checksum",
+    "tables_agree",
+]

@@ -1,0 +1,312 @@
+"""Deterministic fault injection for the simulated device.
+
+The paper's execution template assumes every partition launch
+completes and every barrier commits. A service built on the simulator
+must instead survive the classic GPU failure modes: launches that
+fail at the driver, cells silently corrupted in device memory,
+transfers cut short, kernels that wedge. This module makes those
+failure modes *explicit, seeded and replayable*:
+
+* a :class:`FaultPlan` fixes the rates (and optionally the sites) of
+  each fault kind plus a seed;
+* a :class:`FaultInjector` turns the plan into per-site decisions by
+  hashing ``(seed, kind, site)`` — no hidden RNG stream, so the same
+  plan over the same workload produces the *same* faults regardless
+  of retry interleaving, and every decision is recorded in
+  :attr:`FaultInjector.log` for the tests' accounting;
+* the fault exceptions all derive from :class:`DeviceFault`, the
+  marker the serving layer uses to classify an error as transient
+  (retry from checkpoint) rather than deterministic (fail fast).
+
+Nothing here imports the runtime, so the device simulator and the
+lock-step executor can consume an injector without an import cycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional
+
+import numpy as np
+
+
+# -- fault exceptions ---------------------------------------------------------
+
+
+class DeviceFault(RuntimeError):
+    """A transient fault of the (simulated) device.
+
+    The serving layer treats any subclass as retryable: the input was
+    fine, the hardware misbehaved. ``site`` pins the fault to a
+    (problem, partition, SM, attempt) coordinate when known.
+    """
+
+    def __init__(self, message: str, site: Optional["FaultSite"] = None):
+        super().__init__(message)
+        self.site = site
+
+
+class LaunchFault(DeviceFault):
+    """A kernel launch failed before executing any cell."""
+
+
+class TransferFault(DeviceFault):
+    """A host/device transfer was truncated mid-copy."""
+
+
+class KernelHang(DeviceFault):
+    """A kernel exceeded the watchdog deadline and was abandoned."""
+
+
+class CellCorruption(DeviceFault):
+    """Table cells were detected to hold corrupted values."""
+
+
+class FaultEscalation(DeviceFault):
+    """A partition range kept faulting past the replay budget."""
+
+
+# -- sites and plans ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One injectable coordinate: which problem, where, which try.
+
+    ``partition`` is the lower bound of the partition range being
+    launched (or ``-1`` for whole-problem launches outside the
+    supervisor). ``attempt`` distinguishes replays of the same range
+    so a fault does not recur forever: each retry re-rolls the dice.
+    """
+
+    problem: int
+    partition: int
+    sm: int
+    attempt: int
+    stage: str = "kernel"  # "launch" | "kernel" | "transfer" | "memory"
+
+    def tokens(self) -> str:
+        """Canonical ``problem:partition:sm:attempt:stage`` form."""
+        return (
+            f"{self.problem}:{self.partition}:{self.sm}:"
+            f"{self.attempt}:{self.stage}"
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One recorded injection (the accounting unit of the tests)."""
+
+    kind: str
+    site: FaultSite
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Rates, modes and site filters of a fault campaign.
+
+    Rates are probabilities per opportunity: ``launch_fail_rate`` and
+    ``hang_rate`` per partition-range launch, ``truncate_rate`` per
+    result transfer, ``corrupt_rate`` per table cell.
+    ``corrupt_mode`` picks the damage pattern: ``"nan"`` writes NaN
+    into float tables (scan-detectable) and ``"bitflip"`` flips a
+    high mantissa/exponent bit of the raw 64-bit word (silent —
+    only replay-verification or the oracle catches it; integer tables
+    always bit-flip, NaN has no int encoding). ``only_partitions`` /
+    ``only_sms`` restrict which sites may fault at all.
+    """
+
+    seed: int = 0
+    launch_fail_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    truncate_rate: float = 0.0
+    hang_rate: float = 0.0
+    corrupt_mode: str = "nan"
+    hang_seconds: float = 0.2
+    only_partitions: Optional[FrozenSet[int]] = None
+    only_sms: Optional[FrozenSet[int]] = None
+
+    def __post_init__(self) -> None:
+        for name in ("launch_fail_rate", "corrupt_rate",
+                     "truncate_rate", "hang_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.corrupt_mode not in ("nan", "bitflip"):
+            raise ValueError(
+                f"corrupt_mode must be 'nan' or 'bitflip', "
+                f"got {self.corrupt_mode!r}"
+            )
+
+    @property
+    def any_faults(self) -> bool:
+        """Does this plan inject anything at all?"""
+        return (
+            self.launch_fail_rate > 0.0
+            or self.corrupt_rate > 0.0
+            or self.truncate_rate > 0.0
+            or self.hang_rate > 0.0
+        )
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into deterministic per-site faults.
+
+    Decisions are pure functions of ``(seed, kind, site)`` — two
+    injectors with the same plan walking the same workload make the
+    same calls in the same order and therefore build identical logs.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        #: Every fault actually injected, in injection order.
+        self.log: List[FaultEvent] = []
+
+    # -- deterministic dice --------------------------------------------------
+
+    def _digest(self, kind: str, site: FaultSite, extra: str = "") -> bytes:
+        text = f"{self.plan.seed}|{kind}|{site.tokens()}|{extra}"
+        return hashlib.sha256(text.encode("utf-8")).digest()
+
+    def _uniform(self, kind: str, site: FaultSite, extra: str = "") -> float:
+        value = int.from_bytes(self._digest(kind, site, extra)[:8], "big")
+        return value / float(1 << 64)
+
+    def _enabled(self, site: FaultSite) -> bool:
+        plan = self.plan
+        if (
+            plan.only_partitions is not None
+            and site.partition not in plan.only_partitions
+        ):
+            return False
+        if plan.only_sms is not None and site.sm not in plan.only_sms:
+            return False
+        return True
+
+    def _record(self, kind: str, site: FaultSite, detail: str = "") -> None:
+        self.log.append(FaultEvent(kind, site, detail))
+
+    # -- injection points ----------------------------------------------------
+
+    def check_launch(self, site: FaultSite) -> None:
+        """Raise :class:`LaunchFault` when this launch is doomed."""
+        rate = self.plan.launch_fail_rate
+        if rate <= 0.0 or not self._enabled(site):
+            return
+        if self._uniform("launch", site) < rate:
+            self._record("launch", site)
+            raise LaunchFault(
+                f"injected launch failure at {site.tokens()}", site
+            )
+
+    def check_transfer(self, site: FaultSite) -> None:
+        """Raise :class:`TransferFault` when the copy-back truncates."""
+        rate = self.plan.truncate_rate
+        if rate <= 0.0 or not self._enabled(site):
+            return
+        if self._uniform("transfer", site) < rate:
+            self._record("transfer", site)
+            raise TransferFault(
+                f"injected transfer truncation at {site.tokens()}", site
+            )
+
+    def hang_delay(self, site: FaultSite) -> float:
+        """Seconds this kernel will wedge for (0.0 = healthy)."""
+        rate = self.plan.hang_rate
+        if rate <= 0.0 or not self._enabled(site):
+            return 0.0
+        if self._uniform("hang", site) < rate:
+            self._record("hang", site)
+            return self.plan.hang_seconds
+        return 0.0
+
+    def corrupt_cells(
+        self,
+        table: np.ndarray,
+        schedule,
+        partition_lo: int,
+        partition_hi: int,
+        site: FaultSite,
+    ) -> List[tuple]:
+        """Corrupt cells whose partition lies in the launched range.
+
+        Each cell of the range independently corrupts with probability
+        ``corrupt_rate`` (realised through a seeded RNG, so the victim
+        set is a pure function of the site). Returns the corrupted
+        coordinates; damage follows ``corrupt_mode``.
+        """
+        plan = self.plan
+        if plan.corrupt_rate <= 0.0 or not self._enabled(site):
+            return []
+        rng = random.Random(self._digest("memory", site))
+        span = max(1, partition_hi - partition_lo + 1)
+        extents = dict(zip(schedule.dims, table.shape))
+        num_partitions = schedule.span(extents) + 1
+        expected = plan.corrupt_rate * table.size * span / num_partitions
+        count = int(expected)
+        if rng.random() < expected - count:
+            count += 1
+        victims: List[tuple] = []
+        seen = set()
+        flat_extent = table.size
+        for _ in range(count):
+            for _try in range(64):
+                flat = rng.randrange(flat_extent)
+                # A cell corrupts at most once per event: a repeat
+                # bit-flip would cancel itself out.
+                if flat in seen:
+                    continue
+                coords = np.unravel_index(flat, table.shape)
+                partition = schedule.partition_of(
+                    [int(c) for c in coords]
+                )
+                if partition_lo <= partition <= partition_hi:
+                    seen.add(flat)
+                    self._damage(table, coords)
+                    victims.append(tuple(int(c) for c in coords))
+                    self._record(
+                        "memory", site, detail=f"cell={coords}"
+                    )
+                    break
+        return victims
+
+    def corrupt_staged(
+        self, staged: dict, partition: int, problem: int = 0
+    ) -> List[tuple]:
+        """Lock-step variant: corrupt a partition's staged writes.
+
+        Called by :class:`~repro.gpu.executor.LockStepExecutor` at the
+        barrier, before the partition's writes commit. Values become
+        NaN (the semantic executor works on Python floats).
+        """
+        plan = self.plan
+        if plan.corrupt_rate <= 0.0:
+            return []
+        victims: List[tuple] = []
+        site = FaultSite(problem, partition, sm=0, attempt=0,
+                         stage="memory")
+        if not self._enabled(site):
+            return []
+        for cell in sorted(staged):
+            if self._uniform("memory", site, extra=str(cell)) \
+                    < plan.corrupt_rate:
+                staged[cell] = float("nan")
+                victims.append(cell)
+                self._record("memory", site, detail=f"cell={cell}")
+        return victims
+
+    # -- damage patterns -----------------------------------------------------
+
+    def _damage(self, table: np.ndarray, coords) -> None:
+        if table.dtype.kind == "f" and self.plan.corrupt_mode == "nan":
+            table[coords] = np.nan
+            return
+        # Bit-flip: flip a high bit of the raw 64-bit word. For floats
+        # this lands in the exponent (a silently huge/tiny value), for
+        # ints in the magnitude — either way a wrong-but-plausible
+        # payload that only verification can catch.
+        view = table.view(np.int64)
+        view[coords] = int(view[coords]) ^ (1 << 52)

@@ -1,0 +1,149 @@
+"""Cross-backend divergence oracle.
+
+When the supervisor detects a suspect partition range (replay
+verification disagreed, or a scan found poisoned cells), two causes
+are possible: the simulated hardware corrupted the result
+(transient — recover and move on), or the generated code is wrong
+(deterministic — a compiler bug that no amount of retrying fixes).
+
+The oracle separates them the only way that works: re-execute the
+range *cleanly* (no injection) on the primary backend **and** on an
+independent reference backend, from the same pre-epoch checkpoint.
+
+* clean primary == reference  -> the earlier mismatch was injected
+  corruption; the clean result is the recovery value;
+* clean primary != reference  -> the divergence is deterministic:
+  raise :class:`~repro.lang.errors.BackendDivergenceError`, which is
+  a :class:`~repro.lang.errors.DslError` and therefore *never
+  retried* by the serving layer.
+
+Reference choice: a vector-compiled kernel is checked against the
+scalar Python backend (genuinely different generated code); a scalar
+kernel is checked against the vector backend when the kernel is
+eligible, else against a fresh re-exec of its own source (which still
+catches nondeterministic state corruption, though not a deterministic
+scalar-codegen bug — noted in the classification).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..lang.errors import BackendDivergenceError
+
+
+def tables_agree(a: np.ndarray, b: np.ndarray) -> bool:
+    """Backend-grade agreement: exact for ints, tight for floats.
+
+    Float kernels may differ in the last few ulps between backends
+    (``np.logaddexp`` vs the scalar helper); corruption payloads
+    (NaN, exponent bit-flips) are far outside this tolerance.
+    """
+    if a.shape != b.shape:
+        return False
+    if a.dtype.kind != "f" or b.dtype.kind != "f":
+        return bool(np.array_equal(a, b))
+    return bool(
+        np.allclose(a, b, rtol=1e-9, atol=1e-12, equal_nan=True)
+    )
+
+
+class DivergenceOracle:
+    """Re-executes suspect partition ranges on a reference backend."""
+
+    def __init__(self) -> None:
+        #: compiled-kernel id -> (backend name, callable) reference.
+        self._references: Dict[int, Tuple[str, Optional[Callable]]] = {}
+        #: Clean re-executions performed (accounting).
+        self.runs = 0
+
+    # -- reference selection -------------------------------------------------
+
+    def reference_for(self, compiled) -> Tuple[str, Optional[Callable]]:
+        """The independent runner for ``compiled`` (cached).
+
+        Returns ``(backend_name, callable)``; the callable is ``None``
+        when no truly independent backend exists for this kernel (the
+        caller then falls back to clean primary re-execution only).
+        """
+        key = id(compiled)
+        cached = self._references.get(key)
+        if cached is not None:
+            return cached
+        from ..ir import npbackend
+        from ..ir.pybackend import compile_kernel
+
+        kernel = compiled.kernel
+        if getattr(compiled, "backend", "scalar") == "vector":
+            run, _source = compile_kernel(kernel)
+            reference: Tuple[str, Optional[Callable]] = ("scalar", run)
+        elif npbackend.eligible(kernel):
+            run, _source = npbackend.compile_vector_kernel(kernel)
+            reference = ("vector", run)
+        else:
+            reference = ("none", None)
+        self._references[key] = reference
+        return reference
+
+    # -- classification ------------------------------------------------------
+
+    def classify(
+        self,
+        compiled,
+        ctx: dict,
+        base: np.ndarray,
+        partition_lo: int,
+        partition_hi: int,
+        suspect: Optional[np.ndarray] = None,
+    ) -> Tuple[str, np.ndarray]:
+        """Re-execute ``[partition_lo, partition_hi]`` cleanly.
+
+        Returns ``(verdict, recovered)`` where ``verdict`` is
+        ``"clean"`` (the suspect actually matches the clean primary),
+        ``"corruption"`` (suspect wrong, backends agree) or
+        ``"unverified"`` (no independent backend; primary is at least
+        self-consistent). Raises
+        :class:`~repro.lang.errors.BackendDivergenceError` when the
+        backends deterministically disagree.
+        """
+        primary = base.copy()
+        compiled.run(
+            primary, ctx, part_lo=partition_lo, part_hi=partition_hi
+        )
+        self.runs += 1
+        name, reference_run = self.reference_for(compiled)
+        if reference_run is None:
+            check = base.copy()
+            compiled.run(
+                check, ctx, part_lo=partition_lo, part_hi=partition_hi
+            )
+            self.runs += 1
+            if primary.tobytes() != check.tobytes():
+                raise BackendDivergenceError(
+                    f"kernel {compiled.kernel.name!r}: two clean "
+                    f"executions of partitions "
+                    f"[{partition_lo}, {partition_hi}] disagree — "
+                    f"the backend is nondeterministic"
+                )
+            verdict = "unverified"
+        else:
+            reference = base.copy()
+            reference_run(
+                reference, ctx,
+                part_lo=partition_lo, part_hi=partition_hi,
+            )
+            self.runs += 1
+            if not tables_agree(primary, reference):
+                raise BackendDivergenceError(
+                    f"kernel {compiled.kernel.name!r}: "
+                    f"{compiled.backend} and {name} backends disagree "
+                    f"on partitions [{partition_lo}, {partition_hi}] "
+                    f"after clean re-execution — this is a compiler "
+                    f"bug, not device corruption"
+                )
+            verdict = "corruption"
+        if suspect is not None and suspect.tobytes() == primary.tobytes():
+            verdict = "clean"
+        return verdict, primary

@@ -1,0 +1,55 @@
+"""The serial reference path: last resort of graceful degradation.
+
+When a job keeps hitting device faults past every retry and replay
+budget, the serving layer stops trusting the simulated device
+entirely and *demotes* the job to the memoised recursive interpreter
+(the paper's "implicit method of evaluation", Section 2) — no
+kernels, no device, no injection surface. Slow, but it always
+terminates with the semantically-correct answer, which for a
+production service beats failing the request.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..runtime.interpreter import memoised
+from ..runtime.values import Bindings
+
+
+def serial_reference_run(
+    func,
+    bindings: Mapping[str, object],
+    at: Optional[Mapping[str, int]] = None,
+    initial: Optional[Dict[str, int]] = None,
+    reduce: Optional[str] = None,
+) -> object:
+    """Solve one problem with the memoised interpreter.
+
+    Mirrors :meth:`~repro.runtime.engine.Engine.run`'s result
+    extraction (default coordinates per dimension kind, or a
+    whole-table ``max``/``min`` reduction) so a demoted job returns
+    the same value shape the engine would have produced. Interpreter
+    semantics are direct-space — the match is exact for integer
+    kernels and direct-mode probability kernels (the service
+    default).
+    """
+    from ..runtime.engine import Engine
+
+    engine = Engine()  # coordinate/domain helpers only; nothing runs on it
+    bound = Bindings(dict(bindings))
+    domain = engine.domain_of(func, bound, initial)
+    call = memoised(func, bound)
+    if reduce is not None:
+        if reduce not in ("max", "min"):
+            from ..lang.errors import RuntimeDslError
+
+            raise RuntimeDslError(f"unknown reduction {reduce!r}")
+        pick = max if reduce == "max" else min
+        best = None
+        for point in domain.points():
+            value = call(tuple(point))
+            best = value if best is None else pick(best, value)
+        return best
+    coords = engine.result_coords(func, bound, domain, at, initial)
+    return call(coords)

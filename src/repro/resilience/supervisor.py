@@ -1,0 +1,462 @@
+"""The supervised, checkpointed execution layer.
+
+:class:`ExecutionSupervisor` wraps an
+:class:`~repro.runtime.engine.Engine` and exposes the same
+``run``/``map_run`` surface, but executes each problem *epoch by
+epoch* — an epoch being a bounded range of schedule partitions, the
+natural consistency points of the paper's time loop (Fig. 9):
+
+* before an epoch, the committed table state is the checkpoint;
+* the epoch runs as a partition-range launch
+  (``compiled.run(T, ctx, part_lo, part_hi)``) under an optional
+  watchdog deadline;
+* fault detection: launch/transfer faults surface as exceptions from
+  the injection plane (or real infrastructure), hangs trip the
+  watchdog, poisoned cells are caught by a NaN scan, and silent
+  bit-flips by replay verification (the epoch runs twice from the
+  same checkpoint and must agree bitwise);
+* recovery restores the checkpoint and replays *only the failed
+  partition range* — earlier epochs are never recomputed;
+* a detected corruption consults the
+  :class:`~repro.resilience.oracle.DivergenceOracle`, which separates
+  injected/transient damage from genuine compiler bugs
+  (:class:`~repro.lang.errors.BackendDivergenceError`, permanent);
+* a range that keeps faulting past ``max_replays`` escalates with
+  :class:`~repro.resilience.faults.FaultEscalation` so the serving
+  layer can retry the whole batch or demote to the serial reference
+  interpreter.
+
+Because recovery always re-derives cell values from a clean replay,
+the final tables are bitwise-identical to a fault-free execution.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence as Seq, Tuple
+
+import numpy as np
+
+from ..gpu.device import ProblemCost
+from ..gpu.timing import kernel_cost, problems_per_sm
+from ..runtime.values import Bindings
+from .checkpoint import CheckpointLog, partition_ranges
+from .faults import (
+    CellCorruption,
+    DeviceFault,
+    FaultEscalation,
+    FaultInjector,
+    FaultPlan,
+    FaultSite,
+    KernelHang,
+)
+from .oracle import DivergenceOracle
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Knobs of the supervised execution layer.
+
+    ``checkpoint_interval`` is the epoch size in partitions (the
+    recovery granularity: smaller = cheaper replays, more snapshot
+    copies). ``verify`` picks the corruption detector: ``"scan"``
+    (NaN scan only — catches poison, misses silent bit-flips),
+    ``"replay"`` (every epoch executes twice and must agree bitwise),
+    ``"off"``, or ``"auto"`` (replay when the fault plan can corrupt
+    cells, scan otherwise). ``watchdog_seconds`` bounds one epoch's
+    wall time; ``None`` disables the watchdog unless the plan injects
+    hangs.
+    """
+
+    checkpoint_interval: int = 8
+    max_replays: int = 8
+    watchdog_seconds: Optional[float] = None
+    verify: str = "auto"
+    use_oracle: bool = True
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be >= 0")
+        if self.max_replays < 0:
+            raise ValueError("max_replays must be >= 0")
+        if self.verify not in ("auto", "scan", "replay", "off"):
+            raise ValueError(f"unknown verify mode {self.verify!r}")
+
+
+@dataclass
+class SupervisorStats:
+    """Launch accounting of one supervisor (the recovery audit trail).
+
+    ``launches``/``partitions_launched`` count every epoch attempt,
+    including verification legs and replays;
+    ``partitions_verified`` counts just the verification legs (the
+    second execution of each round in replay-verify mode);
+    ``epochs_committed``/``partitions_committed`` count each epoch
+    once. The books must balance:
+
+        partitions_launched - partitions_committed
+            - partitions_verified  ==  sum of replayed_ranges widths
+
+    i.e. every partition launched beyond commit + verification belongs
+    to a faulted range that was replayed — recovery never re-ran a
+    clean epoch. Ranges a corruption verdict recovered through the
+    oracle (whose clean re-executions are counted in ``oracle_runs``,
+    not in ``partitions_launched``) are itemised separately in
+    ``recovered_ranges``.
+    """
+
+    problems: int = 0
+    launches: int = 0
+    partitions_launched: int = 0
+    partitions_verified: int = 0
+    epochs_committed: int = 0
+    partitions_committed: int = 0
+    replays: int = 0
+    corruption_recovered: int = 0
+    oracle_runs: int = 0
+    faults: Dict[str, int] = field(default_factory=dict)
+    replayed_ranges: List[Tuple[int, int, int]] = field(
+        default_factory=list
+    )
+    recovered_ranges: List[Tuple[int, int, int]] = field(
+        default_factory=list
+    )
+
+    def note_fault(self, fault: DeviceFault) -> None:
+        """Count one detected fault under its exception class name."""
+        name = type(fault).__name__
+        self.faults[name] = self.faults.get(name, 0) + 1
+
+    @property
+    def total_faults(self) -> int:
+        """Detected faults of every kind, summed."""
+        return sum(self.faults.values())
+
+
+class ExecutionSupervisor:
+    """Supervised ``run``/``map_run`` with checkpointed recovery.
+
+    Drop-in for an engine wherever only ``run``/``map_run`` (and
+    read-only engine attributes, via delegation) are used — the
+    worker pool hands batches to either interchangeably.
+    """
+
+    def __init__(
+        self,
+        engine=None,
+        plan: Optional[FaultPlan] = None,
+        policy: Optional[SupervisionPolicy] = None,
+        injector: Optional[FaultInjector] = None,
+        on_fault=None,
+    ) -> None:
+        if engine is None:
+            from ..runtime.engine import Engine
+
+            engine = Engine()
+        self.engine = engine
+        self.policy = policy or SupervisionPolicy()
+        if injector is None and plan is not None:
+            injector = FaultInjector(plan)
+        self.injector = injector
+        self.oracle = DivergenceOracle()
+        self.stats = SupervisorStats()
+        self.checkpoints = CheckpointLog()
+        self.on_fault = on_fault
+        self._problem_ids = itertools.count()
+
+        plan = injector.plan if injector is not None else None
+        verify = self.policy.verify
+        if verify == "auto":
+            verify = (
+                "replay"
+                if plan is not None and plan.corrupt_rate > 0.0
+                else "scan"
+            )
+        self._verify = verify
+        watchdog = self.policy.watchdog_seconds
+        if watchdog is None and plan is not None and plan.hang_rate > 0:
+            watchdog = max(0.02, plan.hang_seconds / 4.0)
+        self._watchdog = watchdog
+
+    def __getattr__(self, name: str):
+        # Everything we don't supervise (cache_info, spec, compile,
+        # ...) falls through to the wrapped engine.
+        return getattr(self.engine, name)
+
+    # -- public surface ------------------------------------------------------
+
+    def run(
+        self,
+        func,
+        bindings: Mapping[str, object],
+        at: Optional[Mapping[str, int]] = None,
+        initial: Optional[Dict[str, int]] = None,
+        user_schedule=None,
+        use_window: bool = True,
+        reduce: Optional[str] = None,
+    ):
+        """Supervised twin of :meth:`Engine.run`."""
+        from ..runtime.engine import RunResult
+
+        engine = self.engine
+        bound = Bindings(dict(bindings))
+        domain = engine.domain_of(func, bound, initial)
+        schedule = engine.schedule_for(func, domain, user_schedule)
+        compiled = engine.compile(func, schedule)
+        ctx = engine.build_context(compiled, bound, domain)
+        table = engine._table_for(compiled.kernel, domain)
+        self._execute_supervised(compiled, ctx, domain, table)
+
+        cost = kernel_cost(
+            compiled.kernel,
+            domain,
+            engine.spec,
+            mean_degree=engine.mean_degree(func, bound),
+            use_window=use_window,
+        )
+        problem = ProblemCost(
+            cost.seconds,
+            bytes_in=engine._problem_bytes(domain, bound),
+            packing=problems_per_sm(
+                compiled.kernel, domain, engine.spec
+            ),
+        )
+        report = engine.device.launch([problem])
+        coords = engine.result_coords(func, bound, domain, at, initial)
+        value = engine._extract(compiled.kernel, table, coords, reduce)
+        return RunResult(
+            value, table, compiled.kernel, domain, cost, report
+        )
+
+    def map_run(
+        self,
+        func,
+        base_bindings: Mapping[str, object],
+        problems: Seq[Mapping[str, object]],
+        at: Optional[Mapping[str, int]] = None,
+        initial: Optional[Dict[str, int]] = None,
+        use_window: bool = True,
+        reduce: Optional[str] = None,
+        parallelism: str = "intra",
+        hybrid_threshold: Optional[int] = None,
+        execute: bool = True,
+    ):
+        """Supervised twin of :meth:`Engine.map_run`.
+
+        Only executing intra-task runs are supervised (the service
+        path); pricing-only sweeps and inter/hybrid accounting modes
+        pass straight through to the engine.
+        """
+        from ..runtime.engine import MapResult
+
+        if not execute or parallelism != "intra":
+            return self.engine.map_run(
+                func, base_bindings, problems,
+                at=at, initial=initial, use_window=use_window,
+                reduce=reduce, parallelism=parallelism,
+                hybrid_threshold=hybrid_threshold, execute=execute,
+            )
+        engine = self.engine
+        prepared, costs, usage, problem_costs = engine.prepare_map(
+            func, base_bindings, problems,
+            initial=initial, use_window=use_window,
+        )
+        values: List[object] = []
+        for bound, domain, compiled in prepared:
+            ctx = engine.build_context(compiled, bound, domain)
+            table = engine._table_for(compiled.kernel, domain)
+            self._execute_supervised(compiled, ctx, domain, table)
+            coords = (
+                None
+                if reduce
+                else engine.result_coords(func, bound, domain, at,
+                                          initial)
+            )
+            values.append(
+                engine._extract(compiled.kernel, table, coords, reduce)
+            )
+        report = engine.device.launch(problem_costs)
+        return MapResult(values, report, usage, costs, "intra")
+
+    # -- supervised execution ------------------------------------------------
+
+    def _execute_supervised(
+        self, compiled, ctx: dict, domain, table: np.ndarray
+    ) -> np.ndarray:
+        """Fill ``table`` epoch by epoch with checkpointed recovery."""
+        problem = next(self._problem_ids)
+        self.stats.problems += 1
+        schedule = compiled.schedule
+        p_lo = schedule.min_partition(domain)
+        p_hi = schedule.max_partition(domain)
+        sm = problem % self.engine.spec.sm_count
+        state = table
+        for elo, ehi in partition_ranges(
+            p_lo, p_hi, self.policy.checkpoint_interval
+        ):
+            state = self._run_epoch(
+                compiled, ctx, state, elo, ehi, problem, sm
+            )
+            self.stats.epochs_committed += 1
+            self.stats.partitions_committed += ehi - elo + 1
+            self.checkpoints.record(problem, elo, ehi, state)
+        if state is not table:
+            np.copyto(table, state)
+        return table
+
+    def _run_epoch(
+        self,
+        compiled,
+        ctx: dict,
+        base: np.ndarray,
+        elo: int,
+        ehi: int,
+        problem: int,
+        sm: int,
+    ) -> np.ndarray:
+        """One epoch to a committed state, replaying on faults."""
+        attempts = itertools.count()
+        for round_index in range(self.policy.max_replays + 1):
+            try:
+                scratch = self._attempt(
+                    compiled, ctx, base, elo, ehi, problem, sm,
+                    next(attempts),
+                )
+                if self._verify == "replay":
+                    self.stats.partitions_verified += ehi - elo + 1
+                    again = self._attempt(
+                        compiled, ctx, base, elo, ehi, problem, sm,
+                        next(attempts),
+                    )
+                    if scratch.tobytes() != again.tobytes():
+                        raise CellCorruption(
+                            f"replay verification mismatch on "
+                            f"partitions [{elo}, {ehi}]",
+                            FaultSite(problem, elo, sm, round_index,
+                                      "memory"),
+                        )
+                return scratch
+            except DeviceFault as fault:
+                self.stats.note_fault(fault)
+                if self.on_fault is not None:
+                    self.on_fault(fault)
+                if (
+                    isinstance(fault, CellCorruption)
+                    and self.policy.use_oracle
+                ):
+                    # The oracle replays the range cleanly on two
+                    # backends: recovery value on agreement, a
+                    # permanent BackendDivergenceError otherwise.
+                    self.stats.recovered_ranges.append(
+                        (problem, elo, ehi)
+                    )
+                    verdict, recovered = self.oracle.classify(
+                        compiled, ctx, base, elo, ehi
+                    )
+                    self.stats.oracle_runs = self.oracle.runs
+                    self.stats.corruption_recovered += 1
+                    return recovered
+                self.stats.replays += 1
+                self.stats.replayed_ranges.append((problem, elo, ehi))
+        raise FaultEscalation(
+            f"partitions [{elo}, {ehi}] of problem {problem} still "
+            f"faulting after {self.policy.max_replays} replays",
+            FaultSite(problem, elo, sm, self.policy.max_replays,
+                      "kernel"),
+        )
+
+    def _attempt(
+        self,
+        compiled,
+        ctx: dict,
+        base: np.ndarray,
+        elo: int,
+        ehi: int,
+        problem: int,
+        sm: int,
+        attempt: int,
+    ) -> np.ndarray:
+        """One launch of partitions ``[elo, ehi]`` from the checkpoint."""
+        site = FaultSite(problem, elo, sm, attempt, "launch")
+        self.stats.launches += 1
+        self.stats.partitions_launched += ehi - elo + 1
+        injector = self.injector
+        if injector is not None:
+            injector.check_launch(site)
+        scratch = base.copy()
+        self._run_range(compiled, scratch, ctx, elo, ehi, site)
+        if injector is not None:
+            injector.check_transfer(
+                FaultSite(problem, elo, sm, attempt, "transfer")
+            )
+            injector.corrupt_cells(
+                scratch, compiled.schedule, elo, ehi,
+                FaultSite(problem, elo, sm, attempt, "memory"),
+            )
+        if (
+            self._verify in ("scan", "replay")
+            and scratch.dtype.kind == "f"
+            and bool(np.isnan(scratch).any())
+        ):
+            raise CellCorruption(
+                f"NaN cells detected in partitions [{elo}, {ehi}]",
+                FaultSite(problem, elo, sm, attempt, "memory"),
+            )
+        return scratch
+
+    def _run_range(
+        self,
+        compiled,
+        scratch: np.ndarray,
+        ctx: dict,
+        elo: int,
+        ehi: int,
+        site: FaultSite,
+    ) -> None:
+        """Execute the partition range, under the watchdog if set."""
+        hang = (
+            self.injector.hang_delay(site)
+            if self.injector is not None
+            else 0.0
+        )
+        deadline = self._watchdog
+        if deadline is None:
+            if hang > 0.0:
+                # No watchdog configured: surface the wedge directly
+                # rather than blocking the worker forever.
+                raise KernelHang(
+                    f"kernel wedged on partitions [{elo}, {ehi}] "
+                    f"(no watchdog configured)", site
+                )
+            compiled.run(scratch, ctx, part_lo=elo, part_hi=ehi)
+            return
+
+        done = threading.Event()
+        failure: List[BaseException] = []
+
+        def body() -> None:
+            try:
+                if hang > 0.0:
+                    time.sleep(hang)  # the wedge the watchdog catches
+                compiled.run(scratch, ctx, part_lo=elo, part_hi=ehi)
+            except BaseException as err:  # noqa: BLE001 - relayed
+                failure.append(err)
+            finally:
+                done.set()
+
+        thread = threading.Thread(
+            target=body, name="repro-epoch", daemon=True
+        )
+        thread.start()
+        if not done.wait(deadline):
+            # Abandon the wedged launch; it ran on its own scratch
+            # copy of the checkpoint, so the committed state is safe.
+            raise KernelHang(
+                f"watchdog: partitions [{elo}, {ehi}] exceeded "
+                f"{deadline}s", site
+            )
+        if failure:
+            raise failure[0]

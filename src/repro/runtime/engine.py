@@ -66,12 +66,20 @@ DEFAULT_CACHE_CAPACITY = 256
 
 @dataclass
 class CompiledKernel:
-    """A cached compilation product."""
+    """A cached compilation product.
+
+    ``run`` accepts optional ``part_lo``/``part_hi`` keyword
+    arguments clamping execution to a partition range (the resilience
+    supervisor's replay unit). ``backend`` names the code generator
+    that produced ``source`` — the divergence oracle picks its
+    reference backend from it.
+    """
 
     kernel: Kernel
-    run: object  # the compiled Python callable (T, ctx) -> T
+    run: object  # the compiled callable (T, ctx, part_lo, part_hi) -> T
     source: str
     compile_seconds: float
+    backend: str = "scalar"
 
     @property
     def schedule(self) -> Schedule:
@@ -195,7 +203,10 @@ class Engine:
         else:
             run, source = compile_kernel(kernel)
         elapsed = time.perf_counter() - started
-        compiled = CompiledKernel(kernel, run, source, elapsed)
+        compiled = CompiledKernel(
+            kernel, run, source, elapsed,
+            backend="vector" if use_vector else "scalar",
+        )
         self._cache.store(key, compiled)
         return compiled
 
@@ -364,6 +375,65 @@ class Engine:
         return RunResult(value, table, compiled.kernel, domain, cost,
                          report)
 
+    def prepare_map(
+        self,
+        func: CheckedFunction,
+        base_bindings: Mapping[str, object],
+        problems: Seq[Mapping[str, object]],
+        initial: Optional[Dict[str, int]] = None,
+        use_window: bool = True,
+    ):
+        """Compile and price every problem of a ``map`` workload.
+
+        Returns ``(prepared, costs, usage, problem_costs)`` where
+        ``prepared`` is a list of ``(bindings, domain, compiled)``
+        triples in problem order. Shared by :meth:`map_run` and the
+        resilience supervisor (which executes the prepared problems
+        under checkpointed supervision instead).
+        """
+        try:
+            schedule_set: Optional[ScheduleSet] = derive_schedule_set(
+                func, bound=self.schedule_bound
+            )
+        except ScheduleError:
+            schedule_set = None
+
+        prepared = []
+        for overrides in problems:
+            bound = Bindings({**base_bindings, **overrides})
+            domain = self.domain_of(func, bound, initial)
+            if schedule_set is not None:
+                schedule = schedule_set.select(domain.extent_map())
+            else:
+                schedule = self.schedule_for(func, domain)
+            compiled = self.compile(func, schedule)
+            prepared.append((bound, domain, compiled))
+
+        costs: List[KernelCost] = []
+        usage: Dict[Tuple[int, ...], int] = {}
+        problem_costs: List[ProblemCost] = []
+        for bound, domain, compiled in prepared:
+            cost = kernel_cost(
+                compiled.kernel,
+                domain,
+                self.spec,
+                mean_degree=self.mean_degree(func, bound),
+                use_window=use_window,
+            )
+            costs.append(cost)
+            coeffs = compiled.schedule.coefficients
+            usage[coeffs] = usage.get(coeffs, 0) + 1
+            problem_costs.append(
+                ProblemCost(
+                    cost.seconds,
+                    bytes_in=self._problem_bytes(domain, bound),
+                    packing=problems_per_sm(
+                        compiled.kernel, domain, self.spec
+                    ),
+                )
+            )
+        return prepared, costs, usage, problem_costs
+
     def map_run(
         self,
         func: CheckedFunction,
@@ -403,48 +473,11 @@ class Engine:
             raise RuntimeDslError(
                 f"unknown parallelism {parallelism!r}"
             )
-        try:
-            schedule_set: Optional[ScheduleSet] = derive_schedule_set(
-                func, bound=self.schedule_bound
-            )
-        except ScheduleError:
-            schedule_set = None
-
-        prepared = []
-        for overrides in problems:
-            bound = Bindings({**base_bindings, **overrides})
-            domain = self.domain_of(func, bound, initial)
-            if schedule_set is not None:
-                schedule = schedule_set.select(domain.extent_map())
-            else:
-                schedule = self.schedule_for(func, domain)
-            compiled = self.compile(func, schedule)
-            prepared.append((bound, domain, compiled))
-
+        prepared, costs, usage, problem_costs = self.prepare_map(
+            func, base_bindings, problems,
+            initial=initial, use_window=use_window,
+        )
         values: List[object] = [None] * len(prepared)
-        costs: List[KernelCost] = []
-        usage: Dict[Tuple[int, ...], int] = {}
-        problem_costs: List[ProblemCost] = []
-        for bound, domain, compiled in prepared:
-            cost = kernel_cost(
-                compiled.kernel,
-                domain,
-                self.spec,
-                mean_degree=self.mean_degree(func, bound),
-                use_window=use_window,
-            )
-            costs.append(cost)
-            coeffs = compiled.schedule.coefficients
-            usage[coeffs] = usage.get(coeffs, 0) + 1
-            problem_costs.append(
-                ProblemCost(
-                    cost.seconds,
-                    bytes_in=self._problem_bytes(domain, bound),
-                    packing=problems_per_sm(
-                        compiled.kernel, domain, self.spec
-                    ),
-                )
-            )
 
         def run_one(index: int) -> None:
             bound, domain, compiled = prepared[index]

@@ -46,7 +46,9 @@ _EXPORTS = {
     "WorkerPool": ("workers", "WorkerPool"),
     "ServiceStats": ("stats", "ServiceStats"),
     "StatsRegistry": ("stats", "StatsRegistry"),
+    "classify_failure": ("workers", "classify_failure"),
     "ComputeService": ("server", "ComputeService"),
+    "chaos_plan_from_env": ("server", "chaos_plan_from_env"),
     "make_http_server": ("server", "make_http_server"),
     "submit_remote": ("server", "submit_remote"),
     "fetch_remote_stats": ("server", "fetch_remote_stats"),

@@ -34,9 +34,16 @@ import threading
 from collections import OrderedDict
 from typing import Dict, List, NamedTuple, Optional, Tuple
 
-#: Bump when the cache key derivation changes; old on-disk entries
-#: then simply miss instead of colliding.
-KEY_FORMAT = 1
+#: Bump when the cache key derivation or the serialized record schema
+#: changes; old on-disk entries then simply miss instead of colliding.
+#: v2: kernels accept partition-range arguments (``part_lo`` /
+#: ``part_hi``) and records carry the producing backend.
+KEY_FORMAT = 2
+
+#: Leading magic of every on-disk record. Checked *before* the pickle
+#: payload is touched: entries written by an older (or entirely
+#: foreign) schema are evicted without ever being unpickled.
+MAGIC = b"repro-kernel-cache:%d\n" % KEY_FORMAT
 
 
 class CacheInfo(NamedTuple):
@@ -93,13 +100,19 @@ def kernel_cache_key(
 
 
 def encode_compiled(compiled) -> bytes:
-    """Serialize a ``CompiledKernel`` for the disk tier."""
-    return pickle.dumps(
+    """Serialize a ``CompiledKernel`` for the disk tier.
+
+    The record is the :data:`MAGIC` header followed by a pickled
+    payload; the header carries the schema version in cleartext so
+    readers can reject stale entries without unpickling them.
+    """
+    return MAGIC + pickle.dumps(
         {
             "format": KEY_FORMAT,
             "payload": compiled.kernel.to_payload(),
             "source": compiled.source,
             "compile_seconds": compiled.compile_seconds,
+            "backend": getattr(compiled, "backend", "scalar"),
         },
         protocol=pickle.HIGHEST_PROTOCOL,
     )
@@ -108,16 +121,25 @@ def encode_compiled(compiled) -> bytes:
 def decode_compiled(data: bytes):
     """Rebuild a ``CompiledKernel`` from :func:`encode_compiled` bytes.
 
+    The :data:`MAGIC` header is verified *before* any unpickling: an
+    entry from an older schema (or not written by this cache at all)
+    raises ``ValueError`` immediately — callers evict it as corrupt —
+    rather than being fed to ``pickle.loads`` and trusted to fail.
     The executable callable is reconstructed by re-exec'ing the
     generated source (both backends emit a self-contained module
-    defining ``kernel(T, ctx)``). Raises ``ValueError`` on anything
-    malformed — callers treat that as a miss.
+    defining ``kernel(T, ctx, part_lo=None, part_hi=None)``).
     """
     from ..ir.kernel import Kernel
     from ..runtime.engine import CompiledKernel
 
+    if not data.startswith(MAGIC):
+        head = bytes(data[:32])
+        raise ValueError(
+            f"cache record header {head!r} does not match "
+            f"format {KEY_FORMAT} — stale or foreign entry"
+        )
     try:
-        record = pickle.loads(data)
+        record = pickle.loads(data[len(MAGIC):])
         if record["format"] != KEY_FORMAT:
             raise ValueError(
                 f"cache record format {record['format']!r} != {KEY_FORMAT}"
@@ -135,7 +157,11 @@ def decode_compiled(data: bytes):
     except Exception as err:
         raise ValueError(f"corrupt cache record: {err}") from err
     return CompiledKernel(
-        kernel, run, source, float(record.get("compile_seconds", 0.0))
+        kernel,
+        run,
+        source,
+        float(record.get("compile_seconds", 0.0)),
+        backend=str(record.get("backend", "scalar")),
     )
 
 

@@ -23,6 +23,7 @@ The HTTP layer is deliberately small (``http.server`` +
 from __future__ import annotations
 
 import json
+import os
 import queue as _queue
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -30,6 +31,12 @@ from typing import Dict, Mapping, Optional
 
 from ..gpu.spec import DeviceSpec
 from ..lang.errors import DslError
+from ..lang.source import SourceText
+from ..resilience import (
+    ExecutionSupervisor,
+    FaultPlan,
+    SupervisionPolicy,
+)
 from ..runtime.engine import Engine
 from .batcher import Batch, Batcher
 from .cache import LRUKernelCache, PersistentKernelCache
@@ -37,6 +44,29 @@ from .programs import ProgramRegistry
 from .queue import AdmissionError, Job, JobHandle, JobQueue
 from .stats import ServiceStats, StatsRegistry
 from .workers import WorkerPool
+
+
+def chaos_plan_from_env(environ=None) -> Optional[FaultPlan]:
+    """Build a :class:`FaultPlan` from ``REPRO_CHAOS_*`` variables.
+
+    ``REPRO_CHAOS_RATE`` (launch failure + transfer truncation rate),
+    ``REPRO_CHAOS_CORRUPT`` (per-cell corruption rate) and
+    ``REPRO_CHAOS_SEED`` let CI run the whole service suite under
+    fault injection without touching any test. Returns ``None`` when
+    chaos is not requested.
+    """
+    environ = os.environ if environ is None else environ
+    rate = float(environ.get("REPRO_CHAOS_RATE", "0") or 0.0)
+    corrupt = float(environ.get("REPRO_CHAOS_CORRUPT", "0") or 0.0)
+    if rate <= 0.0 and corrupt <= 0.0:
+        return None
+    return FaultPlan(
+        seed=int(environ.get("REPRO_CHAOS_SEED", "0") or 0),
+        launch_fail_rate=rate,
+        truncate_rate=rate,
+        corrupt_rate=corrupt,
+        corrupt_mode="bitflip",
+    )
 
 
 class ComputeService:
@@ -56,7 +86,12 @@ class ComputeService:
         default_timeout: Optional[float] = None,
         max_retries: int = 2,
         backoff_seconds: float = 0.05,
+        fault_plan: Optional[FaultPlan] = None,
+        supervision: Optional[SupervisionPolicy] = None,
+        demote_after: int = 3,
     ) -> None:
+        if fault_plan is None:
+            fault_plan = chaos_plan_from_env()
         self.kernel_cache = (
             PersistentKernelCache(cache_dir, capacity=cache_capacity)
             if cache_dir is not None
@@ -73,12 +108,23 @@ class ComputeService:
         self.default_timeout = default_timeout
         self.max_retries = max_retries
 
+        self.fault_plan = fault_plan
+        self.supervision = supervision
+
         def engine_factory() -> Engine:
-            return Engine(
+            engine = Engine(
                 device=device,
                 prob_mode=prob_mode,
                 backend=backend,
                 kernel_cache=self.kernel_cache,
+            )
+            if fault_plan is None and supervision is None:
+                return engine
+            # Each worker gets its own supervisor (injection logs and
+            # stats are per-engine); determinism is preserved because
+            # fault decisions are pure functions of (seed, site).
+            return ExecutionSupervisor(
+                engine, plan=fault_plan, policy=supervision
             )
 
         self.pool = WorkerPool(
@@ -88,6 +134,7 @@ class ComputeService:
             self.stats_registry,
             workers=workers,
             backoff_seconds=backoff_seconds,
+            demote_after=demote_after,
         )
         self._closed = False
         self.batcher.start()
@@ -231,7 +278,18 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             )
             return
         except DslError as err:
-            self._reply(400, {"ok": False, "error": err.message})
+            # Full caret diagnostic, same rendering the CLI prints —
+            # the client sees *where* in their program the error is.
+            rendered = err.render(
+                SourceText(program, name="<submit>")
+                if isinstance(program, str)
+                else None
+            )
+            self._reply(
+                400,
+                {"ok": False, "error": rendered,
+                 "message": err.message},
+            )
             return
         except Exception as err:
             self._reply(500, {"ok": False, "error": str(err)})

@@ -36,6 +36,8 @@ class ServiceStats:
     failed: int
     timed_out: int
     retries: int
+    device_faults: int
+    demotions: int
     batches: int
     batched_jobs: int
     mean_batch_size: float
@@ -61,6 +63,8 @@ class ServiceStats:
             f"completed={self.completed} failed={self.failed} "
             f"timed_out={self.timed_out} rejected={self.rejected} "
             f"retries={self.retries}",
+            f"  resilience  device_faults={self.device_faults} "
+            f"demotions={self.demotions}",
             f"  queue       depth={self.queue_depth}",
             f"  batching    batches={self.batches} "
             f"jobs={self.batched_jobs} "
@@ -88,6 +92,8 @@ class StatsRegistry:
         self.failed = 0
         self.timed_out = 0
         self.retries = 0
+        self.device_faults = 0
+        self.demotions = 0
         self.batches = 0
         self.batched_jobs = 0
         self.max_batch_size = 0
@@ -126,6 +132,16 @@ class StatsRegistry:
         with self._lock:
             self.retries += 1
 
+    def device_fault(self) -> None:
+        """A batch attempt failed with a (simulated) device fault."""
+        with self._lock:
+            self.device_faults += 1
+
+    def demotion(self) -> None:
+        """A job was demoted to the serial reference interpreter."""
+        with self._lock:
+            self.demotions += 1
+
     def batch_executed(self, size: int) -> None:
         """A batch of ``size`` jobs ran as one ``map`` launch."""
         with self._lock:
@@ -151,6 +167,8 @@ class StatsRegistry:
                 failed=self.failed,
                 timed_out=self.timed_out,
                 retries=self.retries,
+                device_faults=self.device_faults,
+                demotions=self.demotions,
                 batches=self.batches,
                 batched_jobs=self.batched_jobs,
                 mean_batch_size=(

@@ -6,14 +6,23 @@ is a hit for all) and executes whole batches through
 :meth:`~repro.runtime.engine.Engine.map_run` — the paper's batched
 ``map`` path, not a serial loop of one-off runs.
 
-Failure policy per batch attempt:
+Failure policy per batch attempt (see :func:`classify_failure`):
 
-* DSL errors (parse/type/schedule/runtime-DSL) are *permanent*: the
-  input is wrong, retrying cannot help, every job in the batch fails
-  immediately;
-* anything else is treated as *transient*: jobs with retry budget
-  left are retried with exponential backoff (jobs without budget
-  fail);
+* DSL errors (parse/type/schedule/runtime-DSL, including
+  :class:`~repro.gpu.executor.RaceError` and
+  :class:`~repro.lang.errors.BackendDivergenceError`) are
+  *permanent*: the input — or the compiler — is wrong, retrying
+  cannot help, every job in the batch fails immediately;
+* :class:`~repro.resilience.faults.DeviceFault` is *device-transient*:
+  retried with backoff, but a batch that keeps hitting device faults
+  is **demoted** to the serial reference interpreter (graceful
+  degradation — slow but fault-free), recorded in
+  :class:`~repro.service.stats.ServiceStats`;
+* environmental errors (``OSError``/``MemoryError``/``TimeoutError``)
+  are *transient*: jobs with retry budget left are retried with
+  exponential backoff (jobs without budget fail);
+* any other exception is treated as permanent — unknown failures
+  fail fast rather than burn retries;
 * a job whose per-job timeout has passed is failed with
   :class:`~repro.service.queue.JobTimeoutError` before an attempt
   starts — a batch already executing is never preempted (threads
@@ -26,14 +35,35 @@ from __future__ import annotations
 import queue as _queue
 import threading
 import time
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from ..lang.errors import DslError
+from ..resilience.faults import DeviceFault
+from ..resilience.reference import serial_reference_run
 from ..runtime.engine import Engine
 from .batcher import Batch
 from .programs import ProgramRegistry
 from .queue import Job, JobState, JobTimeoutError
 from .stats import StatsRegistry
+
+
+def classify_failure(error: BaseException) -> str:
+    """Classify one batch-attempt failure for the retry policy.
+
+    Returns ``"permanent"`` (fail fast, never retry), ``"device"``
+    (transient device fault: retry, eventually demote) or
+    ``"transient"`` (environmental: retry while budget lasts).
+    DslError is checked first: BackendDivergenceError subclasses both
+    worlds conceptually but *is* a DslError — a compiler bug must
+    never be retried.
+    """
+    if isinstance(error, DslError):
+        return "permanent"
+    if isinstance(error, DeviceFault):
+        return "device"
+    if isinstance(error, (OSError, MemoryError, TimeoutError)):
+        return "transient"
+    return "permanent"
 
 
 class WorkerPool:
@@ -48,15 +78,21 @@ class WorkerPool:
         workers: int = 4,
         backoff_seconds: float = 0.05,
         backoff_cap_seconds: float = 1.0,
+        demote_after: int = 3,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if demote_after < 1:
+            raise ValueError(
+                f"demote_after must be >= 1, got {demote_after}"
+            )
         self.batches = batches
         self.engine_factory = engine_factory
         self.registry = registry
         self.stats = stats
         self.backoff_seconds = backoff_seconds
         self.backoff_cap_seconds = backoff_cap_seconds
+        self.demote_after = demote_after
         self._threads = [
             threading.Thread(
                 target=self._worker_loop,
@@ -119,6 +155,7 @@ class WorkerPool:
 
         live = list(batch.jobs)
         delay = self.backoff_seconds
+        device_fault_rounds = 0
         while True:
             live = self._expire(live)
             if not live:
@@ -134,11 +171,33 @@ class WorkerPool:
                     initial=initial or None,
                     reduce=reduce,
                 )
-            except DslError as err:
-                self._fail_jobs(live, err)  # permanent: bad input
-                return
             except Exception as err:
-                live = self._spend_retry_budget(live, err)
+                kind = classify_failure(err)
+                if kind == "permanent":
+                    # Bad input or a compiler bug — retrying cannot
+                    # change a deterministic outcome.
+                    self._fail_jobs(live, err)
+                    return
+                if kind == "device":
+                    self.stats.device_fault()
+                    device_fault_rounds += 1
+                    if device_fault_rounds >= self.demote_after:
+                        # The device keeps misbehaving on this batch:
+                        # stop trusting it, finish on the serial
+                        # reference interpreter.
+                        self._demote(live, func, at, initial, reduce)
+                        return
+                    retryable, exhausted = self._split_retry_budget(
+                        live
+                    )
+                    # Out-of-budget jobs of a *device* fault still get
+                    # a correct answer, just slowly.
+                    if exhausted:
+                        self._demote(exhausted, func, at, initial,
+                                     reduce)
+                    live = retryable
+                else:
+                    live = self._spend_retry_budget(live, err)
                 if not live:
                     return
                 self.stats.retry()
@@ -174,10 +233,10 @@ class WorkerPool:
                 live.append(job)
         return live
 
-    def _spend_retry_budget(
-        self, jobs: List[Job], error: BaseException
-    ) -> List[Job]:
-        """Decrement budgets; fail jobs that are out of retries."""
+    def _split_retry_budget(
+        self, jobs: List[Job]
+    ) -> Tuple[List[Job], List[Job]]:
+        """Decrement budgets; partition into (retryable, exhausted)."""
         retryable: List[Job] = []
         exhausted: List[Job] = []
         for job in jobs:
@@ -186,8 +245,47 @@ class WorkerPool:
                 retryable.append(job)
             else:
                 exhausted.append(job)
+        return retryable, exhausted
+
+    def _spend_retry_budget(
+        self, jobs: List[Job], error: BaseException
+    ) -> List[Job]:
+        """Decrement budgets; fail jobs that are out of retries."""
+        retryable, exhausted = self._split_retry_budget(jobs)
         self._fail_jobs(exhausted, error)
         return retryable
+
+    def _demote(
+        self,
+        jobs: List[Job],
+        func,
+        at: dict,
+        initial: dict,
+        reduce: Optional[str],
+    ) -> None:
+        """Finish ``jobs`` on the serial reference interpreter.
+
+        The last rung of graceful degradation: no kernels, no device,
+        no injection surface. Each job is solved independently; a job
+        the interpreter also rejects fails permanently.
+        """
+        jobs = self._expire(jobs)
+        for job in jobs:
+            try:
+                value = serial_reference_run(
+                    func,
+                    job.bindings,
+                    at=at or None,
+                    initial=initial or None,
+                    reduce=reduce,
+                )
+            except Exception as err:
+                self._fail_jobs([job], err)
+                continue
+            self.stats.demotion()
+            latency = job.age()
+            job.handle.resolve(value, latency)
+            self.stats.job_completed(latency)
 
     def _fail_jobs(self, jobs: List[Job], error: BaseException) -> None:
         for job in jobs:

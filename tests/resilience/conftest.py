@@ -1,0 +1,62 @@
+"""Shared fixtures for the resilience tests."""
+
+import pytest
+
+from repro.extensions.hmm import HmmBuilder
+from repro.lang.parser import parse_function
+from repro.lang.typecheck import check_function
+from repro.runtime.values import DNA, ENGLISH, Sequence
+
+EDIT_DISTANCE = """
+int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i-1] == t[j-1] then d(i-1, j-1)
+  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1
+"""
+
+FORWARD = """
+prob forward(hmm h, state[h] s, seq[*] x, index[x] i) =
+  if i == 0 then (if s.isstart then 1.0 else 0.0)
+  else (if s.isend then 1.0 else s.emission[x[i-1]])
+    * sum(t in s.transitionsto : t.prob * forward(t.start, i - 1))
+"""
+
+
+@pytest.fixture
+def edit_func():
+    """Checked edit distance (integer table, vector-eligible)."""
+    return check_function(
+        parse_function(EDIT_DISTANCE.strip()), {"en": ENGLISH.chars}
+    )
+
+
+@pytest.fixture
+def edit_bindings():
+    """The canonical kitten/sitting problem (answer: 3)."""
+    return {
+        "s": Sequence("kitten", ENGLISH),
+        "t": Sequence("sitting", ENGLISH),
+    }
+
+
+@pytest.fixture
+def forward_func():
+    """Checked HMM forward (float table in direct mode)."""
+    return check_function(parse_function(FORWARD.strip()), {})
+
+
+@pytest.fixture
+def forward_bindings():
+    """A small HMM plus an observation sequence."""
+    hmm = (
+        HmmBuilder("h", DNA)
+        .start("b")
+        .uniform_state("m")
+        .end("e")
+        .transition("b", "m", 1.0)
+        .transition("m", "m", 0.9)
+        .transition("m", "e", 0.1)
+        .build()
+    )
+    return {"h": hmm, "x": Sequence("acgtacgt", DNA)}

@@ -1,0 +1,71 @@
+"""Partition-barrier checkpoints: ranges, checksums, the log."""
+
+import numpy as np
+
+from repro.resilience.checkpoint import (
+    CheckpointLog,
+    partition_ranges,
+    table_checksum,
+)
+
+
+class TestPartitionRanges:
+    def test_even_chunks(self):
+        assert partition_ranges(0, 7, 4) == [(0, 3), (4, 7)]
+
+    def test_uneven_tail(self):
+        assert partition_ranges(0, 9, 4) == [(0, 3), (4, 7), (8, 9)]
+
+    def test_single_partition(self):
+        assert partition_ranges(5, 5, 4) == [(5, 5)]
+
+    def test_empty_span(self):
+        assert partition_ranges(3, 2, 4) == []
+
+    def test_zero_interval_means_one_epoch(self):
+        assert partition_ranges(0, 99, 0) == [(0, 99)]
+
+    def test_covers_span_exactly_once(self):
+        ranges = partition_ranges(2, 31, 7)
+        covered = [
+            p for lo, hi in ranges for p in range(lo, hi + 1)
+        ]
+        assert covered == list(range(2, 32))
+
+
+class TestChecksum:
+    def test_content_addressed(self):
+        a = np.arange(12, dtype=np.float64).reshape(3, 4)
+        assert table_checksum(a) == table_checksum(a.copy())
+
+    def test_sensitive_to_any_cell(self):
+        a = np.arange(12, dtype=np.float64).reshape(3, 4)
+        b = a.copy()
+        b[2, 3] += 1e-12
+        assert table_checksum(a) != table_checksum(b)
+
+    def test_non_contiguous_views_hash_by_content(self):
+        a = np.arange(16, dtype=np.int64).reshape(4, 4)
+        assert table_checksum(a[:, ::2]) == table_checksum(
+            a[:, ::2].copy()
+        )
+
+
+class TestCheckpointLog:
+    def test_records_in_commit_order(self):
+        log = CheckpointLog()
+        table = np.zeros((2, 2))
+        log.record(0, 0, 3, table)
+        log.record(0, 4, 7, table)
+        log.record(1, 0, 3, table)
+        assert len(log) == 3
+        assert [c.partition_lo for c in log.for_problem(0)] == [0, 4]
+        assert log.latest(0).partition_hi == 7
+        assert log.latest(2) is None
+
+    def test_checksums_map(self):
+        log = CheckpointLog()
+        log.record(0, 0, 3, np.zeros(4))
+        log.record(0, 0, 3, np.ones(4))  # replay overwrites
+        mapping = log.checksums()
+        assert mapping[(0, 0, 3)] == table_checksum(np.ones(4))

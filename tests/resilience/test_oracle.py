@@ -1,0 +1,133 @@
+"""The cross-backend divergence oracle."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.lang.errors import BackendDivergenceError, DslError
+from repro.resilience.oracle import DivergenceOracle, tables_agree
+from repro.runtime.values import Bindings
+
+
+def compiled_edit(edit_func, edit_bindings):
+    from repro.runtime.engine import Engine
+
+    engine = Engine()
+    bound = Bindings(dict(edit_bindings))
+    domain = engine.domain_of(edit_func, bound)
+    schedule = engine.schedule_for(edit_func, domain)
+    compiled = engine.compile(edit_func, schedule)
+    ctx = engine.build_context(compiled, bound, domain)
+    base = engine._table_for(compiled.kernel, domain)
+    return compiled, ctx, domain, base
+
+
+class TestTablesAgree:
+    def test_exact_for_ints(self):
+        a = np.arange(6, dtype=np.int64)
+        b = a.copy()
+        assert tables_agree(a, b)
+        b[3] += 1
+        assert not tables_agree(a, b)
+
+    def test_tolerant_for_float_ulps(self):
+        a = np.array([0.1 + 0.2, 1.0])
+        b = np.array([0.3, 1.0])  # differs in the last ulp
+        assert tables_agree(a, b)
+
+    def test_corruption_payloads_rejected(self):
+        a = np.array([1.0, 2.0])
+        assert not tables_agree(a, np.array([1.0, np.nan]))
+        assert not tables_agree(a, np.array([1.0, 2.0 * 2.0 ** 52]))
+
+    def test_shape_mismatch(self):
+        assert not tables_agree(np.zeros(3), np.zeros(4))
+
+
+class TestReferenceSelection:
+    def test_vector_kernel_gets_scalar_reference(
+        self, edit_func, edit_bindings
+    ):
+        compiled, _ctx, _domain, _base = compiled_edit(
+            edit_func, edit_bindings
+        )
+        assert compiled.backend == "vector"
+        oracle = DivergenceOracle()
+        name, run = oracle.reference_for(compiled)
+        assert name == "scalar"
+        assert run is not None
+
+    def test_reference_is_cached(self, edit_func, edit_bindings):
+        compiled, _ctx, _domain, _base = compiled_edit(
+            edit_func, edit_bindings
+        )
+        oracle = DivergenceOracle()
+        first = oracle.reference_for(compiled)
+        assert oracle.reference_for(compiled) is first
+
+
+class TestClassification:
+    def test_injected_corruption_recovers(
+        self, edit_func, edit_bindings
+    ):
+        compiled, ctx, _domain, base = compiled_edit(
+            edit_func, edit_bindings
+        )
+        schedule = compiled.schedule
+        lo = schedule.min_partition(_domain)
+        hi = schedule.max_partition(_domain)
+        clean = base.copy()
+        compiled.run(clean, ctx, part_lo=lo, part_hi=hi)
+        suspect = clean.copy()
+        suspect[2, 2] ^= 1 << 52  # the "device" flipped a bit
+        oracle = DivergenceOracle()
+        verdict, recovered = oracle.classify(
+            compiled, ctx, base, lo, hi, suspect=suspect
+        )
+        assert verdict == "corruption"
+        assert recovered.tobytes() == clean.tobytes()
+
+    def test_clean_suspect_classified_clean(
+        self, edit_func, edit_bindings
+    ):
+        compiled, ctx, domain, base = compiled_edit(
+            edit_func, edit_bindings
+        )
+        schedule = compiled.schedule
+        lo = schedule.min_partition(domain)
+        hi = schedule.max_partition(domain)
+        clean = base.copy()
+        compiled.run(clean, ctx, part_lo=lo, part_hi=hi)
+        oracle = DivergenceOracle()
+        verdict, _recovered = oracle.classify(
+            compiled, ctx, base, lo, hi, suspect=clean
+        )
+        assert verdict == "clean"
+
+    def test_compiler_bug_raises_divergence(
+        self, edit_func, edit_bindings
+    ):
+        """A deterministic miscompile cannot be explained away as
+        corruption: both clean runs disagree with the reference."""
+        compiled, ctx, domain, base = compiled_edit(
+            edit_func, edit_bindings
+        )
+        real_run = compiled.run
+
+        def buggy_run(table, ctx_, part_lo=None, part_hi=None):
+            real_run(table, ctx_, part_lo=part_lo, part_hi=part_hi)
+            table[1, 1] += 7  # deterministic wrongness
+
+        buggy = dataclasses.replace(compiled, run=buggy_run)
+        schedule = compiled.schedule
+        oracle = DivergenceOracle()
+        with pytest.raises(BackendDivergenceError):
+            oracle.classify(
+                buggy, ctx, base,
+                schedule.min_partition(domain),
+                schedule.max_partition(domain),
+            )
+
+    def test_divergence_is_a_dsl_error(self):
+        assert issubclass(BackendDivergenceError, DslError)

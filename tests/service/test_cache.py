@@ -262,3 +262,73 @@ class TestPersistentKernelCache:
         b.run(edit_func, ARGS)
         assert a.cache_misses == 1
         assert b.cache_misses == 0  # compiled by a, hit for b
+
+
+class Tripwire:
+    """Records whether it was ever reconstructed by ``pickle.loads``."""
+
+    unpickled = False
+
+    @staticmethod
+    def _mark():
+        Tripwire.unpickled = True
+        return Tripwire()
+
+    def __reduce__(self):
+        return (Tripwire._mark, ())
+
+
+class TestFormatGuard:
+    """The on-disk schema guard: stale entries are rejected *before*
+    their pickle payload is ever deserialised."""
+
+    def test_records_carry_magic_header(self, edit_func):
+        from repro.service.cache import MAGIC
+
+        engine = Engine()
+        engine.run(edit_func, ARGS)
+        compiled = engine._cache.values()[0]
+        data = encode_compiled(compiled)
+        assert data.startswith(MAGIC)
+        assert str(__import__("repro").service.cache.KEY_FORMAT) in (
+            MAGIC.decode()
+        )
+
+    def test_headerless_record_rejected_without_unpickling(self):
+        """A v1-era record (bare pickle, no magic) must be refused
+        before pickle.loads ever runs on it."""
+        Tripwire.unpickled = False
+        stale = pickle.dumps(
+            {"format": 1, "payload": Tripwire(), "source": ""}
+        )
+        assert pickle.loads(stale) and Tripwire.unpickled  # trap armed
+        Tripwire.unpickled = False
+        with pytest.raises(ValueError, match="header"):
+            decode_compiled(stale)
+        assert Tripwire.unpickled is False
+
+    def test_old_schema_file_evicted_on_load(self, tmp_path, edit_func):
+        warm = Engine(kernel_cache=PersistentKernelCache(str(tmp_path)))
+        warm.run(edit_func, ARGS)
+        (name,) = os.listdir(tmp_path)
+        path = tmp_path / name
+        # Rewrite the entry as an older schema would have: same pickle
+        # payload, previous version in the header.
+        data = path.read_bytes()
+        from repro.service.cache import MAGIC
+
+        path.write_bytes(
+            b"repro-kernel-cache:1\n" + data[len(MAGIC):]
+        )
+        cold = Engine(kernel_cache=PersistentKernelCache(str(tmp_path)))
+        assert cold.run(edit_func, ARGS).value == 3  # recompiled
+        info = cold.cache_info()
+        assert info.corrupt_evictions == 1
+        assert info.disk_stores == 1  # replaced with a fresh record
+
+    def test_backend_survives_round_trip(self, edit_func):
+        engine = Engine()
+        engine.run(edit_func, ARGS)
+        compiled = engine._cache.values()[0]
+        restored = decode_compiled(encode_compiled(compiled))
+        assert restored.backend == compiled.backend == "vector"

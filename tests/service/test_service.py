@@ -207,6 +207,25 @@ class TestHttpFrontEnd:
         assert reply["_status"] == 400
         assert reply["ok"] is False
 
+    def test_bad_program_error_carries_caret_diagnostic(
+        self, http_service
+    ):
+        """The error body is the rendered diagnostic (source line +
+        caret), not just the bare message."""
+        host, port, _ = http_service
+        program = (
+            'alphabet en = "ab"\n\n'
+            "int f(seq[en] s, index[s] i) = if i == 0 then 0 "
+            "else f(i-1) + notdefined\n"
+        )
+        reply = submit_remote(host, port, program, "f")
+        assert reply["_status"] == 400
+        error = reply["error"]
+        assert "^" in error  # the caret line
+        assert "<submit>:" in error  # file:line:column prefix
+        assert "notdefined" in error  # the offending source line
+        assert reply["message"] in error  # bare message still present
+
     def test_unknown_path_is_404(self, http_service):
         host, port, _ = http_service
         from repro.service.server import _http_json
