@@ -1,13 +1,24 @@
-"""Backend ablation: scalar vs vectorised functional simulation.
+"""Backend ablation: scalar vs vectorised vs lane-batched execution.
 
-Measures real wall-clock (pytest-benchmark) of the two generated-code
+Measures real wall-clock (pytest-benchmark) of the generated-code
 backends filling the same Smith-Waterman tables. The vector backend
 evaluates whole partitions as NumPy array operations — legitimate
 because a partition's cells are mutually independent (the schedule's
-defining property). Not a paper figure; quantifies simulator quality.
+defining property). The lane-batched path goes one step further: a
+``map`` over same-kernel problems packs every problem table into one
+array with a leading problem axis and runs a single vectorised sweep.
+Not a paper figure; quantifies simulator quality.
+
+Besides the human-readable table, the report test writes
+``BENCH_backend.json`` at the repository root (machine-readable
+scalar / vector / batched timings, consumed by CI and the docs).
 """
 
 from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -19,6 +30,11 @@ from repro.runtime.sequences import random_protein
 from conftest import write_table
 
 SIZES = (64, 128, 256)
+
+#: Problems per lane-batched map group in the report test.
+MAP_PROBLEMS = 16
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 @pytest.mark.parametrize("backend", ["scalar", "vector"])
@@ -37,10 +53,9 @@ def test_backend_throughput(benchmark, backend, size):
 
 
 def test_backend_agreement_report(benchmark):
-    import time
-
     def compute():
         rows = []
+        records = []
         for size in SIZES:
             query = random_protein(size, seed=31)
             target = random_protein(size, seed=32)
@@ -54,23 +69,92 @@ def test_backend_agreement_report(benchmark):
                 timings[backend] = time.perf_counter() - started
                 tables[backend] = result.table
             assert (tables["scalar"] == tables["vector"]).all()
+
+            # Lane-batched map over MAP_PROBLEMS targets, against the
+            # per-problem loop (batching off) on the same engine.
+            targets = [
+                random_protein(size, seed=100 + k)
+                for k in range(MAP_PROBLEMS)
+            ]
+            scalar_scores = [
+                int(
+                    SmithWaterman(engine=Engine(backend="scalar"))
+                    .align(query, t)
+                    .value
+                )
+                for t in targets
+            ]
+            batched_sw = SmithWaterman(
+                engine=Engine(backend="auto", batching=True)
+            )
+            looped_sw = SmithWaterman(
+                engine=Engine(backend="auto", batching=False)
+            )
+            batched_sw.search(query, targets[:2])  # warm
+            looped_sw.search(query, targets[:2])
+            started = time.perf_counter()
+            mapped = batched_sw.search(query, targets)
+            batched_s = time.perf_counter() - started
+            started = time.perf_counter()
+            looped = looped_sw.search(query, targets)
+            looped_s = time.perf_counter() - started
+            assert mapped.lane_batched_problems == MAP_PROBLEMS
+            assert [int(v) for v in mapped.values] == scalar_scores
+            assert list(looped.values) == list(mapped.values)
+            batched_ms = batched_s * 1e3 / MAP_PROBLEMS
+
             rows.append(
                 (
                     size,
                     timings["scalar"] * 1e3,
                     timings["vector"] * 1e3,
+                    batched_ms,
                     timings["scalar"] / timings["vector"],
+                    looped_s / batched_s,
                 )
             )
-        return rows
+            records.append(
+                {
+                    "size": size,
+                    "scalar_ms": timings["scalar"] * 1e3,
+                    "vector_ms": timings["vector"] * 1e3,
+                    "batched_ms_per_problem": batched_ms,
+                    "batched_map_s": batched_s,
+                    "looped_map_s": looped_s,
+                    "vector_speedup": (
+                        timings["scalar"] / timings["vector"]
+                    ),
+                    "batched_speedup_vs_loop": looped_s / batched_s,
+                }
+            )
+        return rows, records
 
-    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows, records = benchmark.pedantic(compute, rounds=1, iterations=1)
     write_table(
         "backend_ablation",
-        "Backend ablation: scalar vs vectorised functional kernels\n"
-        "(Smith-Waterman NxN, host milliseconds; tables identical)",
-        ("N", "scalar (ms)", "vector (ms)", "speedup"),
+        "Backend ablation: scalar vs vector vs lane-batched map\n"
+        "(Smith-Waterman NxN, host milliseconds; results identical)",
+        (
+            "N",
+            "scalar (ms)",
+            "vector (ms)",
+            "batched (ms/prob)",
+            "vec speedup",
+            "batch speedup",
+        ),
         rows,
     )
-    # The vector backend should win clearly by N=256.
-    assert rows[-1][3] > 2.0
+    payload = {
+        "benchmark": "backend_ablation",
+        "workload": "smith_waterman",
+        "map_problems": MAP_PROBLEMS,
+        "sizes": list(SIZES),
+        "rows": records,
+    }
+    (REPO_ROOT / "BENCH_backend.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    # The vector backend should win clearly by N=256, and the
+    # lane-batched map should beat the per-problem loop everywhere.
+    assert rows[-1][4] > 2.0
+    assert all(row[5] > 1.5 for row in rows)

@@ -1,0 +1,78 @@
+"""CI smoke checks for the benchmark workloads (tiny sizes).
+
+The real benchmarks (``bench_backend``, ``bench_map_batched``) time
+substantial problem sizes; CI runs this file instead to assert the
+property the timings rely on — scalar, vector and lane-batched
+execution all compute the same results — in a few hundred
+milliseconds. No timing assertions here: CI machines are too noisy
+for that, and correctness is what gates a merge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.profile_hmm import ProfileSearch, tk_model
+from repro.apps.smith_waterman import SmithWaterman
+from repro.runtime.engine import Engine
+from repro.runtime.sequences import random_protein
+
+SMOKE_SIZE = 24
+SMOKE_PROBLEMS = 6
+
+
+def test_smoke_backends_agree_smith_waterman():
+    query = random_protein(SMOKE_SIZE, seed=7)
+    targets = [
+        random_protein(SMOKE_SIZE, seed=70 + k)
+        for k in range(SMOKE_PROBLEMS)
+    ]
+    scalar_scores = [
+        int(
+            SmithWaterman(engine=Engine(backend="scalar"))
+            .align(query, target)
+            .value
+        )
+        for target in targets
+    ]
+    vector_scores = [
+        int(
+            SmithWaterman(engine=Engine(backend="vector"))
+            .align(query, target)
+            .value
+        )
+        for target in targets
+    ]
+    mapped = SmithWaterman(
+        engine=Engine(backend="auto", batching=True)
+    ).search(query, targets)
+    assert vector_scores == scalar_scores
+    assert [int(v) for v in mapped.values] == scalar_scores
+    assert mapped.lane_batched_problems == SMOKE_PROBLEMS
+
+
+def test_smoke_backends_agree_profile_forward():
+    profile = tk_model()
+    database = [
+        random_protein(SMOKE_SIZE, seed=700 + k)
+        for k in range(SMOKE_PROBLEMS)
+    ]
+    looped = ProfileSearch(
+        profile, engine=Engine(prob_mode="logspace", batching=False)
+    ).search(database)
+    batched = ProfileSearch(
+        profile, engine=Engine(prob_mode="logspace", batching=True)
+    ).search(database)
+    scalar = ProfileSearch(
+        profile,
+        engine=Engine(prob_mode="logspace", backend="scalar"),
+    ).search(database)
+    assert batched.map_result.lane_batched_problems == SMOKE_PROBLEMS
+    assert np.allclose(
+        batched.likelihoods, scalar.likelihoods,
+        rtol=1e-9, atol=1e-12,
+    )
+    assert np.allclose(
+        batched.likelihoods, looped.likelihoods,
+        rtol=1e-9, atol=1e-12,
+    )

@@ -7,6 +7,8 @@ Usage::
     python -m repro script.dsl --cuda     # dump synthesised CUDA
     python -m repro --demo                # run the built-in demo
 
+    python -m repro explain prog.dsl      # backend eligibility per function
+
     python -m repro serve --port 8753 --workers 4 --cache-dir .kcache
     python -m repro submit --port 8753 --program prog.dsl \\
         --function d --args '{"s": "kitten", "t": "sitting"}'
@@ -146,6 +148,87 @@ def serve_main(argv) -> int:
     return 0
 
 
+def explain_main(argv) -> int:
+    """``python -m repro explain``: report backend eligibility.
+
+    For every function of a program (or one, with ``--function``),
+    derive a schedule, build the kernel and print which backend it
+    would compile to plus the machine-readable eligibility verdict —
+    the same rule identifier ``Engine.compile(backend="vector")``
+    raises on and ``CompiledKernel.eligibility`` carries.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro explain",
+        description="Explain, per function, whether the vectorised "
+        "NumPy backend applies and why (eligibility rule + detail).",
+    )
+    parser.add_argument("script", help="path to a .dsl program")
+    parser.add_argument(
+        "--function", default=None,
+        help="explain only this function",
+    )
+    parser.add_argument(
+        "--prob-mode", choices=("direct", "logspace"),
+        default="direct",
+    )
+    args = parser.parse_args(argv)
+
+    path = Path(args.script)
+    if not path.exists():
+        parser.error(f"no such script: {path}")
+    text = path.read_text()
+
+    from .analysis.domain import Domain
+    from .ir import npbackend
+    from .ir.kernel import build_kernel
+    from .lang.errors import ScheduleError
+    from .lang.parser import parse_program
+    from .lang.typecheck import check_program
+    from .schedule.multi import derive_schedule_set
+    from .schedule.solver import find_schedule
+
+    try:
+        program = check_program(parse_program(text))
+    except DslError as err:
+        print(err.render(SourceText(text, str(path))), file=sys.stderr)
+        return 1
+    if args.function:
+        if args.function not in program.functions:
+            parser.error(f"no function {args.function!r} in {path}")
+        names = [args.function]
+    else:
+        names = sorted(program.functions)
+
+    failures = 0
+    for name in names:
+        func = program.functions[name]
+        if not func.recursive_params:
+            print(f"{name}: not a recurrence (nothing to schedule)")
+            continue
+        try:
+            schedule = derive_schedule_set(func).schedules[0]
+        except (ScheduleError, DslError):
+            # Non-uniform descents need the runtime search; a nominal
+            # domain stands in for the unknown problem extents.
+            nominal = Domain(
+                func.dim_names,
+                tuple(16 for _ in func.recursive_params),
+            )
+            try:
+                schedule = find_schedule(func, nominal)
+            except (ScheduleError, DslError) as err:
+                print(f"{name}: no schedule ({err})")
+                failures += 1
+                continue
+        kernel = build_kernel(func, schedule, args.prob_mode)
+        verdict = npbackend.eligibility(kernel)
+        backend = "vector" if verdict.ok else "scalar"
+        print(f"{name}: backend={backend} rule={verdict.rule} "
+              f"schedule={schedule}")
+        print(f"  {verdict.detail}")
+    return 1 if failures else 0
+
+
 def submit_main(argv) -> int:
     """``python -m repro submit``: client for a running service."""
     parser = argparse.ArgumentParser(
@@ -240,6 +323,8 @@ def main(argv=None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "submit":
         return submit_main(argv[1:])
+    if argv and argv[0] == "explain":
+        return explain_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Synthesise and run GPU programs from recursion "

@@ -182,6 +182,51 @@ def kernel_cost(
     )
 
 
+def batched_launch_cost(
+    kernel: Kernel,
+    domains,
+    spec: DeviceSpec,
+    mean_degree: float = 1.0,
+) -> KernelCost:
+    """Price one *lane-batched* launch of many same-kernel problems.
+
+    The batch executes as a single fused sweep: per global partition,
+    every problem contributes its partition's cells (the profiles are
+    superposed, aligned on the partition axis), and **one** barrier
+    closes the global partition — instead of one barrier per problem
+    per partition. That amortised sync (plus the per-launch overhead
+    collapsing to one) is the modelled benefit of the functional
+    inter-task path; the cell work itself is conserved.
+
+    The batch shares one table layout, so no shared-memory window is
+    assumed (the padded batch table lives in global memory).
+    """
+    schedule = kernel.schedule
+    profiles = [partition_sizes(schedule, d) for d in domains]
+    span = max((len(p) for p in profiles), default=1)
+    sizes = np.zeros(span)
+    for profile in profiles:
+        sizes[: len(profile)] += profile
+    per_cell = cell_cost_cycles(
+        kernel, spec, mean_degree, table_in_shared=False
+    )
+    warp_batches = np.ceil(sizes / spec.warp_size)
+    compute_total = float(warp_batches.sum()) * per_cell["compute"]
+    memory_total = float(warp_batches.sum()) * per_cell["memory"]
+    sync_total = span * spec.sync_cycles
+    cycles = compute_total + memory_total + sync_total
+    return KernelCost(
+        cycles=cycles,
+        seconds=cycles / spec.clock_hz,
+        partitions=span,
+        cells=int(sum(domain.size for domain in domains)),
+        window_in_shared=False,
+        compute_cycles=compute_total,
+        memory_cycles=memory_total,
+        sync_cycles=sync_total,
+    )
+
+
 def inter_task_seconds(
     kernel: Kernel,
     domains,

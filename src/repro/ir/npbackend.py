@@ -5,24 +5,48 @@ evaluates *an entire partition at once* — the cells of a partition are
 independent by construction (that is the whole point of the schedule),
 so they map exactly onto NumPy's element-wise lanes. The result is an
 order-of-magnitude faster functional simulation for the dense 2-D
-recurrences (edit distance, Smith-Waterman, alignment scoring).
+recurrences (edit distance, Smith-Waterman, alignment scoring) and,
+since reductions vectorise too, for the HMM recurrences of
+Figs. 13–15 (forward, Viterbi, profile search, gene finding).
 
-Eligibility (otherwise the engine falls back to the scalar backend):
+Reductions vectorise because their trip counts are *lane-uniform up
+to a mask*: a ``sum(t in s.transitionsto : ...)`` runs a serial
+Python loop over the maximum in-degree of the partition's states,
+with a per-lane mask ``k < degree(s)`` discarding the lanes whose
+transition list is shorter; a ``RangeReduce`` runs over the global
+``[min(lo), max(hi)]`` envelope with the analogous per-lane range
+mask. Accumulation is ``np.logaddexp`` for log-space sums,
+``np.maximum``/``np.minimum`` for max/min, ``+`` for direct sums —
+always through ``np.where(mask, update, acc)`` so masked lanes keep
+their accumulator untouched.
+
+Eligibility (otherwise the engine falls back to the scalar backend)
+is reported as a machine-readable :class:`Eligibility` record:
 
 * two-dimensional kernels with a unit-coefficient pinned dimension
   (the common case; non-unit pins need per-lane divisibility masks);
-* no reductions in the cell expression (transition/range loops have
-  data-dependent trip counts per lane).
+* no cross-table reads (mutual groups use :func:`emit_vector_group_source`).
 
 Branch semantics: ``np.where`` evaluates both branches eagerly, so
 guarded out-of-domain table reads *would* be attempted; all gather
 indices are therefore clamped into the table (``_ix``) — the values
-read through a clamped index only ever feed discarded lanes.
+read through a clamped index only ever feed discarded lanes. The
+whole sweep runs under ``np.errstate(...ignore...)`` because those
+discarded lanes may legitimately compute ``inf - inf`` garbage.
+
+The *batched* variant (:func:`emit_batched_source`) generalises the
+same code to a table with a leading problem axis ``(B, d0, d1)``:
+bounds come from ``(B, 1)``-shaped context arrays, sequences from
+padded ``(B, Lmax)`` arrays, and stores go through a per-lane
+validity mask so a problem never writes outside its own (possibly
+smaller) domain — the functional analogue of the paper's inter-task
+parallelism (§6.1).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
 
 from ..lang.errors import CodegenError
 from ..polyhedral import loopast
@@ -34,6 +58,7 @@ _PRELUDE = '''\
 import numpy as np
 
 _NINF = float("-inf")
+_PINF = float("inf")
 
 
 def _ix(index, ub):
@@ -59,18 +84,132 @@ def _safelog(x):
         return np.where(x > 0.0, np.log(np.maximum(x, 1e-300)), _NINF)
 '''
 
+#: Extra helpers of the batched (leading problem axis) variant.
+_BATCH_PRELUDE = '''\
+
+def _bread(T, b, i0, i1):
+    """Batched table gather: per-problem rows of a (B, d0, d1) table."""
+    bb, x0, x1 = np.broadcast_arrays(b, i0, i1)
+    return T[bb, x0, x1]
+
+
+def _bgather(arr, b, index):
+    """Batched clamped sequence gather over a padded (B, Lmax) array.
+
+    Clamping is global (to Lmax); a shorter problem's lanes past its
+    own length read padding zeros, which only ever feed lanes the
+    validity mask (or a guard's np.where) discards."""
+    if arr.shape[1] == 0:
+        bb, ii = np.broadcast_arrays(b, np.asarray(index))
+        return np.zeros_like(ii)
+    bb, ii = np.broadcast_arrays(b, np.clip(index, 0, arr.shape[1] - 1))
+    return arr[bb, ii]
+
+
+def _bstore(T, b, i0, i1, valid, cell):
+    """Masked batched store: write only the lanes valid for their
+    problem (everything else is padding and must stay zero)."""
+    bb, x0, x1, vv, cc = np.broadcast_arrays(b, i0, i1, valid, cell)
+    T[bb[vv], x0[vv], x1[vv]] = cc[vv]
+'''
+
+_ERRSTATE = (
+    'np.errstate(invalid="ignore", over="ignore", divide="ignore")'
+)
+
+#: Context pieces unpacked per referenced HMM parameter.
+_HMM_PIECES = (
+    "isstart", "isend", "emis", "symidx", "tprob", "tsrc",
+    "ttgt", "inoff", "inids", "outoff", "outids",
+)
+
+
+# -- eligibility --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Eligibility:
+    """Machine-readable verdict of the vector-backend eligibility check.
+
+    ``rule`` is a short stable identifier of the *failed* rule
+    (``"ok"`` when eligible); ``detail`` is the human sentence the
+    engine raises / the ``explain`` subcommand prints.
+    """
+
+    ok: bool
+    rule: str
+    detail: str
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def eligibility(kernel: Kernel) -> Eligibility:
+    """Why (or why not) this kernel can use the vectorised backend."""
+    if kernel.rank != 2:
+        return Eligibility(
+            False, "rank",
+            f"kernel {kernel.name!r} is {kernel.rank}-dimensional; the "
+            f"vector backend evaluates 2-D partition sweeps only",
+        )
+    for node in ir.walk(kernel.body.cell):
+        if isinstance(node, ir.TableRead) and node.table:
+            return Eligibility(
+                False, "cross-table-read",
+                f"kernel {kernel.name!r} reads the table of "
+                f"{node.table!r}; mutual groups use the group backend",
+            )
+    if _nest_shape(kernel) is None:
+        return Eligibility(
+            False, "nest-shape",
+            f"kernel {kernel.name!r} does not lower to a "
+            f"time-loop/space-loop nest with a unit-coefficient pinned "
+            f"dimension (non-unit pins need per-lane divisibility "
+            f"masks)",
+        )
+    return Eligibility(
+        True, "ok",
+        f"kernel {kernel.name!r} vectorises: 2-D nest with a "
+        f"unit-coefficient pinned dimension"
+        + (
+            "; reductions run as masked lane-uniform loops"
+            if any(
+                isinstance(n, (ir.ReduceLoop, ir.RangeReduce))
+                for n in ir.walk(kernel.body.cell)
+            )
+            else ""
+        ),
+    )
+
 
 def eligible(kernel: Kernel) -> bool:
     """Can this kernel use the vectorised backend?"""
-    if kernel.rank != 2:
-        return False
-    for node in ir.walk(kernel.body.cell):
-        if isinstance(node, (ir.ReduceLoop, ir.RangeReduce)):
-            return False
-        if isinstance(node, ir.TableRead) and node.table:
-            return False  # mutual groups use the group backend
-    shape = _nest_shape(kernel)
-    return shape is not None
+    return eligibility(kernel).ok
+
+
+def group_eligibility(kernels: Mapping[str, Kernel]) -> Eligibility:
+    """Can a mutual group use the vectorised group backend?
+
+    Every member must individually pass the shape rules (cross-table
+    reads are, of course, allowed — they are what makes it a group).
+    """
+    for name in sorted(kernels):
+        kernel = kernels[name]
+        if kernel.rank != 2:
+            return Eligibility(
+                False, "rank",
+                f"group member {name!r} is {kernel.rank}-dimensional",
+            )
+        if _nest_shape(kernel) is None:
+            return Eligibility(
+                False, "nest-shape",
+                f"group member {name!r} does not lower to a vectorisable "
+                f"time/space nest",
+            )
+    return Eligibility(
+        True, "ok",
+        "every group member lowers to a vectorisable 2-D nest",
+    )
 
 
 def _nest_shape(kernel: Kernel):
@@ -96,112 +235,341 @@ def _nest_shape(kernel: Kernel):
     return None
 
 
+def bound_np(bound: loopast.Bound) -> str:
+    """Render a loop bound array-safely (``min``/``max`` of Python
+    break on NumPy operands; fold through np.minimum/np.maximum)."""
+    texts = [div_py(t) for t in bound.terms]
+    if len(texts) == 1:
+        return texts[0]
+    fold = "np.minimum" if bound.kind == "min" else "np.maximum"
+    expr = texts[0]
+    for text in texts[1:]:
+        expr = f"{fold}({expr}, {text})"
+    return expr
+
+
+# -- the emitter --------------------------------------------------------------
+
+
 class _VectorEmitter:
-    """Renders the cell expression over vector lanes."""
+    """Emits the cell expression as NumPy statements over lanes.
 
-    def __init__(self, kernel: Kernel) -> None:
+    Mirrors the scalar backend's ``_CellEmitter`` (inline / emit_to /
+    _force), but every value is an array over the partition's lanes —
+    reductions become masked serial loops, selects become ``np.where``.
+
+    ``batch=True`` targets the leading-problem-axis layout: table
+    reads go through ``_bread`` with the ``_pb`` batch index column,
+    sequence gathers through ``_bgather``.
+
+    ``own_table``/``table_ubs`` serve the mutual-group variant:
+    cross-table reads render against the callee's table and are
+    clamped with the callee's upper-bound names.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        batch: bool = False,
+        own_table: str = "T",
+        table_ubs: Optional[Mapping[str, Mapping[str, str]]] = None,
+    ) -> None:
         self.kernel = kernel
-        self.ubs = {
-            dim: f"ub_{dim}" for dim in kernel.dims
-        }
+        self.batch = batch
+        self.own_table = own_table
+        self.own_ubs = {dim: f"ub_{dim}" for dim in kernel.dims}
+        self.table_ubs = table_ubs or {}
+        self.counter = 0
 
-    def render(self, node: ir.Node) -> str:
+    def fresh(self) -> str:
+        name = f"_v{self.counter}"
+        self.counter += 1
+        return name
+
+    # -- inline expression rendering (None when a reduce is inside) ----
+
+    def inline(self, node: ir.Node) -> Optional[str]:
         if isinstance(node, ir.Const):
             if node.value == float("-inf"):
                 return "_NINF"
+            if node.value == float("inf"):
+                return "_PINF"
             return repr(node.value)
         if isinstance(node, (ir.DimRef, ir.VarRef)):
             return node.name
         if isinstance(node, ir.ArgRef):
             return f"arg_{node.name}"
         if isinstance(node, ir.Binary):
-            left = self.render(node.left)
-            right = self.render(node.right)
-            if node.op == "min":
-                return f"np.minimum({left}, {right})"
-            if node.op == "max":
-                return f"np.maximum({left}, {right})"
-            if node.op == "logaddexp":
-                return f"np.logaddexp({left}, {right})"
-            if node.op == "/":
-                if node.kind == "int":
-                    return f"_idiv({left}, {right})"
-                return f"({left} / {right})"
-            return f"({left} {node.op} {right})"
+            left = self.inline(node.left)
+            right = self.inline(node.right)
+            if left is None or right is None:
+                return None
+            return self._binary_text(node.op, node.kind, left, right)
         if isinstance(node, ir.Log):
-            return f"_safelog({self.render(node.operand)})"
+            operand = self.inline(node.operand)
+            return None if operand is None else f"_safelog({operand})"
         if isinstance(node, ir.Select):
-            return (
-                f"np.where({self.render(node.cond)}, "
-                f"{self.render(node.then)}, "
-                f"{self.render(node.otherwise)})"
-            )
+            cond = self.inline(node.cond)
+            then = self.inline(node.then)
+            other = self.inline(node.otherwise)
+            if cond is None or then is None or other is None:
+                return None
+            return f"np.where({cond}, {then}, {other})"
         if isinstance(node, ir.TableRead):
-            indices = [
-                f"_ix({self.render(index)}, {self.ubs[dim]})"
-                for dim, index in zip(self.kernel.dims, node.indices)
-            ]
-            return f"T[{', '.join(indices)}]"
+            return self._table_text(node, self.inline)
         if isinstance(node, ir.SeqRead):
-            index = self.render(node.index)
+            index = self.inline(node.index)
+            if index is None:
+                return None
+            if self.batch:
+                return f"_bgather(seq_{node.seq}, _pb, {index})"
             return f"_gather(seq_{node.seq}, {index})"
         if isinstance(node, ir.MatrixRead):
-            row = self.render(node.row)
-            col = self.render(node.col)
+            row = self.inline(node.row)
+            col = self.inline(node.col)
+            if row is None or col is None:
+                return None
             return (
                 f"mat_{node.matrix}[rowidx_{node.matrix}[{row}], "
                 f"colidx_{node.matrix}[{col}]]"
             )
         if isinstance(node, ir.StateFlag):
+            state = self.inline(node.state)
+            if state is None:
+                return None
             suffix = "isstart" if node.which == "isstart" else "isend"
-            return f"hmm_{node.hmm}_{suffix}[{self.render(node.state)}]"
+            return f"hmm_{node.hmm}_{suffix}[{state}]"
         if isinstance(node, ir.EmissionRead):
+            state = self.inline(node.state)
+            symbol = self.inline(node.symbol)
+            if state is None or symbol is None:
+                return None
             return (
-                f"hmm_{node.hmm}_emis[{self.render(node.state)}, "
-                f"hmm_{node.hmm}_symidx[{self.render(node.symbol)}]]"
+                f"hmm_{node.hmm}_emis[{state}, "
+                f"hmm_{node.hmm}_symidx[{symbol}]]"
             )
         if isinstance(node, ir.TransField):
+            trans = self.inline(node.trans)
+            if trans is None:
+                return None
             suffix = {"prob": "tprob", "start": "tsrc",
                       "end": "ttgt"}[node.which]
-            return f"hmm_{node.hmm}_{suffix}[{self.render(node.trans)}]"
+            return f"hmm_{node.hmm}_{suffix}[{trans}]"
+        if isinstance(node, (ir.ReduceLoop, ir.RangeReduce)):
+            return None
         raise CodegenError(
             f"vector backend cannot render {node!r}"
         )
+
+    def _table_text(self, node: ir.TableRead, render) -> Optional[str]:
+        if node.table:
+            table = f"T_{node.table}"
+            ubs = self.table_ubs.get(node.table, self.own_ubs)
+        else:
+            table = self.own_table
+            ubs = self.own_ubs
+        indices = []
+        for dim, index in zip(self.kernel.dims, node.indices):
+            text = render(index)
+            if text is None:
+                return None
+            indices.append(f"_ix({text}, {ubs[dim]})")
+        if self.batch:
+            return f"_bread({table}, _pb, {', '.join(indices)})"
+        return f"{table}[{', '.join(indices)}]"
+
+    @staticmethod
+    def _binary_text(op: str, kind: str, left: str, right: str) -> str:
+        if op == "min":
+            return f"np.minimum({left}, {right})"
+        if op == "max":
+            return f"np.maximum({left}, {right})"
+        if op == "logaddexp":
+            return f"np.logaddexp({left}, {right})"
+        if op == "/":
+            if kind == "int":
+                return f"_idiv({left}, {right})"
+            return f"({left} / {right})"
+        return f"({left} {op} {right})"
+
+    # -- statement emission --------------------------------------------------
+
+    def emit_to(
+        self, node: ir.Node, target: str, lines: List[str], pad: str
+    ) -> None:
+        text = self.inline(node)
+        if text is not None:
+            lines.append(f"{pad}{target} = {text}")
+            return
+        if isinstance(node, ir.Select):
+            # np.where is eager, so both branches fully evaluate —
+            # exactly the existing vector-backend branch semantics.
+            cond = self._force(node.cond, lines, pad)
+            then = self._force(node.then, lines, pad)
+            other = self._force(node.otherwise, lines, pad)
+            lines.append(
+                f"{pad}{target} = np.where({cond}, {then}, {other})"
+            )
+            return
+        if isinstance(node, ir.Binary):
+            left = self._force(node.left, lines, pad)
+            right = self._force(node.right, lines, pad)
+            text = self._binary_text(node.op, node.kind, left, right)
+            lines.append(f"{pad}{target} = {text}")
+            return
+        if isinstance(node, ir.Log):
+            operand = self._force(node.operand, lines, pad)
+            lines.append(f"{pad}{target} = _safelog({operand})")
+            return
+        if isinstance(node, ir.ReduceLoop):
+            self._emit_reduce(node, target, lines, pad)
+            return
+        if isinstance(node, ir.RangeReduce):
+            self._emit_range_reduce(node, target, lines, pad)
+            return
+        if isinstance(node, ir.TableRead):
+            text = self._table_text(
+                node, lambda n: self._force(n, lines, pad)
+            )
+            lines.append(f"{pad}{target} = {text}")
+            return
+        raise CodegenError(f"cannot emit IR node {node!r}")
+
+    def _force(self, node: ir.Node, lines: List[str], pad: str) -> str:
+        """Render inline, or spill to a temporary."""
+        text = self.inline(node)
+        if text is not None:
+            return text
+        temp = self.fresh()
+        self.emit_to(node, temp, lines, pad)
+        return temp
+
+    @staticmethod
+    def _reduce_init(node) -> str:
+        if node.kind == "sum":
+            return "_NINF" if node.logspace else "0.0"
+        if node.kind == "min":
+            return "_PINF"
+        if node.prob and not node.logspace:
+            # max over an empty set of path probabilities is 0.
+            return "0.0"
+        return "_NINF"
+
+    def _reduce_update(self, node, acc: str, body: str) -> str:
+        if node.kind == "sum" and node.logspace:
+            return f"np.logaddexp({acc}, {body})"
+        if node.kind == "sum":
+            return f"{acc} + {body}"
+        if node.kind == "min":
+            return f"np.minimum({acc}, {body})"
+        return f"np.maximum({acc}, {body})"
+
+    def _emit_reduce(
+        self, node: ir.ReduceLoop, target: str, lines: List[str],
+        pad: str,
+    ) -> None:
+        """Transition reduce: serial loop over the max in/out-degree.
+
+        The CSR offset arrays give every lane's transition count; the
+        loop runs to the *maximum* count (lane-uniform, from the
+        bindings, never from cell data) and the mask ``k < degree``
+        discards the lanes whose list is shorter.
+        """
+        state = self._force(node.state, lines, pad)
+        prefix = f"hmm_{node.hmm}"
+        ids = f"{prefix}_{'inids' if node.source == 'to' else 'outids'}"
+        offsets = (
+            f"{prefix}_{'inoff' if node.source == 'to' else 'outoff'}"
+        )
+        base = self.fresh()
+        deg = self.fresh()
+        acc = self.fresh()
+        lines.append(f"{pad}{base} = {offsets}[{state}]")
+        lines.append(
+            f"{pad}{deg} = {offsets}[{state} + 1] - {base}"
+        )
+        lines.append(f"{pad}{acc} = {self._reduce_init(node)}")
+        step = self.fresh()
+        lines.append(
+            f"{pad}for {step} in range(int(np.max({deg}))):"
+        )
+        inner = pad + "    "
+        lines.append(
+            f"{inner}{node.var} = {ids}["
+            f"np.clip({base} + {step}, 0, {ids}.size - 1)]"
+        )
+        body = self._force(node.body, lines, inner)
+        lines.append(
+            f"{inner}{acc} = np.where({step} < {deg}, "
+            f"{self._reduce_update(node, acc, body)}, {acc})"
+        )
+        lines.append(f"{pad}{target} = {acc}")
+
+    def _emit_range_reduce(
+        self, node: ir.RangeReduce, target: str, lines: List[str],
+        pad: str,
+    ) -> None:
+        """Range reduce: serial loop over the global bound envelope,
+        with the per-lane range mask selecting the live lanes."""
+        lo = self._force(node.lo, lines, pad)
+        hi = self._force(node.hi, lines, pad)
+        acc = self.fresh()
+        lines.append(f"{pad}{acc} = {self._reduce_init(node)}")
+        lines.append(
+            f"{pad}for {node.var} in range(int(np.min({lo})), "
+            f"int(np.max({hi})) + 1):"
+        )
+        inner = pad + "    "
+        body = self._force(node.body, lines, inner)
+        lines.append(
+            f"{inner}{acc} = np.where("
+            f"({node.var} >= {lo}) & ({node.var} <= {hi}), "
+            f"{self._reduce_update(node, acc, body)}, {acc})"
+        )
+        lines.append(f"{pad}{target} = {acc}")
+
+
+# -- module emission ----------------------------------------------------------
+
+
+def _unpack_ctx(
+    kernel: Kernel, lines: List[str], pad: str, ctx: str = "ctx"
+) -> None:
+    refs = kernel.referenced_names()
+    for ub in kernel.ub_params():
+        lines.append(f"{pad}{ub} = {ctx}['{ub}']")
+    for seq in sorted(refs["seqs"]):
+        lines.append(f"{pad}seq_{seq} = {ctx}['seq_{seq}']")
+    for scalar in sorted(refs["scalars"]):
+        lines.append(f"{pad}arg_{scalar} = {ctx}['arg_{scalar}']")
+    for matrix in sorted(refs["matrices"]):
+        for piece in ("mat", "rowidx", "colidx"):
+            lines.append(
+                f"{pad}{piece}_{matrix} = {ctx}['{piece}_{matrix}']"
+            )
+    for hmm in sorted(refs["hmms"]):
+        for piece in _HMM_PIECES:
+            lines.append(
+                f"{pad}hmm_{hmm}_{piece} = {ctx}['hmm_{hmm}_{piece}']"
+            )
 
 
 def emit_vector_source(
     kernel: Kernel, func_name: str = "kernel"
 ) -> str:
-    """Emit the vectorised module source."""
+    """Emit the vectorised module source (single problem)."""
     shape = _nest_shape(kernel)
     if shape is None:
+        verdict = eligibility(kernel)
         raise CodegenError(
-            "kernel shape not eligible for the vector backend"
+            f"kernel shape not eligible for the vector backend "
+            f"[{verdict.rule}]: {verdict.detail}"
         )
     time_loop, space_loop, assign = shape
-    refs = kernel.referenced_names()
     lines: List[str] = [_PRELUDE, ""]
     lines.append(f"def {func_name}(T, ctx, part_lo=None, part_hi=None):")
     pad = "    "
-    for ub in kernel.ub_params():
-        lines.append(f"{pad}{ub} = ctx['{ub}']")
-    for seq in sorted(refs["seqs"]):
-        lines.append(f"{pad}seq_{seq} = ctx['seq_{seq}']")
-    for scalar in sorted(refs["scalars"]):
-        lines.append(f"{pad}arg_{scalar} = ctx['arg_{scalar}']")
-    for matrix in sorted(refs["matrices"]):
-        for piece in ("mat", "rowidx", "colidx"):
-            lines.append(
-                f"{pad}{piece}_{matrix} = ctx['{piece}_{matrix}']"
-            )
-    for hmm in sorted(refs["hmms"]):
-        for piece in (
-            "isstart", "isend", "emis", "symidx", "tprob", "tsrc",
-            "ttgt", "inoff", "inids", "outoff", "outids",
-        ):
-            lines.append(
-                f"{pad}hmm_{hmm}_{piece} = ctx['hmm_{hmm}_{piece}']"
-            )
+    _unpack_ctx(kernel, lines, pad)
 
     p = time_loop.var
     lines.append(f"{pad}_plo = {bound_py(time_loop.lower)}")
@@ -210,14 +578,12 @@ def emit_vector_source(
     lines.append(f"{pad}    _plo = part_lo")
     lines.append(f"{pad}if part_hi is not None and part_hi < _phi:")
     lines.append(f"{pad}    _phi = part_hi")
+    lines.append(f"{pad}with {_ERRSTATE}:")
+    pad = pad + "    "
     lines.append(f"{pad}for {p} in range(_plo, _phi + 1):")
     inner = pad + "    "
-    lines.append(
-        f"{inner}_lo = {bound_py(space_loop.lower)}"
-    )
-    lines.append(
-        f"{inner}_hi = {bound_py(space_loop.upper)}"
-    )
+    lines.append(f"{inner}_lo = {bound_py(space_loop.lower)}")
+    lines.append(f"{inner}_hi = {bound_py(space_loop.upper)}")
     lines.append(f"{inner}if _lo > _hi:")
     lines.append(f"{inner}    continue")
     lines.append(
@@ -227,13 +593,164 @@ def emit_vector_source(
         f"{inner}{assign.var} = {div_py(assign.value)}"
     )
     emitter = _VectorEmitter(kernel)
-    lines.append(
-        f"{inner}_cell = {emitter.render(kernel.body.cell)}"
-    )
+    emitter.emit_to(kernel.body.cell, "_cell", lines, inner)
     store = ", ".join(kernel.dims)
     lines.append(f"{inner}T[{store}] = _cell")
-    lines.append(f"{pad}return T")
+    lines.append("    return T")
     return "\n".join(lines)
+
+
+def emit_batched_source(
+    kernel: Kernel, func_name: str = "kernel"
+) -> str:
+    """Emit the lane-batched module source.
+
+    The generated kernel fills a ``(B, d0max, d1max)`` table — one
+    padded problem per leading row. Per-problem bounds come from
+    ``(B, 1)``-shaped ``ub_*``/``arg_*`` context arrays and padded
+    ``(B, Lmax)`` sequences; every store is masked by the per-lane
+    validity ``(space in own range) & (partition in own range)``, so
+    padding cells are never written. ``part_lo``/``part_hi`` clamp
+    the *global* partition loop (the supervisor's replay unit); each
+    problem's own range is narrower or equal and enforced by the mask.
+    """
+    shape = _nest_shape(kernel)
+    if shape is None:
+        verdict = eligibility(kernel)
+        raise CodegenError(
+            f"kernel shape not eligible for the batched vector "
+            f"backend [{verdict.rule}]: {verdict.detail}"
+        )
+    time_loop, space_loop, assign = shape
+    lines: List[str] = [_PRELUDE, _BATCH_PRELUDE, ""]
+    lines.append(f"def {func_name}(T, ctx, part_lo=None, part_hi=None):")
+    pad = "    "
+    lines.append(f"{pad}_pb = np.arange(T.shape[0]).reshape(-1, 1)")
+    _unpack_ctx(kernel, lines, pad)
+
+    p = time_loop.var
+    lines.append(f"{pad}with {_ERRSTATE}:")
+    pad = pad + "    "
+    lines.append(f"{pad}_bplo = {bound_np(time_loop.lower)}")
+    lines.append(f"{pad}_bphi = {bound_np(time_loop.upper)}")
+    lines.append(f"{pad}_plo = int(np.min(_bplo))")
+    lines.append(f"{pad}_phi = int(np.max(_bphi))")
+    lines.append(f"{pad}if part_lo is not None and part_lo > _plo:")
+    lines.append(f"{pad}    _plo = part_lo")
+    lines.append(f"{pad}if part_hi is not None and part_hi < _phi:")
+    lines.append(f"{pad}    _phi = part_hi")
+    lines.append(f"{pad}for {p} in range(_plo, _phi + 1):")
+    inner = pad + "    "
+    lines.append(f"{inner}_lo = {bound_np(space_loop.lower)}")
+    lines.append(f"{inner}_hi = {bound_np(space_loop.upper)}")
+    lines.append(f"{inner}_lo_g = int(np.min(_lo))")
+    lines.append(f"{inner}_hi_g = int(np.max(_hi))")
+    lines.append(f"{inner}if _lo_g > _hi_g:")
+    lines.append(f"{inner}    continue")
+    lines.append(
+        f"{inner}{space_loop.var} = "
+        f"np.arange(_lo_g, _hi_g + 1).reshape(1, -1)"
+    )
+    lines.append(
+        f"{inner}{assign.var} = {div_py(assign.value)}"
+    )
+    lines.append(
+        f"{inner}_valid = ({space_loop.var} >= _lo) "
+        f"& ({space_loop.var} <= _hi) "
+        f"& ({p} >= _bplo) & ({p} <= _bphi)"
+    )
+    emitter = _VectorEmitter(kernel, batch=True)
+    emitter.emit_to(kernel.body.cell, "_cell", lines, inner)
+    store = ", ".join(kernel.dims)
+    lines.append(f"{inner}_bstore(T, _pb, {store}, _valid, _cell)")
+    lines.append("    return T")
+    return "\n".join(lines)
+
+
+def emit_vector_group_source(
+    kernels: Mapping[str, Kernel],
+    mutual,
+    func_name: str = "kernel",
+) -> str:
+    """Emit the vectorised module for a mutual group (Section 9).
+
+    Mirrors :mod:`repro.ir.groupbackend`: one global time loop, one
+    vectorised space sweep per member per global partition. Each
+    member unpacks its context into member-suffixed names so the
+    cross-table clamps use the *callee's* bounds.
+    """
+    verdict = group_eligibility(kernels)
+    if not verdict.ok:
+        raise CodegenError(
+            f"group not eligible for the vector backend "
+            f"[{verdict.rule}]: {verdict.detail}"
+        )
+    names = sorted(kernels)
+    lines: List[str] = [_PRELUDE, ""]
+    for name in names:
+        _emit_vector_step(lines, name, kernels[name], names)
+        lines.append("")
+    lines.append(f"def {func_name}(tables, ctxs, global_lo, global_hi):")
+    pad = "    "
+    for name in names:
+        lines.append(f"{pad}T_{name} = tables['{name}']")
+    lines.append(f"{pad}with {_ERRSTATE}:")
+    pad = pad + "    "
+    lines.append(f"{pad}for _gp in range(global_lo, global_hi + 1):")
+    inner = pad + "    "
+    for name in names:
+        offset = mutual[name].offset
+        tables_args = ", ".join(f"T_{n}" for n in names)
+        lines.append(
+            f"{inner}_step_{name}({tables_args}, "
+            f"_gp - ({offset}), ctxs['{name}'])"
+        )
+    lines.append("    return tables")
+    return "\n".join(lines)
+
+
+def _emit_vector_step(
+    lines: List[str],
+    name: str,
+    kernel: Kernel,
+    group_names: List[str],
+) -> None:
+    """One member's vectorised per-partition step function.
+
+    Group members share loop dimensions by construction of the joint
+    schedule; every member's table is clamped with its *own* bounds
+    (``ub_<dim>`` is the member's — cross reads use the caller's
+    unpacked values, which agree because the group shares domains)."""
+    shape = _nest_shape(kernel)
+    assert shape is not None  # guarded by group_eligibility
+    time_loop, space_loop, assign = shape
+    p = time_loop.var
+    tables = ", ".join(f"T_{n}" for n in group_names)
+    lines.append(f"def _step_{name}({tables}, {p}, ctx):")
+    pad = "    "
+    _unpack_ctx(kernel, lines, pad)
+    lines.append(
+        f"{pad}if {p} < {bound_py(time_loop.lower)} or "
+        f"{p} > {bound_py(time_loop.upper)}:"
+    )
+    lines.append(f"{pad}    return")
+    lines.append(f"{pad}_lo = {bound_py(space_loop.lower)}")
+    lines.append(f"{pad}_hi = {bound_py(space_loop.upper)}")
+    lines.append(f"{pad}if _lo > _hi:")
+    lines.append(f"{pad}    return")
+    lines.append(f"{pad}{space_loop.var} = np.arange(_lo, _hi + 1)")
+    lines.append(f"{pad}{assign.var} = {div_py(assign.value)}")
+    emitter = _VectorEmitter(kernel, own_table=f"T_{name}")
+    emitter.emit_to(kernel.body.cell, "_cell", lines, pad)
+    store = ", ".join(kernel.dims)
+    lines.append(f"{pad}T_{name}[{store}] = _cell")
+
+
+def _compile(source: str, tag: str, func_name: str):
+    namespace: Dict[str, object] = {}
+    code = compile(source, tag, "exec")
+    exec(code, namespace)  # noqa: S102 - our own generated code
+    return namespace[func_name]
 
 
 def compile_vector_kernel(
@@ -241,7 +758,25 @@ def compile_vector_kernel(
 ):
     """Compile the vector source; returns ``(callable, source)``."""
     source = emit_vector_source(kernel, func_name)
-    namespace: Dict[str, object] = {}
-    code = compile(source, f"<npkernel:{kernel.name}>", "exec")
-    exec(code, namespace)  # noqa: S102 - our own generated code
-    return namespace[func_name], source
+    run = _compile(source, f"<npkernel:{kernel.name}>", func_name)
+    return run, source
+
+
+def compile_batched_kernel(
+    kernel: Kernel, func_name: str = "kernel"
+):
+    """Compile the lane-batched source; returns ``(callable, source)``."""
+    source = emit_batched_source(kernel, func_name)
+    run = _compile(source, f"<npbatched:{kernel.name}>", func_name)
+    return run, source
+
+
+def compile_vector_group(
+    kernels: Mapping[str, Kernel],
+    mutual,
+    func_name: str = "kernel",
+):
+    """Compile the vector group module; returns ``(callable, source)``."""
+    source = emit_vector_group_source(kernels, mutual, func_name)
+    run = _compile(source, "<npgroupkernel>", func_name)
+    return run, source

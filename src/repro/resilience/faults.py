@@ -237,13 +237,21 @@ class FaultInjector:
         ``corrupt_rate`` (realised through a seeded RNG, so the victim
         set is a pure function of the site). Returns the corrupted
         coordinates; damage follows ``corrupt_mode``.
+
+        Lane-batched tables carry a leading problem axis
+        (``table.ndim == len(schedule.dims) + 1``): the batch index is
+        not a schedule dimension, so the partition of a cell is
+        computed from its trailing (space) coordinates only — every
+        problem row of the batch is equally at risk.
         """
         plan = self.plan
         if plan.corrupt_rate <= 0.0 or not self._enabled(site):
             return []
         rng = random.Random(self._digest("memory", site))
         span = max(1, partition_hi - partition_lo + 1)
-        extents = dict(zip(schedule.dims, table.shape))
+        batched = table.ndim == len(schedule.dims) + 1
+        space_shape = table.shape[1:] if batched else table.shape
+        extents = dict(zip(schedule.dims, space_shape))
         num_partitions = schedule.span(extents) + 1
         expected = plan.corrupt_rate * table.size * span / num_partitions
         count = int(expected)
@@ -260,8 +268,9 @@ class FaultInjector:
                 if flat in seen:
                     continue
                 coords = np.unravel_index(flat, table.shape)
+                space = coords[1:] if batched else coords
                 partition = schedule.partition_of(
-                    [int(c) for c in coords]
+                    [int(c) for c in space]
                 )
                 if partition_lo <= partition <= partition_hi:
                     seen.add(flat)

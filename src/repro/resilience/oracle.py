@@ -76,6 +76,13 @@ class DivergenceOracle:
         from ..ir.pybackend import compile_kernel
 
         kernel = compiled.kernel
+        custom = getattr(compiled, "reference_run", None)
+        if custom is not None:
+            # Compiled-like wrappers (the lane-batched launch) supply
+            # their own independent replay — scalar per member.
+            reference = ("scalar", custom)
+            self._references[key] = reference
+            return reference
         if getattr(compiled, "backend", "scalar") == "vector":
             run, _source = compile_kernel(kernel)
             reference: Tuple[str, Optional[Callable]] = ("scalar", run)

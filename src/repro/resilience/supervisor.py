@@ -264,22 +264,66 @@ class ExecutionSupervisor:
             func, base_bindings, problems,
             initial=initial, use_window=use_window,
         )
-        values: List[object] = []
-        for bound, domain, compiled in prepared:
-            ctx = engine.build_context(compiled, bound, domain)
-            table = engine._table_for(compiled.kernel, domain)
-            self._execute_supervised(compiled, ctx, domain, table)
+        values: List[object] = [None] * len(prepared)
+
+        def extract(index: int, compiled, table) -> None:
+            bound, domain, _ = prepared[index]
             coords = (
                 None
                 if reduce
                 else engine.result_coords(func, bound, domain, at,
                                           initial)
             )
-            values.append(
-                engine._extract(compiled.kernel, table, coords, reduce)
+            values[index] = engine._extract(
+                compiled.kernel, table, coords, reduce
             )
+
+        # Lane-batched groups are supervised as *single* launches: one
+        # checkpoint stream over the padded batch table, with epoch
+        # ranges from the padded domain (a superset of every member's;
+        # the batched kernel clamps internally, so an epoch outside a
+        # member's range is a no-op for it). Replay, verification and
+        # oracle recovery therefore apply to the whole batch at once.
+        batch_groups: List[List[int]] = []
+        batched: set = set()
+        if getattr(engine, "batching", False) and len(prepared) > 1:
+            from ..runtime.batching import (
+                BatchedLaunch,
+                pack_group,
+                plan_batches,
+            )
+
+            batch_groups = plan_batches(prepared)
+            batched = {
+                index for group in batch_groups for index in group
+            }
+        for group in batch_groups:
+            compiled = prepared[group[0]][2]
+            members = [
+                (prepared[i][0], prepared[i][1]) for i in group
+            ]
+            packed = pack_group(compiled, members, indices=group)
+            launch = BatchedLaunch(packed)
+            self._execute_supervised(
+                launch, packed.ctx, packed.padded_domain, packed.table
+            )
+            # One supervised launch, ``len(group)`` logical problems.
+            self.stats.problems += len(group) - 1
+            for slot, index in enumerate(group):
+                extract(index, compiled, packed.member_view(slot))
+        for index, (bound, domain, compiled) in enumerate(prepared):
+            if index in batched:
+                continue
+            ctx = engine.build_context(compiled, bound, domain)
+            table = engine._table_for(compiled.kernel, domain)
+            self._execute_supervised(compiled, ctx, domain, table)
+            extract(index, compiled, table)
         report = engine.device.launch(problem_costs)
-        return MapResult(values, report, usage, costs, "intra")
+        return MapResult(
+            values, report, usage, costs, "intra",
+            lane_batches=len(batch_groups),
+            lane_batched_problems=len(batched),
+        )
 
     # -- supervised execution ------------------------------------------------
 

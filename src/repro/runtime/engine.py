@@ -31,6 +31,7 @@ from ..gpu.device import ProblemCost, SimulatedDevice, LaunchReport
 from ..gpu.spec import DeviceSpec, GTX480
 from ..gpu.timing import (
     KernelCost,
+    batched_launch_cost,
     inter_task_seconds,
     kernel_cost,
     problems_per_sm,
@@ -38,7 +39,7 @@ from ..gpu.timing import (
 from ..ir.kernel import Kernel, build_kernel
 from ..ir.pybackend import compile_kernel
 from ..lang import ast
-from ..lang.errors import RuntimeDslError, ScheduleError
+from ..lang.errors import CodegenError, RuntimeDslError, ScheduleError
 from ..lang.typecheck import CheckedFunction
 from ..lang.types import (
     HmmType,
@@ -80,11 +81,35 @@ class CompiledKernel:
     source: str
     compile_seconds: float
     backend: str = "scalar"
+    batched_run: object = None  # lazy lane-batched twin (vector only)
+    batched_source: Optional[str] = None
 
     @property
     def schedule(self) -> Schedule:
         """The schedule this kernel was compiled for."""
         return self.kernel.schedule
+
+    @property
+    def eligibility(self):
+        """The vector-backend verdict for this kernel — rule id plus
+        the human sentence (``python -m repro explain`` prints it)."""
+        from ..ir import npbackend
+
+        return npbackend.eligibility(self.kernel)
+
+    def ensure_batched(self):
+        """Compile (once) and return the lane-batched twin kernel.
+
+        Only meaningful for vector-backend products; the batched
+        generator shares the vector backend's eligibility rules.
+        """
+        if self.batched_run is None:
+            from ..ir import npbackend
+
+            self.batched_run, self.batched_source = (
+                npbackend.compile_batched_kernel(self.kernel)
+            )
+        return self.batched_run
 
     def cuda_source(self, windowed: bool = False) -> str:
         """The synthesised CUDA text; ``windowed=True`` emits the
@@ -125,6 +150,15 @@ class MapResult:
     schedule_usage: Dict[Tuple[int, ...], int]
     costs: List[KernelCost] = field(repr=False, default_factory=list)
     parallelism: str = "intra"
+    #: Lane-batched execution accounting: how many packed groups ran
+    #: as single vectorised sweeps, covering how many problems, and
+    #: their amortised analytic costs (one sync per *global*
+    #: partition — see ``gpu.timing.batched_launch_cost``).
+    lane_batches: int = 0
+    lane_batched_problems: int = 0
+    batched_costs: List[KernelCost] = field(
+        repr=False, default_factory=list
+    )
 
     @property
     def seconds(self) -> float:
@@ -144,6 +178,7 @@ class Engine:
         backend: str = "auto",
         kernel_cache: Optional[LRUKernelCache] = None,
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+        batching: bool = True,
     ) -> None:
         if backend not in ("auto", "scalar", "vector"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -153,6 +188,9 @@ class Engine:
         self.schedule_bound = schedule_bound
         self.solver = solver
         self.backend = backend
+        #: Lane-batch eligible ``map`` groups into single vectorised
+        #: sweeps (Section 6.1's inter-task parallelism, functionally).
+        self.batching = batching
         # LRU-bounded by default; pass a shared
         # ``service.cache.PersistentKernelCache`` to keep compilation
         # products across processes (and across a worker pool).
@@ -195,8 +233,17 @@ class Engine:
         self.cache_misses += 1
         started = time.perf_counter()
         kernel = build_kernel(func, schedule, self.prob_mode)
+        verdict = npbackend.eligibility(kernel)
+        if self.backend == "vector" and not verdict.ok:
+            # Fail up front with the *rule* that was violated, rather
+            # than letting the generator die mid-emission.
+            raise CodegenError(
+                f"backend='vector' was forced but kernel "
+                f"{kernel.name!r} is not eligible "
+                f"[{verdict.rule}]: {verdict.detail}"
+            )
         use_vector = self.backend == "vector" or (
-            self.backend == "auto" and npbackend.eligible(kernel)
+            self.backend == "auto" and verdict.ok
         )
         if use_vector:
             run, source = npbackend.compile_vector_kernel(kernel)
@@ -494,10 +541,66 @@ class Engine:
             )
 
         if parallelism == "intra":
+            # Lane batching: groups of same-kernel vector problems run
+            # as single padded sweeps *before* the per-problem launch
+            # loop (which then skips them). The analytic launch report
+            # keeps the per-problem costs — placement and device time
+            # are modelled unchanged — while ``batched_costs`` records
+            # the amortised (one sync per global partition) pricing.
+            batch_groups: List[List[int]] = []
+            batched: set = set()
+            if execute and self.batching and len(prepared) > 1:
+                from .batching import pack_group, plan_batches
+
+                batch_groups = plan_batches(prepared)
+                batched = {
+                    index for group in batch_groups for index in group
+                }
+            batched_costs: List[KernelCost] = []
+            for group in batch_groups:
+                bound0, _, compiled = prepared[group[0]]
+                members = [
+                    (prepared[i][0], prepared[i][1]) for i in group
+                ]
+                packed = pack_group(compiled, members, indices=group)
+                compiled.ensure_batched()(packed.table, packed.ctx)
+                for slot, index in enumerate(group):
+                    p_bound, p_domain, _ = prepared[index]
+                    coords = (
+                        None
+                        if reduce
+                        else self.result_coords(
+                            func, p_bound, p_domain, at, initial
+                        )
+                    )
+                    values[index] = self._extract(
+                        compiled.kernel,
+                        packed.member_view(slot),
+                        coords,
+                        reduce,
+                    )
+                batched_costs.append(
+                    batched_launch_cost(
+                        compiled.kernel,
+                        [domain for _, domain in members],
+                        self.spec,
+                        mean_degree=self.mean_degree(func, bound0),
+                    )
+                )
+
+            def run_unbatched(index: int) -> None:
+                if index not in batched:
+                    run_one(index)
+
             report = self.device.launch(
-                problem_costs, run=run_one if execute else None
+                problem_costs, run=run_unbatched if execute else None
             )
-            return MapResult(values, report, usage, costs, "intra")
+            return MapResult(
+                values, report, usage, costs, "intra",
+                lane_batches=len(batch_groups),
+                lane_batched_problems=len(batched),
+                batched_costs=batched_costs,
+            )
 
         # Inter/hybrid: functional execution is unchanged; pricing
         # splits the problem set by strategy.

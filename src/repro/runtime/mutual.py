@@ -232,6 +232,45 @@ class MutualCompiled(_GroupEvaluation):
         return self.tables
 
 
+class MutualVectorised(_GroupEvaluation):
+    """Vectorised compiled execution: each member's space sweep runs
+    as NumPy lanes under the single global time loop.
+
+    The vector group backend
+    (:func:`repro.ir.npbackend.compile_vector_group`) is the lane-wise
+    twin of the scalar group module — same global partition
+    interleaving, whole partitions at a time. Falls back with a
+    :class:`~repro.lang.errors.CodegenError` when a member fails the
+    vector shape rules (the caller can retry ``engine="compiled"``).
+    """
+
+    def run(self) -> Dict[str, np.ndarray]:
+        """Run the vectorised group module; returns the tables."""
+        from ..ir.kernel import build_kernel
+        from ..ir.npbackend import compile_vector_group
+        from .context import build_context
+
+        kernels = {
+            name: build_kernel(
+                func, self.mutual[name].schedule,
+                compute_window=False,
+            )
+            for name, func in self.funcs.items()
+        }
+        ctxs = {
+            name: build_context(
+                kernels[name], self.bindings[name], self.domains[name]
+            )
+            for name in self.funcs
+        }
+        run, self.source = compile_vector_group(kernels, self.mutual)
+        global_lo, global_hi = self.mutual.global_range(self.domains)
+        run(self.tables, ctxs, global_lo, global_hi)
+        for name in self.funcs:
+            self.filled[name][...] = True
+        return self.tables
+
+
 def mutual_cost(
     funcs: Mapping[str, CheckedFunction],
     mutual: MutualSchedule,
@@ -288,10 +327,11 @@ def solve_mutual(
 ) -> MutualResult:
     """Schedule and evaluate one mutual group, end to end.
 
-    ``engine``: ``"compiled"`` (generated group module — fastest),
-    ``"lockstep"`` (interpreted, with barrier/race checking) or
-    ``"serial"`` (interpreted tabulation). Defaults to lockstep (or
-    serial when ``lockstep=False``, the legacy switch).
+    ``engine``: ``"vector"`` (vectorised group module — fastest),
+    ``"compiled"`` (generated scalar group module), ``"lockstep"``
+    (interpreted, with barrier/race checking) or ``"serial"``
+    (interpreted tabulation). Defaults to lockstep (or serial when
+    ``lockstep=False``, the legacy switch).
     """
     initial = initial or {}
     domains = {
@@ -307,6 +347,7 @@ def solve_mutual(
     if engine is None:
         engine = "lockstep" if lockstep else "serial"
     engine_cls = {
+        "vector": MutualVectorised,
         "compiled": MutualCompiled,
         "lockstep": MutualLockStep,
         "serial": MutualTabulator,

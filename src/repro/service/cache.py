@@ -48,7 +48,14 @@ MAGIC = b"repro-kernel-cache:%d\n" % KEY_FORMAT
 
 class CacheInfo(NamedTuple):
     """A ``functools.lru_cache``-style counter snapshot, extended with
-    the disk tier's counters (all zero for memory-only caches)."""
+    the disk tier's counters (all zero for memory-only caches).
+
+    ``backends`` breaks the resident entries down by the code
+    generator that produced them (``(("vector", 3), ("scalar", 1))``),
+    so operators can see at a glance which kernels took the vector
+    path — the per-kernel eligibility *reason* lives on
+    ``CompiledKernel.eligibility``.
+    """
 
     hits: int
     misses: int
@@ -58,6 +65,7 @@ class CacheInfo(NamedTuple):
     disk_hits: int
     disk_stores: int
     corrupt_evictions: int
+    backends: Tuple[Tuple[str, int], ...] = ()
 
 
 def canonical_kernel_form(
@@ -211,6 +219,10 @@ class LRUKernelCache:
     def cache_info(self) -> CacheInfo:
         """Counter snapshot."""
         with self._lock:
+            by_backend: Dict[str, int] = {}
+            for entry in self._entries.values():
+                backend = getattr(entry, "backend", "scalar")
+                by_backend[backend] = by_backend.get(backend, 0) + 1
             return CacheInfo(
                 self.hits,
                 self.misses,
@@ -220,6 +232,7 @@ class LRUKernelCache:
                 self.disk_hits,
                 self.disk_stores,
                 self.corrupt_evictions,
+                tuple(sorted(by_backend.items())),
             )
 
     def clear(self) -> None:

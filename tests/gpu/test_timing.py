@@ -7,6 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.analysis.domain import Domain
 from repro.gpu.spec import DeviceSpec, GTX480, XEON_E5520, XEON_E5520_SSE
 from repro.gpu.timing import (
+    batched_launch_cost,
     cpu_cost_seconds,
     kernel_cost,
     partition_sizes,
@@ -109,6 +110,53 @@ class TestKernelCost:
     def test_cells_per_second_positive(self):
         cost = kernel_cost(edit_kernel(), Domain.of(i=64, j=64), GTX480)
         assert cost.cells_per_second > 0
+
+
+class TestBatchedLaunchCost:
+    def test_sync_amortised_across_batch(self):
+        """One barrier per *global* partition: the batch pays the
+        span's syncs once, not once per member."""
+        kernel = edit_kernel()
+        domains = [Domain.of(i=33, j=33) for _ in range(8)]
+        batched = batched_launch_cost(kernel, domains, GTX480)
+        singles = [
+            kernel_cost(kernel, d, GTX480, use_window=False)
+            for d in domains
+        ]
+        assert batched.sync_cycles == singles[0].sync_cycles
+        assert batched.sync_cycles < sum(
+            c.sync_cycles for c in singles
+        )
+        assert batched.seconds < sum(c.seconds for c in singles)
+
+    def test_cells_conserved(self):
+        kernel = edit_kernel()
+        domains = [
+            Domain.of(i=9, j=9),
+            Domain.of(i=17, j=5),
+            Domain.of(i=5, j=21),
+        ]
+        cost = batched_launch_cost(kernel, domains, GTX480)
+        assert cost.cells == sum(d.size for d in domains)
+        assert not cost.window_in_shared  # padded table, global mem
+
+    def test_span_is_largest_member(self):
+        kernel = edit_kernel()
+        small = Domain.of(i=5, j=5)
+        large = Domain.of(i=33, j=17)
+        cost = batched_launch_cost(kernel, [small, large], GTX480)
+        assert cost.partitions == len(
+            partition_sizes(kernel.schedule, large)
+        )
+
+    def test_breakdown_sums_to_total(self):
+        kernel = edit_kernel()
+        cost = batched_launch_cost(
+            kernel, [Domain.of(i=12, j=12)] * 4, GTX480
+        )
+        assert cost.cycles == pytest.approx(
+            cost.compute_cycles + cost.memory_cycles + cost.sync_cycles
+        )
 
 
 class TestCpuCost:

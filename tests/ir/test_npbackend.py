@@ -7,6 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.ir.kernel import build_kernel
 from repro.ir.npbackend import (
     compile_vector_kernel,
+    eligibility,
     eligible,
     emit_vector_source,
 )
@@ -46,11 +47,15 @@ class TestEligibility:
                               Schedule.of(i=1, j=1))
         assert eligible(kernel)
 
-    def test_reduce_kernels_not_eligible(self):
+    def test_reduce_kernels_eligible(self):
+        """Reductions vectorise as masked lane-uniform loops."""
         kernel = build_kernel(
             checked(FORWARD, {"dna": DNA.chars}), Schedule.of(s=0, i=1)
         )
-        assert not eligible(kernel)
+        assert eligible(kernel)
+        verdict = eligibility(kernel)
+        assert verdict.rule == "ok"
+        assert "masked lane-uniform" in verdict.detail
 
     def test_one_dimensional_not_eligible(self):
         kernel = build_kernel(
@@ -142,6 +147,134 @@ class TestAgreement:
         assert (a == b).all()
 
 
+class TestClampHelpers:
+    """The prelude's clamped index/gather helpers.
+
+    ``np.where`` evaluates both arms eagerly, so the emitter clamps
+    every gather index into range; a clamped read is only ever fed to
+    lanes a guard discards. These pin the helpers' edge cases.
+    """
+
+    @pytest.fixture(scope="class")
+    def prelude(self):
+        from repro.ir import npbackend
+
+        namespace = {}
+        exec(npbackend._PRELUDE, namespace)
+        exec(npbackend._BATCH_PRELUDE, namespace)
+        return namespace
+
+    def test_ix_clamps_both_ends(self, prelude):
+        index = np.array([-5, -1, 0, 3, 7, 99])
+        clamped = prelude["_ix"](index, 7)
+        assert clamped.tolist() == [0, 0, 0, 3, 7, 7]
+
+    def test_gather_negative_indices_clamp_to_first(self, prelude):
+        arr = np.array([10, 20, 30])
+        out = prelude["_gather"](arr, np.array([-3, -1, 0, 2, 9]))
+        assert out.tolist() == [10, 10, 10, 30, 30]
+
+    def test_gather_empty_sequence_yields_zeros(self, prelude):
+        out = prelude["_gather"](
+            np.array([], dtype=np.int64), np.array([-1, 0, 4])
+        )
+        assert out.tolist() == [0, 0, 0]
+        assert out.shape == (3,)
+
+    def test_bgather_pads_and_clamps(self, prelude):
+        arr = np.array([[1, 2, 3], [4, 0, 0]])  # row 1 has length 1
+        b = np.array([0, 1, 1])
+        out = prelude["_bgather"](arr, b, np.array([2, -1, 9]))
+        assert out.tolist() == [3, 4, 0]
+
+    def test_bgather_empty_padded_array(self, prelude):
+        arr = np.zeros((2, 0), dtype=np.int64)
+        out = prelude["_bgather"](
+            arr, np.array([0, 1]), np.array([0, 5])
+        )
+        assert out.tolist() == [0, 0]
+
+    def test_bstore_skips_invalid_lanes(self, prelude):
+        table = np.zeros((2, 3, 3), dtype=np.int64)
+        b = np.array([0, 0, 1, 1])
+        i0 = np.array([1, 2, 1, 2])
+        i1 = np.array([1, 2, 1, 2])
+        valid = np.array([True, False, True, False])
+        prelude["_bstore"](table, b, i0, i1, valid, 7)
+        assert table[0, 1, 1] == 7 and table[1, 1, 1] == 7
+        assert table.sum() == 14  # the invalid lanes stayed zero
+
+    def test_clamped_reads_only_feed_discarded_lanes(self):
+        """Empty-sequence end to end: every gather is clamped, yet
+        the vector table matches scalar bitwise because clamp output
+        only reaches guard-discarded lanes."""
+        func = checked(EDIT_DISTANCE)
+        empty = Sequence("", ENGLISH)
+        t = Sequence("abc", ENGLISH)
+        a = Engine(backend="scalar").run(func, {"s": empty, "t": t})
+        b = Engine(backend="vector").run(func, {"s": empty, "t": t})
+        assert a.value == b.value == 3
+        assert a.table.tobytes() == b.table.tobytes()
+
+
+VITERBI = """
+prob viterbi(hmm h, state[h] s, seq[*] x, index[x] i) =
+  if i == 0 then (if s.isstart then 1.0 else 0.0)
+  else (if s.isend then 1.0 else s.emission[x[i-1]])
+    * max(t in s.transitionsto : t.prob * viterbi(t.start, i - 1))
+"""
+
+
+class TestReductionAgreement:
+    """Scalar vs vector on reduction kernels, both probability modes."""
+
+    @pytest.fixture(scope="class")
+    def hmm(self):
+        from repro.apps.profile_hmm import tk_model
+
+        return tk_model()
+
+    @pytest.fixture(scope="class")
+    def sequence(self):
+        from repro.runtime.sequences import random_protein
+
+        return random_protein(12, seed=5)
+
+    @pytest.mark.parametrize("source", [FORWARD, VITERBI],
+                             ids=["forward", "viterbi"])
+    @pytest.mark.parametrize("mode", ["direct", "logspace"])
+    def test_scalar_vector_agree(self, hmm, sequence, source, mode):
+        func = checked(source, {})
+        bindings = {"h": hmm, "x": sequence}
+        a = Engine(backend="scalar", prob_mode=mode).run(
+            func, dict(bindings)
+        )
+        b = Engine(backend="vector", prob_mode=mode).run(
+            func, dict(bindings)
+        )
+        if mode == "direct":
+            assert a.table.tobytes() == b.table.tobytes()
+        else:
+            assert np.allclose(
+                a.table, b.table, rtol=1e-9, atol=1e-12,
+                equal_nan=True,
+            )
+        assert np.isclose(a.value, b.value, rtol=1e-9, atol=1e-12)
+
+    def test_range_reduce_agrees(self):
+        """Nussinov-style range reductions take the vector path."""
+        from repro.apps.rna_folding import RNA, RnaFolding
+
+        scalar = RnaFolding(engine=Engine(backend="scalar"))
+        vector = RnaFolding(engine=Engine(backend="vector"))
+        rna = Sequence("gcaucgauggcua", RNA)
+        a = scalar.fold(rna)
+        b = vector.fold(rna)
+        assert a.score == b.score
+        assert a.pairs == b.pairs
+        assert a.run.table.tobytes() == b.run.table.tobytes()
+
+
 class TestEngineIntegration:
     def test_auto_uses_vector_for_eligible(self):
         engine = Engine(backend="auto")
@@ -149,11 +282,14 @@ class TestEngineIntegration:
         compiled = engine.compile(func, Schedule.of(i=1, j=1))
         assert "np.arange" in compiled.source
 
-    def test_auto_falls_back_for_hmm(self):
+    def test_auto_vectorises_hmm(self):
+        """Reduction kernels now take the vector path under auto."""
         engine = Engine(backend="auto")
         func = checked(FORWARD, {"dna": DNA.chars})
         compiled = engine.compile(func, Schedule.of(s=0, i=1))
-        assert "np.arange" not in compiled.source
+        assert compiled.backend == "vector"
+        assert "np.arange" in compiled.source
+        assert "np.where" in compiled.source  # masked accumulation
 
     def test_scalar_forced(self):
         engine = Engine(backend="scalar")
@@ -172,6 +308,36 @@ class TestEngineIntegration:
         vector = Engine(backend="vector")
         vector.compile(func, Schedule.of(i=1, j=1))
         assert scalar.cache_misses == vector.cache_misses == 1
+
+    def test_forced_vector_on_ineligible_raises_with_rule(self):
+        """The bugfix: forcing backend='vector' fails up front with
+        the eligibility rule, not later with a crash mid-execution."""
+        engine = Engine(backend="vector")
+        func = checked(
+            "int f(int n) = if n == 0 then 0 else f(n-1) + 1"
+        )
+        with pytest.raises(CodegenError, match=r"\[rank\]"):
+            engine.compile(func, Schedule.of(n=1))
+
+    def test_compiled_kernel_surfaces_eligibility(self):
+        engine = Engine(backend="auto")
+        compiled = engine.compile(
+            checked(EDIT_DISTANCE), Schedule.of(i=1, j=1)
+        )
+        verdict = compiled.eligibility
+        assert verdict.ok and verdict.rule == "ok"
+
+    def test_scalar_fallback_surfaces_reason(self):
+        engine = Engine(backend="auto")
+        func = checked(
+            "int f(int n) = if n == 0 then 0 else f(n-1) + 1"
+        )
+        compiled = engine.compile(func, Schedule.of(n=1))
+        assert compiled.backend == "scalar"
+        verdict = compiled.eligibility
+        assert not verdict.ok
+        assert verdict.rule == "rank"
+        assert verdict.detail
 
     def test_results_identical_across_backends(self):
         func = checked(EDIT_DISTANCE)

@@ -1,0 +1,266 @@
+"""Lane-batched map execution (``repro.runtime.batching``)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.profile_hmm import tk_model
+from repro.lang.parser import parse_function
+from repro.lang.typecheck import check_function
+from repro.runtime.batching import (
+    MIN_BATCH,
+    BatchedLaunch,
+    pack_group,
+    plan_batches,
+)
+from repro.runtime.engine import Engine
+from repro.runtime.values import ENGLISH, Sequence
+
+EDIT_DISTANCE = """
+int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i-1] == t[j-1] then d(i-1, j-1)
+  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1
+"""
+
+FORWARD = """
+prob forward(hmm h, state[h] s, seq[*] x, index[x] i) =
+  if i == 0 then (if s.isstart then 1.0 else 0.0)
+  else (if s.isend then 1.0 else s.emission[x[i-1]])
+    * sum(t in s.transitionsto : t.prob * forward(t.start, i - 1))
+"""
+
+WORDS = ("kitten", "mitten", "sit", "knitting")
+
+
+@pytest.fixture
+def edit_func():
+    return check_function(
+        parse_function(EDIT_DISTANCE.strip()), {"en": ENGLISH.chars}
+    )
+
+
+@pytest.fixture
+def forward_func():
+    return check_function(parse_function(FORWARD.strip()), {})
+
+
+def edit_problems(words=WORDS):
+    return [{"s": Sequence(word, ENGLISH)} for word in words]
+
+
+BASE = {"t": Sequence("sitting", ENGLISH)}
+
+
+class TestPlanBatches:
+    def prepared(self, engine, func, problems):
+        prepared, _, _, _ = engine.prepare_map(func, BASE, problems)
+        return prepared
+
+    def test_same_kernel_problems_group(self, edit_func):
+        prepared = self.prepared(
+            Engine(backend="auto"), edit_func, edit_problems()
+        )
+        groups = plan_batches(prepared)
+        assert groups == [[0, 1, 2, 3]]
+
+    def test_scalar_kernels_never_batch(self, edit_func):
+        prepared = self.prepared(
+            Engine(backend="scalar"), edit_func, edit_problems()
+        )
+        assert plan_batches(prepared) == []
+
+    def test_singleton_groups_dropped(self, edit_func):
+        assert MIN_BATCH == 2
+        prepared = self.prepared(
+            Engine(backend="auto"), edit_func, edit_problems(["sit"])
+        )
+        assert plan_batches(prepared) == []
+
+    def test_distinct_models_split_groups(self, forward_func):
+        """Problems batch only when the shared HMM is the *same
+        object* — its arrays ride in the batched context unpacked."""
+        hmm_a, hmm_b = tk_model(seed=1), tk_model(seed=2)
+        from repro.runtime.sequences import random_protein
+
+        problems = [
+            {"h": hmm_a, "x": random_protein(8, seed=1)},
+            {"h": hmm_b, "x": random_protein(9, seed=2)},
+            {"h": hmm_a, "x": random_protein(7, seed=3)},
+            {"h": hmm_b, "x": random_protein(8, seed=4)},
+        ]
+        prepared = self.prepared(
+            Engine(backend="auto", prob_mode="logspace"),
+            forward_func,
+            problems,
+        )
+        groups = plan_batches(prepared)
+        assert sorted(sorted(g) for g in groups) == [[0, 2], [1, 3]]
+
+
+class TestPackGroup:
+    def packed(self, engine, func, problems):
+        prepared, _, _, _ = engine.prepare_map(func, BASE, problems)
+        (group,) = plan_batches(prepared)
+        compiled = prepared[group[0]][2]
+        members = [(prepared[i][0], prepared[i][1]) for i in group]
+        return pack_group(compiled, members, indices=group), prepared
+
+    def test_table_padded_to_max_extents(self, edit_func):
+        packed, prepared = self.packed(
+            Engine(backend="auto"), edit_func, edit_problems()
+        )
+        longest = max(len(word) for word in WORDS)
+        assert packed.table.shape == (
+            len(WORDS), longest + 1, len("sitting") + 1
+        )
+        assert packed.padded_domain.extents == packed.table.shape[1:]
+
+    def test_bounds_and_sequences_packed_per_problem(self, edit_func):
+        packed, _ = self.packed(
+            Engine(backend="auto"), edit_func, edit_problems()
+        )
+        assert packed.ctx["ub_i"].shape == (len(WORDS), 1)
+        assert [int(ub) for ub in packed.ctx["ub_i"][:, 0]] == [
+            len(word) for word in WORDS
+        ]
+        seqs = packed.ctx["seq_s"]
+        longest = max(len(word) for word in WORDS)
+        assert seqs.shape == (len(WORDS), longest)
+        for row, word in zip(seqs, WORDS):
+            # padding past the member's own length stays zero
+            assert (row[len(word):] == 0).all()
+
+    def test_member_view_has_true_extents(self, edit_func):
+        packed, prepared = self.packed(
+            Engine(backend="auto"), edit_func, edit_problems()
+        )
+        for slot, index in enumerate(packed.indices):
+            domain = prepared[index][1]
+            assert packed.member_view(slot).shape == domain.extents
+
+
+class TestBatchedMapRun:
+    def test_values_match_loop_and_scalar(self, edit_func):
+        problems = edit_problems()
+        scalar = Engine(backend="scalar").map_run(
+            edit_func, BASE, problems
+        )
+        looped = Engine(backend="auto", batching=False).map_run(
+            edit_func, BASE, problems
+        )
+        batched = Engine(backend="auto", batching=True).map_run(
+            edit_func, BASE, problems
+        )
+        assert batched.values == looped.values == scalar.values
+        assert batched.lane_batches == 1
+        assert batched.lane_batched_problems == len(problems)
+        assert looped.lane_batches == 0
+        assert len(batched.batched_costs) == 1
+
+    def test_launch_report_invariant_under_batching(self, edit_func):
+        """Batching is a host-side simulator optimisation: the
+        analytic launch report prices the same per-problem costs."""
+        problems = edit_problems()
+        looped = Engine(backend="auto", batching=False).map_run(
+            edit_func, BASE, problems
+        )
+        batched = Engine(backend="auto", batching=True).map_run(
+            edit_func, BASE, problems
+        )
+        assert batched.report.problems == len(problems)
+        assert batched.report.kernel_seconds == pytest.approx(
+            looped.report.kernel_seconds
+        )
+        assert batched.costs == looped.costs
+
+    def test_reduce_max_batched(self, edit_func):
+        problems = edit_problems()
+        scalar = Engine(backend="scalar").map_run(
+            edit_func, BASE, problems, reduce="max"
+        )
+        batched = Engine(backend="auto").map_run(
+            edit_func, BASE, problems, reduce="max"
+        )
+        assert batched.lane_batched_problems == len(problems)
+        assert batched.values == scalar.values
+
+    def test_reduction_kernel_batched_logspace(self, forward_func):
+        from repro.runtime.sequences import random_protein
+
+        hmm = tk_model()
+        problems = [
+            {"x": random_protein(6 + k, seed=k)} for k in range(5)
+        ]
+        scalar = Engine(
+            backend="scalar", prob_mode="logspace"
+        ).map_run(forward_func, {"h": hmm}, problems)
+        batched = Engine(prob_mode="logspace").map_run(
+            forward_func, {"h": hmm}, problems
+        )
+        assert batched.lane_batched_problems == len(problems)
+        assert np.allclose(
+            batched.values, scalar.values, rtol=1e-9, atol=1e-12
+        )
+
+    def test_pricing_only_never_batches(self, edit_func):
+        result = Engine().map_run(
+            edit_func, BASE, edit_problems(), execute=False
+        )
+        assert result.lane_batches == 0
+        assert result.values == [None] * len(WORDS)
+
+    def test_batching_off_engine_flag(self, edit_func):
+        engine = Engine(batching=False)
+        result = engine.map_run(edit_func, BASE, edit_problems())
+        assert result.lane_batches == 0
+        assert result.values == [3, 3, 4, 2]
+
+
+class TestBatchedLaunch:
+    def launch(self, edit_func):
+        engine = Engine(backend="auto")
+        prepared, _, _, _ = engine.prepare_map(
+            edit_func, BASE, edit_problems()
+        )
+        (group,) = plan_batches(prepared)
+        compiled = prepared[group[0]][2]
+        members = [(prepared[i][0], prepared[i][1]) for i in group]
+        return BatchedLaunch(pack_group(compiled, members, group))
+
+    def test_padding_never_written(self, edit_func):
+        launch = self.launch(edit_func)
+        batch = launch.batch
+        table = batch.table.copy()
+        launch.run(table, batch.ctx)
+        mask = np.ones_like(table, dtype=bool)
+        for slot, domain in enumerate(batch.domains):
+            mask[(slot,) + tuple(slice(0, e) for e in domain.extents)] = False
+        assert (table[mask] == 0).all()
+
+    def test_partition_split_reproduces_full_run(self, edit_func):
+        launch = self.launch(edit_func)
+        batch = launch.batch
+        full = batch.table.copy()
+        launch.run(full, batch.ctx)
+        split = batch.table.copy()
+        schedule = launch.schedule
+        extents = dict(
+            zip(schedule.dims, batch.padded_domain.extents)
+        )
+        span = schedule.span(extents)
+        mid = span // 2
+        launch.run(split, batch.ctx, part_lo=None, part_hi=mid)
+        launch.run(split, batch.ctx, part_lo=mid + 1, part_hi=span)
+        assert split.tobytes() == full.tobytes()
+
+    def test_reference_run_agrees_with_batched(self, edit_func):
+        launch = self.launch(edit_func)
+        batch = launch.batch
+        primary = batch.table.copy()
+        launch.run(primary, batch.ctx)
+        reference = batch.table.copy()
+        launch.reference_run(reference, batch.ctx)
+        for slot, domain in enumerate(batch.domains):
+            sel = (slot,) + tuple(slice(0, e) for e in domain.extents)
+            assert (primary[sel] == reference[sel]).all()

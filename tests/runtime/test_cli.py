@@ -49,6 +49,49 @@ class TestCli:
         assert "unknown variable" in err
         assert "^" in err  # caret diagnostics
 
+    def test_explain_reports_backend_and_rule(
+        self, tmp_path, capsys
+    ):
+        script = tmp_path / "prog.dsl"
+        script.write_text(DEMO)
+        assert main(["explain", str(script)]) == 0
+        out = capsys.readouterr().out
+        assert "d: backend=vector rule=ok" in out
+        assert "schedule=S = i + j" in out
+
+    def test_explain_reduction_kernel(self, tmp_path, capsys):
+        script = tmp_path / "fwd.dsl"
+        script.write_text(
+            'alphabet dna = "acgt"\n'
+            "hmm h [dna] {\n"
+            "  state b : start\n"
+            "  state m emits { a: 0.5, t: 0.5 }\n"
+            "  state e : end\n"
+            "  trans b -> m : 1.0\n"
+            "  trans m -> m : 0.5\n"
+            "  trans m -> e : 0.5\n"
+            "}\n"
+            "prob fw(hmm h, state[h] s, seq[*] x, index[x] i) =\n"
+            "  if i == 0 then (if s.isstart then 1.0 else 0.0)\n"
+            "  else (if s.isend then 1.0 else s.emission[x[i-1]])\n"
+            "    * sum(t in s.transitionsto : t.prob * fw(t.start, i-1))\n"
+            'print fw(h, h.end, "at", 2)\n'
+        )
+        assert main(["explain", str(script)]) == 0
+        out = capsys.readouterr().out
+        assert "fw: backend=vector rule=ok" in out
+        assert "masked lane-uniform" in out
+
+    def test_explain_scalar_fallback_named(self, tmp_path, capsys):
+        script = tmp_path / "one.dsl"
+        script.write_text(
+            "int f(int n) = if n == 0 then 0 else f(n-1) + 1\n"
+            "print f(4)\n"
+        )
+        assert main(["explain", str(script)]) == 0
+        out = capsys.readouterr().out
+        assert "f: backend=scalar rule=rank" in out
+
     def test_logspace_mode(self, tmp_path, capsys):
         script = tmp_path / "fwd.dsl"
         script.write_text(

@@ -332,3 +332,26 @@ class TestFormatGuard:
         compiled = engine._cache.values()[0]
         restored = decode_compiled(encode_compiled(compiled))
         assert restored.backend == compiled.backend == "vector"
+
+
+class TestBackendBreakdown:
+    def test_cache_info_counts_entries_per_backend(self, edit_func):
+        cache = LRUKernelCache(capacity=8)
+        vector = Engine(backend="vector", kernel_cache=cache)
+        vector.run(edit_func, ARGS)
+        scalar = Engine(backend="scalar", kernel_cache=cache)
+        scalar.run(edit_func, ARGS)
+        info = cache.cache_info()
+        assert dict(info.backends) == {"scalar": 1, "vector": 1}
+
+    def test_empty_cache_reports_no_backends(self):
+        assert LRUKernelCache().cache_info().backends == ()
+
+    def test_breakdown_tracks_eviction(self, edit_func):
+        cache = LRUKernelCache(capacity=1)
+        vector = Engine(backend="vector", kernel_cache=cache)
+        vector.run(edit_func, ARGS)
+        scalar = Engine(backend="scalar", kernel_cache=cache)
+        scalar.run(edit_func, ARGS)  # evicts the vector entry
+        info = cache.cache_info()
+        assert dict(info.backends) == {"scalar": 1}
