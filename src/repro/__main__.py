@@ -8,6 +8,7 @@ Usage::
     python -m repro --demo                # run the built-in demo
 
     python -m repro explain prog.dsl      # backend eligibility per function
+    python -m repro lint prog.dsl         # static verification + lint
 
     python -m repro serve --port 8753 --workers 4 --cache-dir .kcache
     python -m repro submit --port 8753 --program prog.dsl \\
@@ -186,6 +187,7 @@ def explain_main(argv) -> int:
     from .lang.typecheck import check_program
     from .schedule.multi import derive_schedule_set
     from .schedule.solver import find_schedule
+    from .verify import verify_schedule
 
     try:
         program = check_program(parse_program(text))
@@ -226,7 +228,94 @@ def explain_main(argv) -> int:
         print(f"{name}: backend={backend} rule={verdict.rule} "
               f"schedule={schedule}")
         print(f"  {verdict.detail}")
+        try:
+            certificate, _diags = verify_schedule(
+                func,
+                schedule,
+                Domain(
+                    func.dim_names,
+                    tuple(16 for _ in func.recursive_params),
+                ),
+            )
+        except DslError:
+            print("  verification: not applicable "
+                  "(outside the single-function verifier's scope)")
+        else:
+            print(f"  verification: {certificate.summary}")
+            if not certificate.ok:
+                failures += 1
     return 1 if failures else 0
+
+
+def lint_main(argv) -> int:
+    """``python -m repro lint``: static verification of a script.
+
+    Runs the independent schedule-soundness verifier and the IR
+    access/initialization analysis over every recurrence (nominal
+    domain extents; user ``schedule`` declarations are honoured).
+    Exit code 1 when any error-severity diagnostic fires, or 2 with
+    ``--strict`` when warnings do.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="Statically verify schedules and table accesses "
+        "of a DSL script (caret diagnostics, stable rule ids).",
+    )
+    parser.add_argument("script", help="path to a .dsl program")
+    parser.add_argument(
+        "--nominal-extent", type=int, default=None,
+        help="stand-in extent L for the unknown problem size "
+        "(dimensions get extent L+1; default 12)",
+    )
+    parser.add_argument(
+        "--prob-mode", choices=("direct", "logspace"),
+        default="direct",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="also fail (exit 2) on warnings",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress info-severity diagnostics",
+    )
+    args = parser.parse_args(argv)
+
+    path = Path(args.script)
+    if not path.exists():
+        parser.error(f"no such script: {path}")
+
+    from .verify import lint_text
+    from .verify.diagnostics import Severity
+
+    kwargs = {"prob_mode": args.prob_mode}
+    if args.nominal_extent is not None:
+        kwargs["nominal_extent"] = args.nominal_extent
+    result = lint_text(path.read_text(), str(path), **kwargs)
+
+    shown = 0
+    for diagnostic in result.report:
+        if args.quiet and diagnostic.severity == Severity.INFO:
+            continue
+        stream = (
+            sys.stderr
+            if diagnostic.severity == Severity.ERROR
+            else sys.stdout
+        )
+        print(diagnostic.render(result.source), file=stream)
+        shown += 1
+    errors = len(result.report.by_severity(Severity.ERROR))
+    warnings = len(result.report.by_severity(Severity.WARNING))
+    print(
+        f"{path}: {errors} error(s), {warnings} warning(s), "
+        f"{len(result.certificates)} schedule(s) verified",
+        file=sys.stderr,
+    )
+    if errors:
+        return 1
+    if args.strict and warnings:
+        return 2
+    return 0
 
 
 def submit_main(argv) -> int:
@@ -325,6 +414,8 @@ def main(argv=None) -> int:
         return submit_main(argv[1:])
     if argv and argv[0] == "explain":
         return explain_main(argv[1:])
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Synthesise and run GPU programs from recursion "

@@ -39,21 +39,26 @@ def min_affine_over_box(
     """``min affine(x)`` over the box, subject to ``c(x) >= 0``.
 
     Returns ``None`` when the constrained region is empty (a vacuous
-    criterion). Without constraints this is the exact corner formula;
-    with constraints it is the LP-relaxation minimum — a safe lower
-    bound for the integer minimum (the criterion only needs a positive
-    lower bound).
+    criterion) — including the degenerate boxes: any dimension the
+    function (or a constraint) mentions with extent < 1 makes the box
+    itself empty. A single-point dimension (extent 1) pins its
+    coordinate at 0 and is handled by the ordinary corner formula.
+    Without constraints this is the exact corner formula; with
+    constraints it is the LP-relaxation minimum — a safe lower bound
+    for the integer minimum (the criterion only needs a positive lower
+    bound).
     """
-    if not constraints:
-        return float(affine.min_over_box(extents))
-
-    from scipy.optimize import linprog
-
     names = sorted(
         set(affine.dims()).union(
             *[set(c.dims()) for c in constraints]
         )
     )
+    if any(extents[d] < 1 for d in names if d in extents):
+        return None
+    if not constraints:
+        return float(affine.min_over_box(extents))
+
+    from scipy.optimize import linprog
     if not names:
         for con in constraints:
             if con.const < 0:

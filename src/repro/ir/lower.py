@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from ..lang import ast
 from ..lang.errors import AnalysisError
@@ -43,13 +43,23 @@ class LoweredBody:
 
 
 def lower_function(
-    func: CheckedFunction, prob_mode: str = "direct"
+    func: CheckedFunction,
+    prob_mode: str = "direct",
+    span_map: Optional[Dict[int, object]] = None,
 ) -> LoweredBody:
-    """Lower ``func``'s body into a cell expression."""
+    """Lower ``func``'s body into a cell expression.
+
+    ``span_map``, when given, is filled with ``id(ir_node) -> span`` of
+    the source expression each IR node was lowered from, so IR-level
+    analyses (the access verifier) can report caret diagnostics against
+    the original text. IR nodes are frozen and carry no span of their
+    own; the side map keys on identity, which stays valid as long as
+    the returned tree is alive.
+    """
     if prob_mode not in PROB_MODES:
         raise ValueError(f"unknown probability mode {prob_mode!r}")
     logspace = prob_mode == "logspace"
-    lowerer = _Lowerer(func, logspace)
+    lowerer = _Lowerer(func, logspace, span_map)
     cell = lowerer.lower(func.body)
     return_kind = _kind_name(func.return_type)
     return LoweredBody(
@@ -68,9 +78,15 @@ def _kind_name(t) -> str:
 
 
 class _Lowerer:
-    def __init__(self, func: CheckedFunction, logspace: bool) -> None:
+    def __init__(
+        self,
+        func: CheckedFunction,
+        logspace: bool,
+        span_map: Optional[Dict[int, object]] = None,
+    ) -> None:
         self.func = func
         self.logspace = logspace
+        self.span_map = span_map
         self._dims = set(func.dim_names)
         self._binders: Dict[str, str] = {}  # binder -> hmm param
 
@@ -103,6 +119,14 @@ class _Lowerer:
     # -- dispatch -------------------------------------------------------------
 
     def lower(self, expr: ast.Expr) -> ir.Node:
+        node = self._lower_impl(expr)
+        if self.span_map is not None:
+            # Children lower (and record) before their parent, so
+            # setdefault keeps the most precise span for reused nodes.
+            self.span_map.setdefault(id(node), expr.span)
+        return node
+
+    def _lower_impl(self, expr: ast.Expr) -> ir.Node:
         if isinstance(expr, ast.IntLit):
             if self._is_log(expr):
                 return self._to_log(

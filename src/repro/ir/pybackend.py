@@ -98,8 +98,11 @@ class _CellEmitter:
     cross-table reads (mutual groups) render as ``T_<callee>``.
     """
 
-    def __init__(self, own_table: str = "T") -> None:
+    def __init__(
+        self, own_table: str = "T", sanitize: bool = False
+    ) -> None:
         self.own_table = own_table
+        self.sanitize = sanitize
         self.counter = 0
 
     def _table_name(self, node) -> str:
@@ -143,10 +146,14 @@ class _CellEmitter:
             indices = [self.inline(i) for i in node.indices]
             if any(i is None for i in indices):
                 return None
-            return f"{self._table_name(node)}[{', '.join(indices)}]"
+            return self._table_read_text(node, indices)
         if isinstance(node, ir.SeqRead):
             index = self.inline(node.index)
-            return None if index is None else f"seq_{node.seq}[{index}]"
+            if index is None:
+                return None
+            if self.sanitize:
+                return f"_san.sread(seq_{node.seq}, {index})"
+            return f"seq_{node.seq}[{index}]"
         if isinstance(node, ir.MatrixRead):
             row = self.inline(node.row)
             col = self.inline(node.col)
@@ -182,6 +189,16 @@ class _CellEmitter:
         if isinstance(node, (ir.ReduceLoop, ir.RangeReduce)):
             return None
         raise CodegenError(f"cannot render IR node {node!r}")
+
+    def _table_read_text(self, node, indices: List[str]) -> str:
+        name = self._table_name(node)
+        if self.sanitize:
+            own = "True" if not node.table else "False"
+            return (
+                f"_san.tread({name}, ({', '.join(indices)},), "
+                f"own={own})"
+            )
+        return f"{name}[{', '.join(indices)}]"
 
     @staticmethod
     def _binary_text(op: str, kind: str, left: str, right: str) -> str:
@@ -233,7 +250,7 @@ class _CellEmitter:
             indices = [self._force(i, lines, pad) for i in node.indices]
             lines.append(
                 f"{pad}{target} = "
-                f"{self._table_name(node)}[{', '.join(indices)}]"
+                f"{self._table_read_text(node, indices)}"
             )
             return
         raise CodegenError(f"cannot emit IR node {node!r}")
@@ -304,7 +321,7 @@ class _CellEmitter:
 
 
 def emit_kernel_source(
-    kernel: Kernel, func_name: str = "kernel"
+    kernel: Kernel, func_name: str = "kernel", sanitize: bool = False
 ) -> str:
     """Emit the full Python module source for one kernel.
 
@@ -313,11 +330,18 @@ def emit_kernel_source(
     the execution supervisor uses this to replay only the failed
     span of the schedule after a device fault. With both left at
     ``None`` the kernel runs every partition, exactly as before.
+
+    With ``sanitize`` the emitted code routes every table/sequence
+    access and every cell write through a
+    :class:`~repro.verify.sanitizer.TableSanitizer` taken from
+    ``ctx['_san']``, and announces each partition at its barrier.
     """
     refs = kernel.referenced_names()
     lines: List[str] = [_PRELUDE, ""]
     lines.append(f"def {func_name}(T, ctx, part_lo=None, part_hi=None):")
     pad = "    "
+    if sanitize:
+        lines.append(f"{pad}_san = ctx['_san']")
     for ub in kernel.ub_params():
         lines.append(f"{pad}{ub} = ctx['{ub}']")
     for seq in sorted(refs["seqs"]):
@@ -337,7 +361,7 @@ def emit_kernel_source(
             lines.append(
                 f"{pad}hmm_{hmm}_{piece} = ctx['hmm_{hmm}_{piece}']"
             )
-    emitter = _CellEmitter()
+    emitter = _CellEmitter(sanitize=sanitize)
     roots = kernel.nest.roots
     if (
         len(roots) == 1
@@ -352,7 +376,16 @@ def emit_kernel_source(
         lines.append(f"{pad}if part_hi is not None and part_hi < _phi:")
         lines.append(f"{pad}    _phi = part_hi")
         lines.append(f"{pad}for {time_loop.var} in range(_plo, _phi + 1):")
+        if sanitize:
+            lines.append(f"{pad}    _san.barrier({time_loop.var})")
         _emit_nest(kernel, time_loop.body, emitter, lines, pad + "    ")
+        if sanitize:
+            lines.append(f"{pad}_san.finish(T)")
+    elif sanitize:
+        raise CodegenError(
+            "the sanitizer requires a partition-major time loop; "
+            "this kernel's nest has no time dimension"
+        )
     else:
         _emit_nest(kernel, roots, emitter, lines, pad)
     lines.append(f"{pad}return T")
@@ -385,14 +418,21 @@ def _emit_nest(
             target = emitter.fresh()
             emitter.emit_to(kernel.body.cell, target, lines, pad)
             index = ", ".join(kernel.dims)
-            lines.append(f"{pad}T[{index}] = {target}")
+            if emitter.sanitize:
+                lines.append(
+                    f"{pad}_san.twrite(T, ({index},), {target})"
+                )
+            else:
+                lines.append(f"{pad}T[{index}] = {target}")
         else:
             raise CodegenError(f"unknown nest node {node!r}")
 
 
-def compile_kernel(kernel: Kernel, func_name: str = "kernel"):
+def compile_kernel(
+    kernel: Kernel, func_name: str = "kernel", sanitize: bool = False
+):
     """Compile the generated source; returns ``(callable, source)``."""
-    source = emit_kernel_source(kernel, func_name)
+    source = emit_kernel_source(kernel, func_name, sanitize=sanitize)
     namespace: Dict[str, object] = {}
     code = compile(source, f"<kernel:{kernel.name}>", "exec")
     exec(code, namespace)  # noqa: S102 - our own generated code

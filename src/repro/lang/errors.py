@@ -59,6 +59,28 @@ class RuntimeDslError(DslError):
     """Raised for execution-time failures (bad input data, overflow...)."""
 
 
+class VerificationError(DslError):
+    """The independent verifier rejected a program or schedule.
+
+    Raised by the engine's verify hook and the service's admission
+    control when a :mod:`repro.verify` pass produces error-severity
+    diagnostics. Permanent: a rejected program stays rejected until
+    its text changes.
+    """
+
+
+class SanitizerError(DslError):
+    """The runtime sanitizer observed a memory-safety violation.
+
+    Poison reads, intra-partition read/write overlap, out-of-bounds
+    accesses or unwritten cells found while executing with
+    sanitization enabled — deterministic codegen/schedule bugs, never
+    retried. When a fault injector is active the same observations
+    are classified as :class:`repro.resilience.faults.CellCorruption`
+    (device faults) instead, so the resilience layer handles them.
+    """
+
+
 class BackendDivergenceError(DslError):
     """Two independent backends disagree on the same kernel.
 

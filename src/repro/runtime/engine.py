@@ -179,9 +179,13 @@ class Engine:
         kernel_cache: Optional[LRUKernelCache] = None,
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
         batching: bool = True,
+        verify: str = "schedule",
+        sanitize: bool = False,
     ) -> None:
         if backend not in ("auto", "scalar", "vector"):
             raise ValueError(f"unknown backend {backend!r}")
+        if verify not in ("off", "schedule", "full"):
+            raise ValueError(f"unknown verify mode {verify!r}")
         self.spec = device or GTX480
         self.device = SimulatedDevice(self.spec)
         self.prob_mode = prob_mode
@@ -202,10 +206,86 @@ class Engine:
         )
         self.cache_hits = 0
         self.cache_misses = 0
+        #: ``"off"`` trusts the solver; ``"schedule"`` (the default)
+        #: independently re-proves every schedule before first use;
+        #: ``"full"`` adds the IR access/initialization analysis.
+        self.verify = verify
+        #: Route execution through the runtime table sanitizer
+        #: (poison-filled tables, partition-barrier checks).
+        self.sanitize = sanitize
+        self.verified_schedules = 0
+        self.verify_failures = 0
+        self._verdicts: Dict[str, tuple] = {}
 
     def cache_info(self) -> CacheInfo:
-        """Counter snapshot of the kernel cache (both tiers)."""
-        return self._cache.cache_info()
+        """Counter snapshot of the kernel cache (both tiers), extended
+        with this engine's verification counters."""
+        return self._cache.cache_info()._replace(
+            verified=self.verified_schedules,
+            verify_failures=self.verify_failures,
+        )
+
+    # -- verification ---------------------------------------------------------
+
+    def verify_compiled(
+        self,
+        func: CheckedFunction,
+        schedule: Schedule,
+        domain: Domain,
+    ):
+        """Run the independent verifier, per the engine's mode.
+
+        Verdicts are memoised on the same content hash the kernel
+        cache keys on (plus the concrete extents), so re-running a
+        cached kernel costs one dict probe. Raises
+        :class:`~repro.lang.errors.VerificationError` when any
+        error-severity diagnostic survives; returns the certificate
+        (or None when verification is off or the descents are outside
+        the single-function verifier's scope).
+        """
+        if self.verify == "off":
+            return None
+        from ..lang.errors import AnalysisError, VerificationError
+        from ..verify import analyze_access, verify_schedule
+
+        key = kernel_cache_key(
+            func, schedule, self.prob_mode, "verify"
+        ) + "/" + repr(domain.extents)
+        cached = self._verdicts.get(key)
+        if cached is None:
+            try:
+                certificate, diagnostics = verify_schedule(
+                    func, schedule, domain
+                )
+            except AnalysisError:
+                # Mutual groups / non-affine descents: out of the
+                # single-function verifier's scope, not a failure.
+                self._verdicts[key] = (None, ())
+                return None
+            diagnostics = list(diagnostics)
+            if self.verify == "full":
+                diagnostics += analyze_access(
+                    func, domain,
+                    schedule=schedule, prob_mode=self.prob_mode,
+                )
+            errors = tuple(
+                d for d in diagnostics if d.severity == "error"
+            )
+            cached = (certificate, errors)
+            self._verdicts[key] = cached
+            if errors:
+                self.verify_failures += 1
+            else:
+                self.verified_schedules += 1
+        certificate, errors = cached
+        if errors:
+            raise VerificationError(
+                "verification failed for "
+                f"{func.name!r}:\n"
+                + "\n".join(d.render() for d in errors),
+                errors[0].span,
+            )
+        return certificate
 
     # -- compilation ----------------------------------------------------------
 
@@ -398,6 +478,7 @@ class Engine:
         bound = Bindings(dict(bindings))
         domain = self.domain_of(func, bound, initial)
         schedule = self.schedule_for(func, domain, user_schedule)
+        self.verify_compiled(func, schedule, domain)
         compiled = self.compile(func, schedule)
         ctx = self.build_context(compiled, bound, domain)
         table = self._table_for(compiled.kernel, domain)
@@ -414,9 +495,15 @@ class Engine:
             bytes_in=self._problem_bytes(domain, bound),
             packing=problems_per_sm(compiled.kernel, domain, self.spec),
         )
-        report = self.device.launch(
-            [problem], run=lambda _k: compiled.run(table, ctx)
-        )
+        if self.sanitize:
+            from ..verify.sanitizer import run_sanitized
+
+            execute_one = lambda _k: run_sanitized(  # noqa: E731
+                compiled, table, ctx, domain
+            )
+        else:
+            execute_one = lambda _k: compiled.run(table, ctx)  # noqa: E731
+        report = self.device.launch([problem], run=execute_one)
         coords = self.result_coords(func, bound, domain, at, initial)
         value = self._extract(compiled.kernel, table, coords, reduce)
         return RunResult(value, table, compiled.kernel, domain, cost,
@@ -453,6 +540,7 @@ class Engine:
                 schedule = schedule_set.select(domain.extent_map())
             else:
                 schedule = self.schedule_for(func, domain)
+            self.verify_compiled(func, schedule, domain)
             compiled = self.compile(func, schedule)
             prepared.append((bound, domain, compiled))
 
@@ -530,7 +618,12 @@ class Engine:
             bound, domain, compiled = prepared[index]
             ctx = self.build_context(compiled, bound, domain)
             table = self._table_for(compiled.kernel, domain)
-            compiled.run(table, ctx)
+            if self.sanitize:
+                from ..verify.sanitizer import run_sanitized
+
+                run_sanitized(compiled, table, ctx, domain)
+            else:
+                compiled.run(table, ctx)
             coords = (
                 None
                 if reduce
@@ -549,7 +642,12 @@ class Engine:
             # the amortised (one sync per global partition) pricing.
             batch_groups: List[List[int]] = []
             batched: set = set()
-            if execute and self.batching and len(prepared) > 1:
+            # Sanitized runs step partition-by-partition; the packed
+            # lane-batch sweep cannot, so batching stands down.
+            if (
+                execute and self.batching and not self.sanitize
+                and len(prepared) > 1
+            ):
                 from .batching import pack_group, plan_batches
 
                 batch_groups = plan_batches(prepared)

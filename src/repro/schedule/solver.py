@@ -44,6 +44,19 @@ from .schedule import Schedule
 DEFAULT_BOUND = 10
 
 
+def tie_break_key(vector: Tuple[int, ...]) -> Tuple:
+    """The canonical preference among equal-goal coefficient vectors.
+
+    Smaller absolute values win, then positive signs, compared
+    lexicographically over the dimensions — the paper's preference for
+    the "first set of solution coefficients" made total and explicit.
+    Both solvers order ties by this key, so for any (criteria, domain)
+    they return the *same* schedule; tests and the kernel cache rely
+    on that determinism.
+    """
+    return tuple((abs(a), a < 0) for a in vector)
+
+
 @dataclass(frozen=True)
 class SearchStats:
     """Diagnostics from a schedule search."""
@@ -104,16 +117,15 @@ class EnumerativeSolver:
     ) -> Iterable[Tuple[int, ...]]:
         """All coefficient vectors, sorted by goal then tie-break.
 
-        Tie-break order prefers small absolute values and positive
-        signs, lexicographically over the dimensions.
+        Ties order by :func:`tie_break_key` (small absolute values,
+        then positive signs, lexicographically over the dimensions).
         """
         values = range(-self.bound, self.bound + 1)
         vectors = itertools.product(values, repeat=rank)
 
         def key(vector: Tuple[int, ...]):
             goal = sum(abs(a) * w for a, w in zip(vector, weights))
-            tie = tuple((abs(a), a < 0) for a in vector)
-            return (goal, tie)
+            return (goal, tie_break_key(vector))
 
         return sorted(vectors, key=key)
 
@@ -153,7 +165,10 @@ class OrthantSolver:
         weights = [extents[d] - 1 for d in dims]
         offsets = [c.descent.uniform_offsets() for c in criteria]
 
-        best: Optional[Tuple[int, Tuple[int, ...]]] = None
+        # Cross-orthant ties are ordered by the same key the
+        # enumerative solver sorts with, not by orthant iteration
+        # order — both solvers must return identical schedules.
+        best: Optional[Tuple[Tuple, Tuple[int, ...]]] = None
         orthants = 0
         for signs in itertools.product((1, -1), repeat=len(dims)):
             orthants += 1
@@ -163,15 +178,16 @@ class OrthantSolver:
             goal = sum(
                 abs(a) * w for a, w in zip(solution, weights)
             )
-            if best is None or goal < best[0]:
-                best = (goal, solution)
+            key = (goal, tie_break_key(solution))
+            if best is None or key < best[0]:
+                best = (key, solution)
         if best is None:
             raise ScheduleError(
                 f"no valid schedule with |coefficients| <= {self.bound} "
                 f"for dimensions {tuple(dims)}"
             )
         schedule = Schedule(tuple(dims), best[1])
-        self.last_stats = SearchStats(0, orthants, best[0] + 1)
+        self.last_stats = SearchStats(0, orthants, best[0][0] + 1)
         return schedule
 
     def _solve_orthant(

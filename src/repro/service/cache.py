@@ -66,6 +66,10 @@ class CacheInfo(NamedTuple):
     disk_stores: int
     corrupt_evictions: int
     backends: Tuple[Tuple[str, int], ...] = ()
+    #: Filled by ``Engine.cache_info()``: schedules the independent
+    #: verifier confirmed / rejected for this engine.
+    verified: int = 0
+    verify_failures: int = 0
 
 
 def canonical_kernel_form(

@@ -34,12 +34,22 @@ def program_sha(text: str) -> str:
 
 
 class ServiceProgram:
-    """One checked, declaration-only program plus its bound globals."""
+    """One checked, declaration-only program plus its bound globals.
 
-    def __init__(self, text: str) -> None:
+    ``lint=True`` (the default) is the service's admission control:
+    the independent verifier and access analysis run once at
+    registration, and any error-severity diagnostic rejects the
+    program with :class:`~repro.lang.errors.VerificationError` — the
+    HTTP layer renders it as a 400 with the caret diagnostics, so a
+    racy schedule or out-of-bounds recurrence never reaches a worker.
+    """
+
+    def __init__(self, text: str, lint: bool = True) -> None:
         self.text = text
         self.sha = program_sha(text)
         self.checked = check_program(parse_program(text))
+        if lint:
+            self._admission_lint()
         self.alphabets: Dict[str, Alphabet] = {
             name: Alphabet(name, chars)
             for name, chars in self.checked.alphabets.items()
@@ -62,6 +72,22 @@ class ServiceProgram:
                     f"remove the {type(stmt).__name__} statement",
                     stmt.span,
                 )
+
+    def _admission_lint(self) -> None:
+        """Reject programs the static verifier finds errors in."""
+        from ..lang.errors import VerificationError
+        from ..lang.source import SourceText
+        from ..verify import lint_checked
+        from ..verify.diagnostics import Severity
+
+        source = SourceText(self.text, "<program>")
+        result = lint_checked(self.checked, source=source)
+        errors = result.report.by_severity(Severity.ERROR)
+        if errors:
+            raise VerificationError(
+                "program rejected by admission control:\n"
+                + "\n".join(d.render(source) for d in errors)
+            )
 
     # -- declaration-time evaluation ----------------------------------------
 

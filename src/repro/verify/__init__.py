@@ -1,0 +1,38 @@
+"""Independent static verification of compiled programs.
+
+Three passes plus a runtime sanitizer, all reporting through one
+machine-readable :class:`~repro.verify.diagnostics.Diagnostic` type:
+
+* :mod:`repro.verify.soundness` — re-proves every schedule against the
+  recursion's descent functions with an implementation that shares
+  nothing with the solver's :meth:`Criterion.min_delta`, so a solver
+  bug cannot self-certify (Sections 4.4-4.6, Fig. 8);
+* :mod:`repro.verify.access` — guard-aware access/initialization
+  analysis of the lowered IR: out-of-bounds table and sequence reads,
+  read-before-write under the schedule, dead equation arms, unused
+  calling parameters;
+* :mod:`repro.verify.sanitizer` — poison-fill execution with
+  per-partition read/write tracking that fails at partition barriers;
+* :mod:`repro.verify.lint` — the program-level orchestration behind
+  ``python -m repro lint`` and the service's admission control.
+"""
+
+from .access import analyze_access
+from .diagnostics import Diagnostic, Report, Severity
+from .lint import LintResult, lint_checked, lint_text
+from .sanitizer import run_sanitized, sanitized_partition_scan
+from .soundness import ScheduleCertificate, verify_schedule
+
+__all__ = [
+    "Diagnostic",
+    "Report",
+    "Severity",
+    "ScheduleCertificate",
+    "verify_schedule",
+    "analyze_access",
+    "run_sanitized",
+    "sanitized_partition_scan",
+    "LintResult",
+    "lint_checked",
+    "lint_text",
+]

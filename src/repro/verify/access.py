@@ -1,0 +1,485 @@
+"""Guard-aware access/initialization analysis of the lowered IR.
+
+Where the soundness pass (:mod:`repro.verify.soundness`) treats every
+textual call site as a dependence (the paper's Section 4.4 stance),
+this pass walks the *lowered* cell expression carrying a path
+condition in disjunctive normal form, so base-case guards like
+``if i == 0 then ... else f(i - 1)`` discharge exactly the accesses
+they actually protect. It reports, per the rule registry in
+:mod:`repro.verify.diagnostics`:
+
+* ``A-OOB-TABLE`` — a table read whose index can leave the domain box
+  on some feasible path;
+* ``A-OOB-SEQ`` — a sequence read that can leave ``0..len-1``;
+* ``A-RBW`` — a feasible in-box table read the schedule does not
+  place in an earlier partition (a guard-aware refinement of the
+  soundness check);
+* ``A-DEAD-ARM`` — an equation arm no point of the box can reach;
+* ``A-UNUSED-PARAM`` — a calling parameter the body never consults.
+
+Conditions the analysis cannot express as affine constraints
+(data-dependent tests such as ``s[i-1] == t[j-1]``) contribute no
+constraint — the path simply stays wider, which over-approximates
+reachability and keeps every finding that *is* reported meaningful.
+Findings proved only on the LP relaxation (no integer witness) are
+downgraded one severity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.affine import Affine
+from ..analysis.domain import Domain
+from ..ir import expr as ir
+from ..ir.lower import lower_function
+from ..lang.typecheck import CheckedFunction
+from ..lang.types import HmmType, IndexType, MatrixType, SeqType
+from ..schedule.schedule import Schedule
+from .diagnostics import Diagnostic, Severity
+from .exact import feasible, vertex_max, vertex_min
+
+#: Stop refining the path condition beyond this many disjuncts; the
+#: unrefined path is a sound over-approximation.
+MAX_DISJUNCTS = 32
+
+#: One conjunction of affine constraints ``c(x) >= 0``.
+Conj = Tuple[Affine, ...]
+#: A path condition: the disjunction of its conjunctions.
+Dnf = List[Conj]
+
+
+def analyze_access(
+    func: CheckedFunction,
+    domain: Domain,
+    schedule: Optional[Schedule] = None,
+    prob_mode: str = "direct",
+) -> List[Diagnostic]:
+    """Run the access pass on ``func`` over ``domain``.
+
+    ``schedule`` enables the read-before-write check; without it only
+    bounds, dead arms and unused parameters are analysed.
+    """
+    span_map: Dict[int, object] = {}
+    lowered = lower_function(func, prob_mode, span_map=span_map)
+    analyzer = _Analyzer(func, domain, schedule, span_map)
+    analyzer.walk(lowered.cell, [()])
+    analyzer.check_unused_params(lowered.cell)
+    return analyzer.diagnostics
+
+
+class _Analyzer:
+    def __init__(
+        self,
+        func: CheckedFunction,
+        domain: Domain,
+        schedule: Optional[Schedule],
+        span_map: Dict[int, object],
+    ) -> None:
+        self.func = func
+        self.domain = domain
+        self.extents = domain.extent_map()
+        self.schedule = schedule
+        self.span_map = span_map
+        self.diagnostics: List[Diagnostic] = []
+        #: Range binders in scope -> inclusive bounds; opaque binders
+        #: (transition sets, non-affine ranges) map to None.
+        self._binders: Dict[str, Optional[Tuple[int, int]]] = {}
+        self._reported: set = set()
+
+    # -- affine abstraction ---------------------------------------------------
+
+    def _affine_of(self, node: ir.Node) -> Optional[Affine]:
+        """Abstract an index expression into affine form, or None."""
+        if isinstance(node, ir.Const) and node.kind == "int":
+            return Affine.constant(int(node.value))
+        if isinstance(node, ir.DimRef):
+            return Affine.variable(node.name)
+        if isinstance(node, ir.VarRef):
+            if self._binders.get(node.name) is not None:
+                return Affine.variable(node.name)
+            return None  # opaque binder (transition id)
+        if isinstance(node, ir.Binary):
+            left = self._affine_of(node.left)
+            right = self._affine_of(node.right)
+            if node.op == "+" and left is not None and right is not None:
+                return left + right
+            if node.op == "-" and left is not None and right is not None:
+                return left - right
+            if node.op == "*" and left is not None and right is not None:
+                if left.is_constant:
+                    return right.scale(left.const)
+                if right.is_constant:
+                    return left.scale(right.const)
+        return None
+
+    def _var_bounds(self) -> Dict[str, Tuple[int, int]]:
+        return {
+            name: bounds
+            for name, bounds in self._binders.items()
+            if bounds is not None
+        }
+
+    # -- path conditions ------------------------------------------------------
+
+    def _branch_alts(
+        self, cond: ir.Node, taken: bool
+    ) -> Optional[List[Conj]]:
+        """The condition (or its negation) as a DNF over constraints.
+
+        None means the condition is not affine-expressible — the
+        caller keeps the unrefined path.
+        """
+        if not isinstance(cond, ir.Binary):
+            return None
+        left = self._affine_of(cond.left)
+        right = self._affine_of(cond.right)
+        if left is None or right is None:
+            return None
+        op = cond.op
+        if not taken:
+            negations = {
+                "<": ">=", "<=": ">", ">": "<=", ">=": "<",
+                "==": "!=", "!=": "==",
+            }
+            if op not in negations:
+                return None
+            op = negations[op]
+        if op == "<":
+            return [(right - left - Affine.constant(1),)]
+        if op == "<=":
+            return [(right - left,)]
+        if op == ">":
+            return [(left - right - Affine.constant(1),)]
+        if op == ">=":
+            return [(left - right,)]
+        if op == "==":
+            return [(left - right, right - left)]
+        if op == "!=":
+            return [
+                (left - right - Affine.constant(1),),
+                (right - left - Affine.constant(1),),
+            ]
+        return None
+
+    def _refine(self, dnf: Dnf, alts: Optional[List[Conj]]) -> Dnf:
+        """Conjoin ``alts`` onto every disjunct, pruning cheaply."""
+        if alts is None:
+            return dnf
+        bounds = self._var_bounds()
+        refined: Dnf = []
+        for conj in dnf:
+            for alt in alts:
+                # Cheap necessary condition: any new constraint whose
+                # vertex maximum is negative kills the disjunct.
+                tops = [
+                    vertex_max(c, self.extents, bounds) for c in alt
+                ]
+                if any(t is not None and t < 0 for t in tops):
+                    continue
+                refined.append(conj + alt)
+        if len(refined) > MAX_DISJUNCTS:
+            return dnf  # over-approximate rather than blow up
+        return refined
+
+    def _feasibility(
+        self, dnf: Dnf, extra: Sequence[Affine]
+    ) -> Optional[bool]:
+        """Can ``extra`` hold on a path? True exact / False / None=LP-only."""
+        bounds = self._var_bounds()
+        lp_only = False
+        for conj in dnf:
+            result = feasible(
+                tuple(conj) + tuple(extra), self.extents, bounds
+            )
+            if result.empty:
+                continue
+            if result.exact:
+                return True
+            lp_only = True
+        return None if lp_only else False
+
+    # -- reporting ------------------------------------------------------------
+
+    def _report(
+        self,
+        key: tuple,
+        rule: str,
+        message: str,
+        node: ir.Node,
+        exact: bool,
+    ) -> None:
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        severity = Severity.ERROR if exact else Severity.WARNING
+        self.diagnostics.append(
+            Diagnostic(
+                severity,
+                rule,
+                message if exact else message + " (LP relaxation only)",
+                span=self.span_map.get(id(node)),
+                function=self.func.name,
+                exact=exact,
+            )
+        )
+
+    # -- the walk -------------------------------------------------------------
+
+    def walk(self, node: ir.Node, dnf: Dnf) -> None:
+        if not dnf:
+            return  # unreachable under the current guards
+        if isinstance(node, ir.Select):
+            self.walk(node.cond, dnf)
+            for branch, taken, label in (
+                (node.then, True, "then"),
+                (node.otherwise, False, "else"),
+            ):
+                alts = self._branch_alts(node.cond, taken)
+                refined = self._refine(dnf, alts)
+                if alts is not None and self._is_dead(refined):
+                    self._dead_arm(branch, node, label)
+                    continue
+                self.walk(branch, refined)
+            return
+        if isinstance(node, ir.TableRead):
+            for index in node.indices:
+                self.walk(index, dnf)
+            self._check_table_read(node, dnf)
+            return
+        if isinstance(node, ir.SeqRead):
+            self.walk(node.index, dnf)
+            self._check_seq_read(node, dnf)
+            return
+        if isinstance(node, ir.RangeReduce):
+            self.walk(node.lo, dnf)
+            self.walk(node.hi, dnf)
+            self._walk_range_body(node, dnf)
+            return
+        if isinstance(node, ir.ReduceLoop):
+            self.walk(node.state, dnf)
+            self._binders[node.var] = None  # opaque transition binder
+            try:
+                self.walk(node.body, dnf)
+            finally:
+                del self._binders[node.var]
+            return
+        for child in ir.children(node):
+            self.walk(child, dnf)
+
+    def _walk_range_body(self, node: ir.RangeReduce, dnf: Dnf) -> None:
+        lo = self._affine_of(node.lo)
+        hi = self._affine_of(node.hi)
+        bounds = self._var_bounds()
+        if lo is None or hi is None:
+            self._binders[node.var] = None
+            try:
+                self.walk(node.body, dnf)
+            finally:
+                del self._binders[node.var]
+            return
+        lo_min = vertex_min(lo, self.extents, bounds)
+        hi_max = vertex_max(hi, self.extents, bounds)
+        if lo_min is None or hi_max is None or hi_max < lo_min:
+            return  # the range is empty everywhere: body never runs
+        self._binders[node.var] = (lo_min, hi_max)
+        binder = Affine.variable(node.var)
+        body_dnf = [
+            conj + (binder - lo, hi - binder) for conj in dnf
+        ]
+        try:
+            self.walk(node.body, body_dnf)
+        finally:
+            del self._binders[node.var]
+
+    # -- individual checks ----------------------------------------------------
+
+    def _is_dead(self, dnf: Dnf) -> bool:
+        """Is every disjunct exactly infeasible?"""
+        if not dnf:
+            return True
+        bounds = self._var_bounds()
+        for conj in dnf:
+            result = feasible(tuple(conj), self.extents, bounds)
+            if not result.empty:
+                return False
+        return True
+
+    def _dead_arm(
+        self, branch: ir.Node, select: ir.Select, label: str
+    ) -> None:
+        span = self.span_map.get(id(branch)) or self.span_map.get(
+            id(select)
+        )
+        key = ("dead", id(branch))
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.diagnostics.append(
+            Diagnostic(
+                Severity.WARNING,
+                "A-DEAD-ARM",
+                f"the {label} arm of this condition is unreachable "
+                f"for every point of the domain {self.domain}",
+                span=span,
+                function=self.func.name,
+            )
+        )
+
+    def _check_table_read(self, node: ir.TableRead, dnf: Dnf) -> None:
+        indices = [self._affine_of(i) for i in node.indices]
+        table = node.table or self.func.name
+        for k, (dim, idx) in enumerate(
+            zip(self.domain.dims, indices)
+        ):
+            if idx is None:
+                continue  # free component: checked dynamically
+            extent = self.extents[dim]
+            low = self._feasibility(dnf, [-idx - Affine.constant(1)])
+            if low is not False:
+                self._report(
+                    ("oob", id(node), k, "low"),
+                    "A-OOB-TABLE",
+                    f"table read {table}[...] can access "
+                    f"{dim} = {idx} < 0 on a reachable path",
+                    node,
+                    exact=low is True,
+                )
+            high = self._feasibility(
+                dnf, [idx - Affine.constant(extent)]
+            )
+            if high is not False:
+                self._report(
+                    ("oob", id(node), k, "high"),
+                    "A-OOB-TABLE",
+                    f"table read {table}[...] can access "
+                    f"{dim} = {idx} >= {extent} on a reachable path",
+                    node,
+                    exact=high is True,
+                )
+        if (
+            self.schedule is not None
+            and not node.table
+            and all(idx is not None for idx in indices)
+        ):
+            self._check_rbw(node, dnf, indices)
+
+    def _check_rbw(
+        self,
+        node: ir.TableRead,
+        dnf: Dnf,
+        indices: List[Optional[Affine]],
+    ) -> None:
+        """Feasible in-box read the schedule does not order earlier."""
+        assert self.schedule is not None
+        in_box: List[Affine] = []
+        for dim, idx in zip(self.domain.dims, indices):
+            assert idx is not None
+            in_box.append(idx)  # idx >= 0
+            in_box.append(
+                Affine.constant(self.extents[dim] - 1) - idx
+            )
+        substitution = dict(zip(self.domain.dims, indices))
+        # S(r(x)) - S(x) >= 0 <=> the read's cell is not in an
+        # earlier partition than the cell being written.
+        late = self.schedule.affine.substitute(
+            substitution
+        ) - self.schedule.affine
+        verdict = self._feasibility(dnf, in_box + [late])
+        if verdict is not False:
+            self._report(
+                ("rbw", id(node)),
+                "A-RBW",
+                f"table read at indices "
+                f"({', '.join(str(i) for i in indices)}) is not "
+                f"ordered before the write by {self.schedule} on a "
+                f"reachable path",
+                node,
+                exact=verdict is True,
+            )
+
+    def _check_seq_read(self, node: ir.SeqRead, dnf: Dnf) -> None:
+        idx = self._affine_of(node.index)
+        if idx is None:
+            return
+        length = self._seq_length(node.seq)
+        if length is None:
+            return
+        low = self._feasibility(dnf, [-idx - Affine.constant(1)])
+        if low is not False:
+            self._report(
+                ("seq", id(node), "low"),
+                "A-OOB-SEQ",
+                f"sequence read {node.seq}[{idx}] can access a "
+                f"negative position on a reachable path",
+                node,
+                exact=low is True,
+            )
+        high = self._feasibility(dnf, [idx - Affine.constant(length)])
+        if high is not False:
+            self._report(
+                ("seq", id(node), "high"),
+                "A-OOB-SEQ",
+                f"sequence read {node.seq}[{idx}] can pass the last "
+                f"position {length - 1} on a reachable path",
+                node,
+                exact=high is True,
+            )
+
+    def _seq_length(self, seq: str) -> Optional[int]:
+        """len(seq) implied by the domain: index extent is len + 1."""
+        for param in self.func.params:
+            if (
+                isinstance(param.type, IndexType)
+                and param.type.seq_param == seq
+                and param.name in self.extents
+            ):
+                return self.extents[param.name] - 1
+        return None
+
+    # -- unused calling parameters -------------------------------------------
+
+    def check_unused_params(self, cell: ir.Node) -> None:
+        """Flag calling parameters the lowered body never consults."""
+        used: set = set()
+        for node in ir.walk(cell):
+            if isinstance(node, ir.ArgRef):
+                used.add(node.name)
+            elif isinstance(node, ir.SeqRead):
+                used.add(node.seq)
+            elif isinstance(node, ir.MatrixRead):
+                used.add(node.matrix)
+            elif isinstance(
+                node,
+                (ir.StateFlag, ir.EmissionRead, ir.TransField),
+            ):
+                used.add(node.hmm)
+            elif isinstance(node, ir.ReduceLoop):
+                used.add(node.hmm)
+        # A seq/hmm that only *bounds* a recursion dimension is used
+        # structurally even if never read.
+        for param in self.func.recursive_params:
+            if isinstance(param.type, IndexType):
+                used.add(param.type.seq_param)
+            subject = getattr(param.type, "hmm_param", None)
+            if subject is not None:
+                used.add(subject)
+        for param in self.func.calling_params:
+            if param.name in used:
+                continue
+            kind = (
+                "matrix" if isinstance(param.type, MatrixType)
+                else "sequence" if isinstance(param.type, SeqType)
+                else "model" if isinstance(param.type, HmmType)
+                else "parameter"
+            )
+            self.diagnostics.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    "A-UNUSED-PARAM",
+                    f"calling {kind} {param.name!r} is never used by "
+                    f"the body",
+                    span=getattr(param, "span", None),
+                    function=self.func.name,
+                )
+            )

@@ -1,0 +1,277 @@
+"""Independent schedule-soundness (race) verification.
+
+For every recursive call site with descent ``r``, re-prove
+
+    ``S_f(x) - S_f(r(x)) >= 1   for all x in the domain box``
+
+— the paper's validity criterion (Section 4.5) in its integer form.
+Strict decrease at every direct dependence edge implies, by induction
+over edges, the Fig. 8 partition invariant: no two cells of the same
+partition depend on each other (directly or transitively), so all
+cells of a partition may run concurrently between barriers.
+
+The proof machinery here is deliberately *separate* from
+:meth:`repro.analysis.criteria.Criterion.min_delta`, which feeds the
+schedule solver — a bug there must not be able to certify its own
+output. Descent extraction (:func:`extract_descents`) is shared: it is
+the solver-independent reading of the program text that both sides
+must agree on by construction.
+
+Free descent components (e.g. ``forward(t.start, i - 1)``) are
+worst-cased at ``-|a_k| * (N_k - 1)`` exactly as Section 5.2
+prescribes; range binders become extra integer variables constrained
+by their affine bounds. On small domains the algebraic proof is
+additionally cross-checked by brute-force edge enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.affine import Affine
+from ..analysis.descent import DescentFunction, extract_descents
+from ..analysis.domain import Domain
+from ..lang.typecheck import CheckedFunction
+from ..schedule.schedule import Schedule
+from .diagnostics import Diagnostic, Severity
+from .exact import constrained_min, vertex_max, vertex_min
+
+#: Brute-force every dependence edge as a second, concrete proof when
+#: the domain has at most this many points.
+BRUTE_FORCE_CAP = 4096
+
+
+@dataclass(frozen=True)
+class CallSiteVerdict:
+    """The verified delta of one recursive call site."""
+
+    descent: str
+    min_delta: Optional[float]  # None: the dependence never occurs
+    exact: bool
+    ok: bool
+
+
+@dataclass(frozen=True)
+class ScheduleCertificate:
+    """The machine-checkable product of one verification.
+
+    ``partitions`` is the independently computed partition count
+    ``max S - min S + 1`` over the box (the Section 4.6 goal the
+    solver claims to minimise).
+    """
+
+    function: str
+    schedule: Schedule
+    extents: Tuple[Tuple[str, int], ...]
+    partitions: int
+    call_sites: Tuple[CallSiteVerdict, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Did every call site verify?"""
+        return all(v.ok for v in self.call_sites)
+
+    @property
+    def summary(self) -> str:
+        """The one-line verdict ``explain`` and lint print."""
+        if self.ok:
+            return (
+                f"schedule verified: {self.partitions} partitions, "
+                f"all deltas >= 1"
+            )
+        failing = sum(1 for v in self.call_sites if not v.ok)
+        return (
+            f"schedule NOT verified: {failing} of "
+            f"{len(self.call_sites)} call sites violate the "
+            f"dependence order"
+        )
+
+
+def _delta_parts(
+    descent: DescentFunction,
+    coeffs: Dict[str, int],
+    extents: Dict[str, int],
+) -> Tuple[Affine, int]:
+    """``S(x) - S(r(x))`` split into affine part + free worst case."""
+    delta = Affine.constant(0)
+    free_penalty = 0
+    for comp in descent.components:
+        a_k = coeffs.get(comp.dim, 0)
+        if a_k == 0:
+            continue
+        if comp.is_free:
+            # The callee coordinate can be anything in 0..N_k-1, so
+            # the term a_k*(x_k - r_k) can sink to -|a_k|*(N_k - 1).
+            free_penalty -= abs(a_k) * (extents[comp.dim] - 1)
+            continue
+        assert comp.affine is not None
+        delta = delta + (
+            Affine.variable(comp.dim) - comp.affine
+        ).scale(a_k)
+    return delta, free_penalty
+
+
+def _binder_setup(
+    descent: DescentFunction, extents: Dict[str, int]
+) -> Tuple[List[Affine], Dict[str, Tuple[int, int]], bool]:
+    """Constraints + variable bounds for the descent's range binders.
+
+    Returns ``(constraints, var_bounds, possible)``; ``possible`` is
+    False when some binder's range is empty over the whole box, i.e.
+    the reduction body (and the dependence) never evaluates.
+    """
+    constraints: List[Affine] = []
+    var_bounds: Dict[str, Tuple[int, int]] = {}
+    for binder in descent.binders:
+        lo_min = vertex_min(binder.lo, extents)
+        hi_max = vertex_max(binder.hi, extents)
+        if lo_min is None or hi_max is None or hi_max < lo_min:
+            return [], {}, False
+        var_bounds[binder.name] = (lo_min, hi_max)
+        name = Affine.variable(binder.name)
+        constraints.append(name - binder.lo)  # k >= lo(x)
+        constraints.append(binder.hi - name)  # k <= hi(x)
+    return constraints, var_bounds, True
+
+
+def verify_call_site(
+    descent: DescentFunction,
+    schedule: Schedule,
+    domain: Domain,
+) -> CallSiteVerdict:
+    """Prove ``min S(x) - S(r(x)) >= 1`` for one call site."""
+    extents = domain.extent_map()
+    coeffs = schedule.coefficient_map()
+    delta, free_penalty = _delta_parts(descent, coeffs, extents)
+    constraints, var_bounds, possible = _binder_setup(
+        descent, extents
+    )
+    if not possible:
+        return CallSiteVerdict(str(descent), None, True, True)
+    result = constrained_min(
+        delta, extents, constraints, var_bounds=var_bounds
+    )
+    if result.empty:
+        # The binder ranges are never simultaneously non-empty: the
+        # dependence never materialises (a vacuous criterion).
+        return CallSiteVerdict(str(descent), None, True, True)
+    minimum = result.value + free_penalty
+    return CallSiteVerdict(
+        str(descent), minimum, result.exact, minimum >= 1
+    )
+
+
+def _brute_force_edges(
+    func: CheckedFunction, schedule: Schedule, domain: Domain
+) -> Optional[str]:
+    """Walk every dependence edge of a small domain concretely.
+
+    Returns a description of the first violating edge, or None. This
+    checks both strict decrease *and* the Fig. 8 same-partition
+    independence directly on points, as a belt-and-braces second
+    proof independent of the algebra above.
+    """
+    from ..schedule.schedule import _descent_targets
+
+    extents = domain.extent_map()
+    for descent in extract_descents(func):
+        for point in domain.points():
+            values = dict(zip(domain.dims, point))
+            here = schedule.partition_of(point)
+            for target in _descent_targets(descent, values, extents):
+                if not domain.contains_tuple(target):
+                    continue
+                there = schedule.partition_of(target)
+                if here <= there:
+                    return (
+                        f"cell {point} (partition {here}) depends on "
+                        f"cell {tuple(target)} (partition {there})"
+                    )
+    return None
+
+
+def verify_schedule(
+    func: CheckedFunction,
+    schedule: Schedule,
+    domain: Domain,
+    brute_force_cap: int = BRUTE_FORCE_CAP,
+) -> Tuple[ScheduleCertificate, List[Diagnostic]]:
+    """Independently verify ``schedule`` for ``func`` over ``domain``.
+
+    Returns the certificate plus its diagnostics: one info record
+    (``V-SCHED-CERT``) when everything proves, one error
+    (``V-SCHED-DELTA``) per violating call site otherwise.
+    """
+    extents = domain.extent_map()
+    descents = extract_descents(func)
+    verdicts: List[CallSiteVerdict] = []
+    diagnostics: List[Diagnostic] = []
+    for descent in descents:
+        verdict = verify_call_site(descent, schedule, domain)
+        verdicts.append(verdict)
+        if not verdict.ok:
+            qualifier = (
+                "" if verdict.exact
+                else " (LP lower bound; possibly conservative)"
+            )
+            diagnostics.append(
+                Diagnostic(
+                    Severity.ERROR,
+                    "V-SCHED-DELTA",
+                    f"{schedule} does not order the dependence "
+                    f"[{verdict.descent}]: min S(x) - S(r(x)) = "
+                    f"{verdict.min_delta:g} < 1 over the box"
+                    f"{qualifier}",
+                    span=descent.call.span,
+                    function=func.name,
+                    exact=verdict.exact,
+                )
+            )
+
+    smin = vertex_min(schedule.affine, extents)
+    smax = vertex_max(schedule.affine, extents)
+    partitions = (
+        smax - smin + 1 if smin is not None and smax is not None else 0
+    )
+    certificate = ScheduleCertificate(
+        func.name,
+        schedule,
+        tuple(sorted(extents.items())),
+        partitions,
+        tuple(verdicts),
+    )
+
+    if certificate.ok and descents and domain.size <= brute_force_cap:
+        violation = _brute_force_edges(func, schedule, domain)
+        if violation is not None:
+            certificate = ScheduleCertificate(
+                certificate.function,
+                certificate.schedule,
+                certificate.extents,
+                certificate.partitions,
+                certificate.call_sites
+                + (CallSiteVerdict(violation, 0.0, True, False),),
+            )
+            diagnostics.append(
+                Diagnostic(
+                    Severity.ERROR,
+                    "V-SCHED-DELTA",
+                    f"{schedule}: concrete dependence edge violates "
+                    f"the partition order: {violation}",
+                    span=None,
+                    function=func.name,
+                )
+            )
+
+    if certificate.ok:
+        diagnostics.append(
+            Diagnostic(
+                Severity.INFO,
+                "V-SCHED-CERT",
+                f"{schedule}: {certificate.summary}",
+                span=None,
+                function=func.name,
+            )
+        )
+    return certificate, diagnostics

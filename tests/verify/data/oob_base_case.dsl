@@ -1,0 +1,5 @@
+alphabet en = "abcdefghijklmnopqrstuvwxyz"
+
+int f(seq[en] s, index[s] i) =
+  if i == 0 then f(i - 1)
+  else f(i - 1) + 1

@@ -1,0 +1,193 @@
+"""IR access/initialization analysis tests."""
+
+import pytest
+
+from repro.analysis.domain import Domain
+from repro.lang.parser import parse_function
+from repro.lang.typecheck import check_function
+from repro.schedule.schedule import Schedule
+from repro.verify import analyze_access
+
+EN = {"en": "abcdefghijklmnopqrstuvwxyz"}
+
+
+def func_of(src, alphabets=EN):
+    return check_function(parse_function(src.strip()), alphabets)
+
+
+def rules(diagnostics):
+    return sorted(d.rule for d in diagnostics)
+
+
+class TestOutOfBoundsTable:
+    def test_unguarded_base_case_read(self):
+        func = func_of("""
+int f(seq[en] s, index[s] i) =
+  if i == 0 then f(i - 1)
+  else f(i - 1) + 1
+""")
+        domain = Domain(func.dim_names, (13,))
+        found = analyze_access(func, domain)
+        assert "A-OOB-TABLE" in rules(found)
+        oob = [d for d in found if d.rule == "A-OOB-TABLE"][0]
+        assert oob.severity == "error"
+        assert oob.span is not None  # caret-renderable
+
+    def test_guarded_read_is_clean(self):
+        func = func_of("""
+int f(seq[en] s, index[s] i) =
+  if i == 0 then 0
+  else f(i - 1) + 1
+""")
+        domain = Domain(func.dim_names, (13,))
+        assert "A-OOB-TABLE" not in rules(analyze_access(func, domain))
+
+    def test_two_dimensional_guards(self):
+        func = func_of("""
+int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i-1] == t[j-1] then d(i-1, j-1)
+  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1
+""")
+        domain = Domain(func.dim_names, (13, 13))
+        errors = [
+            d for d in analyze_access(func, domain)
+            if d.severity == "error"
+        ]
+        assert errors == []
+
+    def test_high_side_overflow(self):
+        func = func_of("""
+int f(seq[en] s, index[s] i) =
+  if i == 0 then 0
+  else f(i + 1)
+""")
+        domain = Domain(func.dim_names, (13,))
+        assert "A-OOB-TABLE" in rules(analyze_access(func, domain))
+
+
+class TestSequenceBounds:
+    def test_unguarded_seq_read(self):
+        # s[i] at i == |s| leaves the sequence (extent is |s| + 1).
+        func = func_of("""
+int f(seq[en] s, index[s] i) =
+  if i == 0 then 0
+  else if s[i] == 'a' then f(i - 1)
+  else f(i - 1) + 1
+""")
+        domain = Domain(func.dim_names, (13,))
+        assert "A-OOB-SEQ" in rules(analyze_access(func, domain))
+
+    def test_shifted_seq_read_is_clean(self):
+        func = func_of("""
+int f(seq[en] s, index[s] i) =
+  if i == 0 then 0
+  else if s[i - 1] == 'a' then f(i - 1)
+  else f(i - 1) + 1
+""")
+        domain = Domain(func.dim_names, (13,))
+        assert "A-OOB-SEQ" not in rules(analyze_access(func, domain))
+
+
+class TestReadBeforeWrite:
+    def test_schedule_ordered_read_is_clean(self):
+        func = func_of("""
+int f(seq[en] s, index[s] i) =
+  if i == 0 then 0
+  else f(i - 1) + 1
+""")
+        domain = Domain(func.dim_names, (13,))
+        good = Schedule(func.dim_names, (1,))
+        found = analyze_access(func, domain, schedule=good)
+        assert "A-RBW" not in rules(found)
+
+    def test_backwards_schedule_read_is_flagged(self):
+        func = func_of("""
+int f(seq[en] s, index[s] i) =
+  if i == 0 then 0
+  else f(i - 1) + 1
+""")
+        domain = Domain(func.dim_names, (13,))
+        bad = Schedule(func.dim_names, (-1,))
+        found = analyze_access(func, domain, schedule=bad)
+        assert "A-RBW" in rules(found)
+
+
+class TestDeadArms:
+    def test_unreachable_guard(self):
+        # i > 20 can never hold in a box of extent 13.
+        func = func_of("""
+int f(seq[en] s, index[s] i) =
+  if i == 0 then 0
+  else if i > 20 then 999
+  else f(i - 1) + 1
+""")
+        domain = Domain(func.dim_names, (13,))
+        found = analyze_access(func, domain)
+        dead = [d for d in found if d.rule == "A-DEAD-ARM"]
+        assert dead and all(d.severity == "warning" for d in dead)
+
+    def test_live_arms_not_flagged(self):
+        func = func_of("""
+int f(seq[en] s, index[s] i) =
+  if i == 0 then 0
+  else f(i - 1) + 1
+""")
+        domain = Domain(func.dim_names, (13,))
+        assert "A-DEAD-ARM" not in rules(analyze_access(func, domain))
+
+
+class TestUnusedParams:
+    def test_unused_sequence_param(self):
+        func = func_of("""
+int f(seq[en] s, index[s] i, seq[en] unused) =
+  if i == 0 then 0
+  else f(i - 1) + 1
+""")
+        domain = Domain(func.dim_names, (13,))
+        found = analyze_access(func, domain)
+        unused = [d for d in found if d.rule == "A-UNUSED-PARAM"]
+        assert len(unused) == 1
+        assert "unused" in unused[0].message
+
+    def test_structurally_used_seq_not_flagged(self):
+        # `s` is only used through `index[s] i`, which is a use.
+        func = func_of("""
+int f(seq[en] s, index[s] i) =
+  if i == 0 then 0
+  else f(i - 1) + 1
+""")
+        domain = Domain(func.dim_names, (13,))
+        assert "A-UNUSED-PARAM" not in rules(
+            analyze_access(func, domain)
+        )
+
+
+class TestAppsAreClean:
+    def test_paper_apps_have_no_errors(self):
+        from repro.apps.hmm_algorithms import (
+            backward_function,
+            forward_function,
+            viterbi_function,
+        )
+        from repro.apps.rna_folding import nussinov_function
+        from repro.apps.smith_waterman import smith_waterman_function
+
+        cases = [
+            (forward_function(), (4, 13)),
+            (viterbi_function(), (4, 13)),
+            (backward_function(), (4, 13, 13)),
+            (nussinov_function(), (13, 13)),
+            (smith_waterman_function(), (13, 13)),
+        ]
+        for func, extents in cases:
+            domain = Domain(func.dim_names, extents)
+            errors = [
+                d for d in analyze_access(func, domain)
+                if d.severity == "error"
+            ]
+            assert errors == [], (
+                f"{func.name}: "
+                + "; ".join(d.message for d in errors)
+            )

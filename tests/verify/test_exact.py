@@ -1,0 +1,129 @@
+"""Tests for the verifier's independent exact-minimisation core."""
+
+import pytest
+
+from repro.analysis.affine import Affine
+from repro.verify.exact import (
+    ENUMERATION_CAP,
+    constrained_min,
+    feasible,
+    vertex_max,
+    vertex_min,
+)
+
+
+def aff(const=0, **coeffs):
+    return Affine.of(coeffs, const)
+
+
+class TestVertexMinMax:
+    def test_constant(self):
+        assert vertex_min(aff(5), {}) == 5
+        assert vertex_max(aff(5), {}) == 5
+
+    def test_positive_coefficient(self):
+        a = aff(0, i=2)
+        assert vertex_min(a, {"i": 10}) == 0
+        assert vertex_max(a, {"i": 10}) == 18
+
+    def test_mixed_signs(self):
+        a = aff(1, i=1, j=-1)
+        assert vertex_min(a, {"i": 4, "j": 4}) == 1 - 3
+        assert vertex_max(a, {"i": 4, "j": 4}) == 1 + 3
+
+    def test_empty_box_is_none(self):
+        assert vertex_min(aff(0, i=1), {"i": 0}) is None
+        assert vertex_max(aff(0, i=1), {"i": 0}) is None
+
+    def test_single_point_domain(self):
+        a = aff(7, i=3)
+        assert vertex_min(a, {"i": 1}) == 7
+        assert vertex_max(a, {"i": 1}) == 7
+
+
+class TestConstrainedMin:
+    def test_unconstrained_matches_corner_formula(self):
+        a = aff(2, i=-3, j=1)
+        result = constrained_min(a, {"i": 5, "j": 5})
+        assert result.exact
+        assert result.value == a.min_over_box({"i": 5, "j": 5})
+
+    def test_witness_attains_minimum(self):
+        a = aff(0, i=1, j=-2)
+        result = constrained_min(a, {"i": 6, "j": 6})
+        assert result.witness is not None
+        assert a.evaluate(result.witness) == result.value
+
+    def test_simple_constraint(self):
+        # min i subject to i - 3 >= 0 is 3.
+        result = constrained_min(
+            aff(0, i=1), {"i": 10}, [aff(-3, i=1)]
+        )
+        assert result.value == 3
+        assert result.exact
+
+    def test_infeasible_is_empty(self):
+        # i >= 100 has no point in a box of extent 10.
+        result = constrained_min(
+            aff(0, i=1), {"i": 10}, [aff(-100, i=1)]
+        )
+        assert result.empty
+        assert result.value is None
+
+    def test_empty_box_is_empty(self):
+        result = constrained_min(aff(0, i=1), {"i": 0})
+        assert result.empty
+
+    def test_coupled_constraint(self):
+        # min i + j subject to i + j >= 5.
+        result = constrained_min(
+            aff(0, i=1, j=1), {"i": 10, "j": 10}, [aff(-5, i=1, j=1)]
+        )
+        assert result.value == 5
+
+    def test_binder_with_var_bounds(self):
+        # min k subject to k >= i + 1, over i in 0..4, k in 1..9.
+        result = constrained_min(
+            aff(0, k=1),
+            {"i": 5},
+            [aff(-1, k=1, i=-1)],
+            var_bounds={"k": (1, 9)},
+        )
+        assert result.value == 1
+
+    def test_lp_fallback_is_sound_lower_bound(self):
+        # A domain too large to enumerate: the LP result must still
+        # lower-bound the true integer minimum (here: min i, i >= 7).
+        result = constrained_min(
+            aff(0, i=1, j=0),
+            {"i": 1000, "j": 1000},
+            [aff(-7, i=1)],
+            cap=10,
+        )
+        assert not result.exact
+        assert result.value is not None
+        assert result.value <= 7
+        assert result.value >= 6  # highs is tight here
+
+    def test_cap_boundary_stays_exact(self):
+        extents = {"i": 10, "j": 10}
+        result = constrained_min(
+            aff(0, i=1, j=1), extents, [aff(-1, i=1)], cap=100
+        )
+        assert result.exact
+        assert result.value == 1
+
+
+class TestFeasible:
+    def test_feasible_region_has_witness(self):
+        result = feasible([aff(-2, i=1)], {"i": 10})
+        assert not result.empty
+        assert result.witness is not None
+        assert result.witness["i"] >= 2
+
+    def test_infeasible_region(self):
+        assert feasible([aff(-20, i=1)], {"i": 10}).empty
+
+    def test_zero_width_dim_in_constraint(self):
+        # The constraint mentions a dimension with no points at all.
+        assert feasible([aff(0, i=1)], {"i": 0}).empty
