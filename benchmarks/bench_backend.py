@@ -84,11 +84,13 @@ def test_backend_agreement_report(benchmark):
                 )
                 for t in targets
             ]
+            # Lane batching is a vector-backend feature; pin it so the
+            # comparison is batching on/off, not native vs vector.
             batched_sw = SmithWaterman(
-                engine=Engine(backend="auto", batching=True)
+                engine=Engine(backend="vector", batching=True)
             )
             looped_sw = SmithWaterman(
-                engine=Engine(backend="auto", batching=False)
+                engine=Engine(backend="vector", batching=False)
             )
             batched_sw.search(query, targets[:2])  # warm
             looped_sw.search(query, targets[:2])

@@ -38,11 +38,19 @@ def test_map_batched_profile_speedup(benchmark):
     database = [
         random_protein(SEQ_LENGTH, seed=k) for k in range(PROBLEMS)
     ]
+    # Lane batching is a vector-backend feature; pin the backend so
+    # the comparison is batching on/off, not native vs vector.
     batched = ProfileSearch(
-        profile, engine=Engine(prob_mode="logspace", batching=True)
+        profile,
+        engine=Engine(
+            prob_mode="logspace", backend="vector", batching=True
+        ),
     )
     looped = ProfileSearch(
-        profile, engine=Engine(prob_mode="logspace", batching=False)
+        profile,
+        engine=Engine(
+            prob_mode="logspace", backend="vector", batching=False
+        ),
     )
     batched.search(database[:2])  # warm the kernel caches
     looped.search(database[:2])

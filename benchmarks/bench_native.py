@@ -1,0 +1,197 @@
+"""Native-backend ablation: the compiled rung of the ladder.
+
+Times real wall-clock (host milliseconds) of the same Smith-Waterman
+tables filled by every rung — the scalar interpreter, the vectorised
+NumPy backend, the native C backend (cc + ctypes, whole run in one
+shared-library call) — plus ``backend="auto"``, which should resolve
+to native wherever a compiler exists. A profile-HMM forward search
+(the Figure 14 workload, log space) covers the reduction-heavy case.
+
+Besides the human-readable table, the report test writes
+``BENCH_native.json`` at the repository root. Two properties gate a
+merge:
+
+* native is at least 5x faster than vector on the largest
+  Smith-Waterman size (the point of compiling at all);
+* auto is never slower than the best of scalar/vector at any size
+  (the ladder never picks a worse rung than the old default).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.apps.profile_hmm import ProfileSearch, tk_model
+from repro.apps.smith_waterman import SmithWaterman
+from repro.runtime import native
+from repro.runtime.engine import Engine
+from repro.runtime.sequences import random_protein
+
+from conftest import write_table
+
+pytestmark = pytest.mark.skipif(
+    not native.available().ok,
+    reason="no working C compiler in this environment",
+)
+
+SIZES = (64, 128, 256)
+BACKENDS = ("scalar", "vector", "native", "auto")
+
+#: Figure 14 workload, scaled for wall-clock runs: TK model forward
+#: over a small database of fixed-length sequences.
+PROFILE_PROBLEMS = 8
+PROFILE_LENGTH = 64
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def timed_align(backend, query, target):
+    sw = SmithWaterman(engine=Engine(backend=backend))
+    # Warm with the real problem: auto's backend resolution is
+    # bucketed by size, so a tiny warm-up would leave the measured
+    # run paying compilation for its own bucket.
+    sw.align(query, target)
+    started = time.perf_counter()
+    result = sw.align(query, target)
+    return time.perf_counter() - started, result
+
+
+@pytest.mark.parametrize("backend", ["vector", "native"])
+@pytest.mark.parametrize("size", SIZES)
+def test_native_throughput(benchmark, backend, size):
+    sw = SmithWaterman(engine=Engine(backend=backend))
+    query = random_protein(size, seed=41)
+    target = random_protein(size, seed=42)
+    sw.align(query, target)  # warm
+
+    def run():
+        return sw.align(query, target).value
+
+    score = benchmark(run)
+    assert score >= 0
+
+
+def test_native_report(benchmark):
+    def compute():
+        rows = []
+        records = []
+        for size in SIZES:
+            query = random_protein(size, seed=51)
+            target = random_protein(size, seed=52)
+            timings = {}
+            tables = {}
+            for backend in BACKENDS:
+                seconds, result = timed_align(backend, query, target)
+                timings[backend] = seconds
+                tables[backend] = result.table
+            assert (
+                tables["native"].tobytes() == tables["scalar"].tobytes()
+            )
+            assert (tables["vector"] == tables["scalar"]).all()
+            assert (
+                tables["auto"].tobytes() == tables["scalar"].tobytes()
+            )
+            rows.append(
+                (
+                    size,
+                    timings["scalar"] * 1e3,
+                    timings["vector"] * 1e3,
+                    timings["native"] * 1e3,
+                    timings["auto"] * 1e3,
+                    timings["vector"] / timings["native"],
+                    timings["scalar"] / timings["native"],
+                )
+            )
+            records.append(
+                {
+                    "size": size,
+                    "scalar_ms": timings["scalar"] * 1e3,
+                    "vector_ms": timings["vector"] * 1e3,
+                    "native_ms": timings["native"] * 1e3,
+                    "auto_ms": timings["auto"] * 1e3,
+                    "native_speedup_vs_vector": (
+                        timings["vector"] / timings["native"]
+                    ),
+                    "native_speedup_vs_scalar": (
+                        timings["scalar"] / timings["native"]
+                    ),
+                }
+            )
+
+        # Figure 14 workload: profile-HMM forward in log space.
+        profile = tk_model()
+        database = [
+            random_protein(PROFILE_LENGTH, seed=500 + k)
+            for k in range(PROFILE_PROBLEMS)
+        ]
+        profile_ms = {}
+        likelihoods = {}
+        for backend in ("scalar", "vector", "native"):
+            search = ProfileSearch(
+                profile,
+                engine=Engine(
+                    prob_mode="logspace", backend=backend,
+                    batching=False,
+                ),
+            )
+            search.search(database[:1])  # warm
+            started = time.perf_counter()
+            likelihoods[backend] = search.search(database).likelihoods
+            profile_ms[backend] = (
+                (time.perf_counter() - started) * 1e3
+            )
+        assert likelihoods["native"] == likelihoods["scalar"]
+        assert np.allclose(
+            likelihoods["native"], likelihoods["vector"],
+            rtol=1e-9, atol=1e-12,
+        )
+        return rows, records, profile_ms
+
+    rows, records, profile_ms = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+    write_table(
+        "native_ablation",
+        "Native-backend ablation: scalar vs vector vs native vs auto\n"
+        "(Smith-Waterman NxN, host milliseconds; tables identical)",
+        (
+            "N",
+            "scalar (ms)",
+            "vector (ms)",
+            "native (ms)",
+            "auto (ms)",
+            "native/vector",
+            "native/scalar",
+        ),
+        rows,
+    )
+    payload = {
+        "benchmark": "native_ablation",
+        "workload": "smith_waterman",
+        "sizes": list(SIZES),
+        "rows": records,
+        "profile_forward": {
+            "problems": PROFILE_PROBLEMS,
+            "length": PROFILE_LENGTH,
+            "scalar_ms": profile_ms["scalar"],
+            "vector_ms": profile_ms["vector"],
+            "native_ms": profile_ms["native"],
+            "native_speedup_vs_vector": (
+                profile_ms["vector"] / profile_ms["native"]
+            ),
+        },
+    }
+    (REPO_ROOT / "BENCH_native.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    # The merge gates: compilation must pay off decisively at the
+    # largest size, and auto must never lose to the old ladder.
+    assert records[-1]["native_speedup_vs_vector"] >= 5.0
+    for record in records:
+        best_old = min(record["scalar_ms"], record["vector_ms"])
+        assert record["auto_ms"] <= best_old

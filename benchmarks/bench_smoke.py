@@ -11,9 +11,11 @@ for that, and correctness is what gates a merge.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.apps.profile_hmm import ProfileSearch, tk_model
 from repro.apps.smith_waterman import SmithWaterman
+from repro.runtime import native
 from repro.runtime.engine import Engine
 from repro.runtime.sequences import random_protein
 
@@ -44,7 +46,7 @@ def test_smoke_backends_agree_smith_waterman():
         for target in targets
     ]
     mapped = SmithWaterman(
-        engine=Engine(backend="auto", batching=True)
+        engine=Engine(backend="vector", batching=True)
     ).search(query, targets)
     assert vector_scores == scalar_scores
     assert [int(v) for v in mapped.values] == scalar_scores
@@ -58,10 +60,16 @@ def test_smoke_backends_agree_profile_forward():
         for k in range(SMOKE_PROBLEMS)
     ]
     looped = ProfileSearch(
-        profile, engine=Engine(prob_mode="logspace", batching=False)
+        profile,
+        engine=Engine(
+            prob_mode="logspace", backend="vector", batching=False
+        ),
     ).search(database)
     batched = ProfileSearch(
-        profile, engine=Engine(prob_mode="logspace", batching=True)
+        profile,
+        engine=Engine(
+            prob_mode="logspace", backend="vector", batching=True
+        ),
     ).search(database)
     scalar = ProfileSearch(
         profile,
@@ -76,3 +84,36 @@ def test_smoke_backends_agree_profile_forward():
         batched.likelihoods, looped.likelihoods,
         rtol=1e-9, atol=1e-12,
     )
+
+
+@pytest.mark.skipif(
+    not native.available().ok,
+    reason="no working C compiler in this environment",
+)
+def test_smoke_native_agrees_with_scalar_and_vector():
+    """All three ladder rungs fill the same tables at tiny sizes —
+    the property every timing in bench_native.py relies on."""
+    query = random_protein(SMOKE_SIZE, seed=9)
+    target = random_protein(SMOKE_SIZE, seed=90)
+    tables = {}
+    for backend in ("scalar", "vector", "native"):
+        sw = SmithWaterman(engine=Engine(backend=backend))
+        tables[backend] = sw.align(query, target).table
+    assert tables["native"].tobytes() == tables["scalar"].tobytes()
+    assert (tables["native"] == tables["vector"]).all()
+
+    profile = tk_model()
+    database = [
+        random_protein(SMOKE_SIZE, seed=900 + k)
+        for k in range(SMOKE_PROBLEMS)
+    ]
+    scalar = ProfileSearch(
+        profile,
+        engine=Engine(prob_mode="logspace", backend="scalar"),
+    ).search(database)
+    compiled = ProfileSearch(
+        profile,
+        engine=Engine(prob_mode="logspace", backend="native"),
+    ).search(database)
+    # Same formulas through the same libm: bitwise, even in log space.
+    assert compiled.likelihoods == scalar.likelihoods

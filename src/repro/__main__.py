@@ -87,7 +87,7 @@ def serve_main(argv) -> int:
         "--prob-mode", choices=("direct", "logspace"), default="direct",
     )
     parser.add_argument(
-        "--backend", choices=("auto", "scalar", "vector"),
+        "--backend", choices=("auto", "scalar", "vector", "native"),
         default="auto",
     )
     parser.add_argument(
@@ -153,15 +153,19 @@ def explain_main(argv) -> int:
     """``python -m repro explain``: report backend eligibility.
 
     For every function of a program (or one, with ``--function``),
-    derive a schedule, build the kernel and print which backend it
-    would compile to plus the machine-readable eligibility verdict —
-    the same rule identifier ``Engine.compile(backend="vector")``
-    raises on and ``CompiledKernel.eligibility`` carries.
+    derive a schedule, build the kernel and print which backend the
+    auto ladder (native > vector > scalar) would pick plus the
+    machine-readable eligibility verdicts — the same rule identifiers
+    a forced ``Engine.compile(backend=...)`` raises on and
+    ``CompiledKernel.eligibility`` / ``.native_eligibility`` carry.
+    When a C toolchain is present the native kernel is actually
+    built, so the reported compile time is measured, not estimated.
     """
     parser = argparse.ArgumentParser(
         prog="python -m repro explain",
-        description="Explain, per function, whether the vectorised "
-        "NumPy backend applies and why (eligibility rule + detail).",
+        description="Explain, per function, which backend the auto "
+        "ladder picks and why (eligibility rules + detail; native "
+        "compile times when a C toolchain is present).",
     )
     parser.add_argument("script", help="path to a .dsl program")
     parser.add_argument(
@@ -224,10 +228,38 @@ def explain_main(argv) -> int:
                 continue
         kernel = build_kernel(func, schedule, args.prob_mode)
         verdict = npbackend.eligibility(kernel)
-        backend = "vector" if verdict.ok else "scalar"
+        from .ir.cbackend import native_eligibility
+        from .runtime import native as native_rt
+
+        available = native_rt.available()
+        native = native_eligibility(kernel)
+        if available.ok and native.ok:
+            backend = "native"
+        elif verdict.ok:
+            backend = "vector"
+        else:
+            backend = "scalar"
         print(f"{name}: backend={backend} rule={verdict.rule} "
               f"schedule={schedule}")
-        print(f"  {verdict.detail}")
+        print(f"  vector: [{verdict.rule}] {verdict.detail}")
+        if not available.ok:
+            print(f"  native: [{available.rule}] {available.detail}")
+        elif not native.ok:
+            print(f"  native: [{native.rule}] {native.detail}")
+        else:
+            import time as _time
+
+            from .lang.errors import NativeBuildError
+
+            started = _time.perf_counter()
+            try:
+                native_rt.compile_native(kernel)
+            except NativeBuildError as err:
+                print(f"  native: [build-failed] {err}")
+            else:
+                elapsed = _time.perf_counter() - started
+                print(f"  native: [{native.rule}] {native.detail} "
+                      f"(compiled in {elapsed * 1e3:.0f} ms)")
         try:
             certificate, _diags = verify_schedule(
                 func,

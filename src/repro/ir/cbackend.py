@@ -1,0 +1,380 @@
+"""Native C backend: emit portable C99 for the system ``cc``.
+
+Where :mod:`repro.ir.cuda` renders the kernel as ``__global__`` text
+for inspection, this module emits a *compilable* C99 translation unit
+of the same synthesised program (Figure 9's loop nest): the time loop
+over partitions and the space loop over a partition's cells both live
+in C, so a whole run — every partition, every cell — is one shared
+library call instead of millions of interpreted Python steps. The
+cell expression printer is shared with the CUDA emitter
+(:mod:`repro.ir.c_expr`); only the surrounding function differs.
+
+Two entry points are emitted when the schedule admits the Section 4.8
+sliding window (uniform descents, 2-D nest):
+
+* ``repro_<name>`` — plain: reads and writes the caller's table;
+* ``repro_<name>_windowed`` — keeps the last ``window + 1``
+  partitions in a stack-resident ring buffer (the CPU analogue of
+  shared-memory residency), reads the recursion's look-backs from the
+  ring, and copies every computed row out to the table. Because a
+  replay may start mid-schedule (``part_lo > 0``), the ring is
+  preloaded from the table rows of the ``window`` preceding
+  partitions before computation begins.
+
+Both entries take ``(table, part_lo, part_hi, bounds, context
+arrays...)`` with a fixed parameter order described by
+:func:`native_param_spec` — :mod:`repro.runtime.native` builds the
+matching ``ctypes`` call from the same spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..lang.errors import CodegenError
+from ..lang.types import IntType
+from ..polyhedral import loopast
+from . import expr as ir
+from .c_expr import C_HELPERS, CCellEmitter
+from .kernel import Kernel
+from .npbackend import Eligibility
+
+#: Scalar helpers matching the Python backend's prelude bit for bit
+#: (same formulas, same libm), so scalar and native tables agree to
+#: the last ulp wherever the compiler preserves IEEE semantics.
+_HELPERS = C_HELPERS + """\
+#include <math.h>
+
+static double min(double a, double b) { return a < b ? a : b; }
+static double max(double a, double b) { return a > b ? a : b; }
+static double idiv(double a, double b) { return trunc(a / b); }
+static double safelog(double x) { return x > 0.0 ? log(x) : -INFINITY; }
+static double logaddexp(double a, double b) {
+  if (a == -INFINITY) return b;
+  if (b == -INFINITY) return a;
+  double m = a > b ? a : b;
+  return m + log(exp(a - m) + exp(b - m));
+}
+"""
+
+
+@dataclass(frozen=True)
+class Param:
+    """One formal parameter of the emitted entry points.
+
+    ``kind`` tells the runtime how to marshal the argument:
+
+    ==============  ====================================================
+    ``table``       the DP table buffer (``<vt>*``)
+    ``part``        partition-range clamp (``long``; sentinel when None)
+    ``ub``          inclusive dimension bound (``long``, from ``ctx``)
+    ``i64[]``       ``const long*`` int64 array from ``ctx[key]``
+    ``i32[]``       ``const int*`` int32 array from ``ctx[key]``
+    ``f64[]``       ``const double*`` float64 array from ``ctx[key]``
+    ``scalar_int``  ``long`` scalar from ``ctx[key]``
+    ``scalar_f64``  ``double`` scalar from ``ctx[key]``
+    ``cols``        trailing dimension of the 2-D array at ``ctx[key]``
+    ==============  ====================================================
+    """
+
+    name: str
+    ctext: str
+    kind: str
+    key: Optional[str] = None
+
+
+def value_ctype(kernel: Kernel) -> str:
+    """C element type of the DP table (mirrors ``Engine._table_for``:
+    int kernels fill int64 tables, everything else float64)."""
+    return "long" if kernel.body.return_kind == "int" else "double"
+
+
+def entry_symbol(kernel: Kernel, windowed: bool = False) -> str:
+    """Exported symbol name of an entry point."""
+    suffix = "_windowed" if windowed else ""
+    return f"repro_{kernel.name}{suffix}"
+
+
+def supports_window(kernel: Kernel) -> bool:
+    """Does the native path emit a ring-buffer variant for this
+    kernel? Requires a constant non-zero window (uniform descents,
+    Section 4.8), the 2-D partition/lane shape the ring is addressed
+    by, and a partition-major time loop to preload across."""
+    return (
+        kernel.window is not None
+        and kernel.window >= 1
+        and kernel.rank == 2
+        and _time_loop(kernel) is not None
+    )
+
+
+def _time_loop(kernel: Kernel) -> Optional[loopast.Loop]:
+    roots = kernel.nest.roots
+    if (
+        len(roots) == 1
+        and isinstance(roots[0], loopast.Loop)
+        and roots[0].var == kernel.nest.time_var
+    ):
+        return roots[0]
+    return None
+
+
+def _scalar_kinds(kernel: Kernel) -> dict:
+    kinds = {}
+    for param in kernel.func.calling_params:
+        kinds[param.name] = (
+            "scalar_int"
+            if isinstance(param.type, IntType)
+            else "scalar_f64"
+        )
+    return kinds
+
+
+def native_param_spec(kernel: Kernel) -> List[Param]:
+    """The (ordered) formal parameters of both emitted entry points.
+
+    The emitter renders the C declarations from this list and the
+    ``ctypes`` dispatcher marshals arguments from the same list, so
+    the two can never disagree on the calling convention.
+    """
+    vt = value_ctype(kernel)
+    params: List[Param] = [
+        Param("farr", f"{vt}*", "table"),
+        Param("part_lo", "long", "part"),
+        Param("part_hi", "long", "part"),
+    ]
+    for d in kernel.dims:
+        params.append(Param(f"ub_{d}", "long", "ub", f"ub_{d}"))
+    refs = kernel.referenced_names()
+    for s in sorted(refs["seqs"]):
+        params.append(
+            Param(f"seq_{s}", "const long*", "i64[]", f"seq_{s}")
+        )
+    scalar_kinds = _scalar_kinds(kernel)
+    for a in sorted(refs["scalars"]):
+        kind = scalar_kinds.get(a, "scalar_f64")
+        ctext = "long" if kind == "scalar_int" else "double"
+        params.append(Param(f"arg_{a}", ctext, kind, f"arg_{a}"))
+    for m in sorted(refs["matrices"]):
+        params += [
+            Param(f"mat_{m}", "const long*", "i64[]", f"mat_{m}"),
+            Param(f"rowidx_{m}", "const long*", "i64[]", f"rowidx_{m}"),
+            Param(f"colidx_{m}", "const long*", "i64[]", f"colidx_{m}"),
+            Param(f"{m}_cols", "long", "cols", f"mat_{m}"),
+        ]
+    for h in sorted(refs["hmms"]):
+        hp = f"hmm_{h}"
+        params += [
+            Param(f"{hp}_isstart", "const int*", "i32[]", f"{hp}_isstart"),
+            Param(f"{hp}_isend", "const int*", "i32[]", f"{hp}_isend"),
+            Param(f"{hp}_emis", "const double*", "f64[]", f"{hp}_emis"),
+            Param(f"{hp}_symidx", "const long*", "i64[]", f"{hp}_symidx"),
+            Param(f"{h}_nsym", "long", "cols", f"{hp}_emis"),
+            Param(f"{hp}_tprob", "const double*", "f64[]", f"{hp}_tprob"),
+            Param(f"{hp}_tsrc", "const long*", "i64[]", f"{hp}_tsrc"),
+            Param(f"{hp}_ttgt", "const long*", "i64[]", f"{hp}_ttgt"),
+            Param(f"{hp}_inoff", "const long*", "i64[]", f"{hp}_inoff"),
+            Param(f"{hp}_inids", "const long*", "i64[]", f"{hp}_inids"),
+            Param(f"{hp}_outoff", "const long*", "i64[]", f"{hp}_outoff"),
+            Param(f"{hp}_outids", "const long*", "i64[]", f"{hp}_outids"),
+        ]
+    return params
+
+
+def native_eligibility(kernel: Kernel) -> Eligibility:
+    """Why (or why not) this kernel can use the native backend.
+
+    The emitter handles every nest shape and rank the polyhedral
+    generator produces; the hard exclusions are cross-table reads
+    (mutual-group members compile through the group backends) and any
+    cell construct the shared C printer cannot render.
+    """
+    for node in ir.walk(kernel.body.cell):
+        if isinstance(node, ir.TableRead) and node.table:
+            return Eligibility(
+                False, "cross-table-read",
+                f"kernel {kernel.name!r} reads the table of "
+                f"{node.table!r}; mutual groups use the group backend",
+            )
+    try:
+        emit_native_source(kernel)
+    except CodegenError as err:
+        return Eligibility(
+            False, "codegen",
+            f"kernel {kernel.name!r} has no C99 rendering: {err}",
+        )
+    window = (
+        f"; sliding window of {kernel.window} partitions"
+        if supports_window(kernel)
+        else ""
+    )
+    return Eligibility(
+        True, "ok",
+        f"kernel {kernel.name!r} compiles to portable C99 "
+        f"(whole-run dispatch, partition loop in C{window})",
+    )
+
+
+def emit_native_source(
+    kernel: Kernel, openmp: bool = False
+) -> str:
+    """Emit the complete C99 translation unit for one kernel.
+
+    ``openmp=True`` adds ``#pragma omp parallel for`` over the first
+    space loop of each partition (cells of a partition are mutually
+    independent — the schedule's defining property — so the parallel
+    sweep is race-free); the pragma is inert unless the library is
+    built with ``-fopenmp``.
+    """
+    vt = value_ctype(kernel)
+    params = native_param_spec(kernel)
+    decl = ", ".join(f"{p.ctext} {p.name}" for p in params)
+    lines: List[str] = [
+        f"/* native kernel: {kernel.name} "
+        f"(schedule {kernel.schedule}) */",
+        _HELPERS,
+    ]
+    lines.append(f"void {entry_symbol(kernel)}({decl}) {{")
+    _emit_body(kernel, lines, vt, windowed=False, openmp=openmp)
+    lines.append("}")
+    if supports_window(kernel):
+        lines.append("")
+        lines.append(
+            f"void {entry_symbol(kernel, windowed=True)}({decl}) {{"
+        )
+        _emit_body(kernel, lines, vt, windowed=True, openmp=openmp)
+        lines.append("}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _emit_body(
+    kernel: Kernel,
+    lines: List[str],
+    vt: str,
+    windowed: bool,
+    openmp: bool,
+) -> None:
+    pad = "  "
+    cell = CCellEmitter(kernel, windowed=windowed)
+    time_loop = _time_loop(kernel)
+    if time_loop is None:
+        if windowed:
+            raise CodegenError(
+                "windowed emission requires a partition-major time loop"
+            )
+        _emit_nest(
+            kernel, kernel.nest.roots, cell, lines, pad, vt,
+            mode="compute", openmp=openmp, space_seen=False,
+        )
+        return
+    low = time_loop.lower.c_text()
+    high = time_loop.upper.c_text()
+    tv = time_loop.var
+    lines.append(f"{pad}long _plo = {low};")
+    lines.append(f"{pad}long _phi = {high};")
+    lines.append(f"{pad}if (part_lo > _plo) _plo = part_lo;")
+    lines.append(f"{pad}if (part_hi < _phi) _phi = part_hi;")
+    if windowed:
+        rows = kernel.window + 1
+        # The ring column of a cell is its window_col index (the
+        # shared printer's swin addressing — a pure space dimension
+        # when one exists), so the ring is as wide as that dimension.
+        col_dim = kernel.dims[cell.window_col]
+        lines.append(
+            f"{pad}const long win_cols = ub_{col_dim} + 1;"
+        )
+        lines.append(
+            f"{pad}/* Section 4.8: stack-resident ring buffer of the "
+            f"last {rows} partitions (window {kernel.window}). */"
+        )
+        lines.append(f"{pad}{vt} swin[{rows} * win_cols];")
+        # A replay may start mid-schedule: preload the ring with the
+        # table rows of the window partitions preceding part_lo.
+        lines.append(f"{pad}long _pre = _plo - {kernel.window};")
+        lines.append(f"{pad}if (_pre < ({low})) _pre = {low};")
+        lines.append(
+            f"{pad}for (long {tv} = _pre; {tv} < _plo; {tv}++) {{"
+        )
+        _emit_nest(
+            kernel, time_loop.body, cell, lines, pad + "  ", vt,
+            mode="preload", openmp=False, space_seen=False,
+        )
+        lines.append(f"{pad}}}")
+    lines.append(
+        f"{pad}for (long {tv} = _plo; {tv} <= _phi; {tv}++) {{"
+    )
+    _emit_nest(
+        kernel, time_loop.body, cell, lines, pad + "  ", vt,
+        mode="compute", openmp=openmp, space_seen=False,
+    )
+    lines.append(f"{pad}}}")
+
+
+def _emit_nest(
+    kernel: Kernel,
+    nodes,
+    cell: CCellEmitter,
+    lines: List[str],
+    pad: str,
+    vt: str,
+    mode: str,
+    openmp: bool,
+    space_seen: bool,
+) -> None:
+    dim_refs = tuple(ir.DimRef(d) for d in kernel.dims)
+    for node in nodes:
+        if isinstance(node, loopast.Loop):
+            low = node.lower.c_text()
+            high = node.upper.c_text()
+            if openmp and not space_seen:
+                lines.append(f"{pad}#pragma omp parallel for")
+            lines.append(
+                f"{pad}for (long {node.var} = {low}; "
+                f"{node.var} <= {high}; {node.var}++) {{"
+            )
+            _emit_nest(
+                kernel, node.body, cell, lines, pad + "  ", vt,
+                mode, openmp, space_seen=True,
+            )
+            lines.append(pad + "}")
+        elif isinstance(node, loopast.Assign):
+            lines.append(
+                f"{pad}long {node.var} = {node.value.c_text()};"
+            )
+            _emit_nest(
+                kernel, node.body, cell, lines, pad, vt,
+                mode, openmp, space_seen,
+            )
+        elif isinstance(node, loopast.Guard):
+            lines.append(
+                f"{pad}if (({loopast.affine_c_text(node.expr)}) % "
+                f"{node.divisor} == 0) {{"
+            )
+            _emit_nest(
+                kernel, node.body, cell, lines, pad + "  ", vt,
+                mode, openmp, space_seen,
+            )
+            lines.append(pad + "}")
+        elif isinstance(node, loopast.Stmt):
+            if mode == "preload":
+                ring = cell._table_ref(dim_refs)
+                lines.append(
+                    f"{pad}{ring} = {cell.linear_ref(dim_refs)};"
+                )
+                continue
+            target = cell.fresh()
+            lines.append(f"{pad}{vt} {target};")
+            cell.emit_to(kernel.body.cell, target, lines, pad)
+            store = cell._table_ref(dim_refs)
+            lines.append(f"{pad}{store} = {target};")
+            if cell.windowed:
+                # Copy the row out: callers (result extraction,
+                # whole-table reductions, parity checks) read the
+                # full table, not the ring.
+                lines.append(
+                    f"{pad}{cell.linear_ref(dim_refs)} = {target};"
+                )
+        else:
+            raise CodegenError(f"unknown nest node {node!r}")

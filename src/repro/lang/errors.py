@@ -81,6 +81,20 @@ class SanitizerError(DslError):
     """
 
 
+class NativeBuildError(DslError):
+    """The native backend could not produce a loadable shared object.
+
+    Raised when the system compiler rejects the emitted C99, when the
+    build toolchain disappears mid-run, or when the segfault-guarded
+    subprocess probe of a freshly built (or cache-restored) ``.so``
+    dies before ``dlopen`` succeeds in-process. Subclassing
+    :class:`DslError` makes it *permanent* to the supervision and
+    serving layers: a kernel whose native build fails will fail the
+    same way on every retry — it is a toolchain/codegen problem, not
+    a transient device fault.
+    """
+
+
 class BackendDivergenceError(DslError):
     """Two independent backends disagree on the same kernel.
 

@@ -18,11 +18,18 @@ independent reference backend, from the same pre-epoch checkpoint.
   retried* by the serving layer.
 
 Reference choice: a vector-compiled kernel is checked against the
-scalar Python backend (genuinely different generated code); a scalar
-kernel is checked against the vector backend when the kernel is
-eligible, else against a fresh re-exec of its own source (which still
-catches nondeterministic state corruption, though not a deterministic
+scalar Python backend (genuinely different generated code); a
+native-compiled kernel against the vector backend when eligible, else
+scalar (either way it is independent code *and* an independent
+evaluator — machine code vs the Python interpreter); a scalar kernel
+is checked against the vector backend when the kernel is eligible,
+else against a fresh re-exec of its own source (which still catches
+nondeterministic state corruption, though not a deterministic
 scalar-codegen bug — noted in the classification).
+
+Agreement uses the shared cross-backend tolerance policy of
+:mod:`repro.runtime.parity` (re-exported here as ``tables_agree``
+for backwards compatibility).
 """
 
 from __future__ import annotations
@@ -32,22 +39,9 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from ..lang.errors import BackendDivergenceError
+from ..runtime.parity import tables_agree
 
-
-def tables_agree(a: np.ndarray, b: np.ndarray) -> bool:
-    """Backend-grade agreement: exact for ints, tight for floats.
-
-    Float kernels may differ in the last few ulps between backends
-    (``np.logaddexp`` vs the scalar helper); corruption payloads
-    (NaN, exponent bit-flips) are far outside this tolerance.
-    """
-    if a.shape != b.shape:
-        return False
-    if a.dtype.kind != "f" or b.dtype.kind != "f":
-        return bool(np.array_equal(a, b))
-    return bool(
-        np.allclose(a, b, rtol=1e-9, atol=1e-12, equal_nan=True)
-    )
+__all__ = ["DivergenceOracle", "tables_agree"]
 
 
 class DivergenceOracle:
@@ -83,9 +77,21 @@ class DivergenceOracle:
             reference = ("scalar", custom)
             self._references[key] = reference
             return reference
-        if getattr(compiled, "backend", "scalar") == "vector":
+        backend = getattr(compiled, "backend", "scalar")
+        if backend == "vector":
             run, _source = compile_kernel(kernel)
             reference: Tuple[str, Optional[Callable]] = ("scalar", run)
+        elif backend == "native":
+            # Machine code vs the Python interpreter: any rung of the
+            # Python side is independent. Prefer vector (different
+            # generated code *and* a different float library path —
+            # the parity policy's tolerance absorbs the ulp spread).
+            if npbackend.eligible(kernel):
+                run, _source = npbackend.compile_vector_kernel(kernel)
+                reference = ("vector", run)
+            else:
+                run, _source = compile_kernel(kernel)
+                reference = ("scalar", run)
         elif npbackend.eligible(kernel):
             run, _source = npbackend.compile_vector_kernel(kernel)
             reference = ("vector", run)

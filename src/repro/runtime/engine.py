@@ -19,6 +19,7 @@
 from __future__ import annotations
 
 import math
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence as Seq, Tuple
@@ -64,6 +65,21 @@ from .values import Bindings, Sequence
 #: Default bound of the engine's in-memory kernel cache.
 DEFAULT_CACHE_CAPACITY = 256
 
+#: Below this maximum domain extent, ``backend="auto"`` stops
+#: preferring the vector backend over scalar/native: NumPy's per-op
+#: dispatch overhead loses to the scalar loop on tiny partitions
+#: (BENCH_backend.json measured the crossover between sizes 64 and
+#: 128). Override with ``REPRO_VECTOR_CROSSOVER``.
+VECTOR_CROSSOVER_DEFAULT = 96
+
+
+def vector_crossover_extent() -> int:
+    """The measured auto-ladder vector/scalar crossover extent."""
+    try:
+        return int(os.environ["REPRO_VECTOR_CROSSOVER"])
+    except (KeyError, ValueError):
+        return VECTOR_CROSSOVER_DEFAULT
+
 
 @dataclass
 class CompiledKernel:
@@ -83,6 +99,8 @@ class CompiledKernel:
     backend: str = "scalar"
     batched_run: object = None  # lazy lane-batched twin (vector only)
     batched_source: Optional[str] = None
+    #: Path of the compiled shared object (native backend only).
+    so_path: Optional[str] = None
 
     @property
     def schedule(self) -> Schedule:
@@ -96,6 +114,13 @@ class CompiledKernel:
         from ..ir import npbackend
 
         return npbackend.eligibility(self.kernel)
+
+    @property
+    def native_eligibility(self):
+        """The native (C99) backend verdict for this kernel."""
+        from ..ir import cbackend
+
+        return cbackend.native_eligibility(self.kernel)
 
     def ensure_batched(self):
         """Compile (once) and return the lane-batched twin kernel.
@@ -175,14 +200,22 @@ class Engine:
         prob_mode: str = "direct",
         schedule_bound: int = DEFAULT_BOUND,
         solver: str = "orthant",
-        backend: str = "auto",
+        backend: Optional[str] = None,
         kernel_cache: Optional[LRUKernelCache] = None,
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
         batching: bool = True,
         verify: str = "schedule",
         sanitize: bool = False,
     ) -> None:
-        if backend not in ("auto", "scalar", "vector"):
+        # ``backend=None`` (the default) defers to the REPRO_BACKEND
+        # environment variable, then "auto". An env-provided backend
+        # is a *preference* (it degrades gracefully when, say, no C
+        # compiler exists); an explicit argument is *forced* and
+        # raises instead of degrading.
+        self.backend_forced = backend is not None
+        if backend is None:
+            backend = os.environ.get("REPRO_BACKEND") or "auto"
+        if backend not in ("auto", "scalar", "vector", "native"):
             raise ValueError(f"unknown backend {backend!r}")
         if verify not in ("off", "schedule", "full"):
             raise ValueError(f"unknown verify mode {verify!r}")
@@ -216,6 +249,11 @@ class Engine:
         self.verified_schedules = 0
         self.verify_failures = 0
         self._verdicts: Dict[str, tuple] = {}
+        # Memoised backend resolution: content hash (+ size bucket)
+        # -> resolved backend name. Keeps the auto ladder's
+        # eligibility probes off the hot path and guarantees the
+        # kernel cache keys on the *resolved* backend.
+        self._resolved: Dict[tuple, str] = {}
 
     def cache_info(self) -> CacheInfo:
         """Counter snapshot of the kernel cache (both tiers), extended
@@ -289,22 +327,133 @@ class Engine:
 
     # -- compilation ----------------------------------------------------------
 
+    def _auto_choice(
+        self, kernel: Kernel, vector_ok: bool,
+        bucket: Optional[bool], allow_native: bool,
+    ) -> str:
+        """Walk the auto ladder: native > vector > scalar.
+
+        ``bucket`` carries the size test (``None`` = unknown extents,
+        treat as large): below the measured crossover extent the
+        vector backend's per-op dispatch overhead loses to the plain
+        scalar loop, so auto stops preferring it (the paper's Table 2
+        sizes are all far above the crossover).
+        """
+        if allow_native:
+            from ..ir.cbackend import native_eligibility
+            from . import native as native_rt
+
+            if (
+                native_rt.available().ok
+                and native_eligibility(kernel).ok
+            ):
+                return "native"
+        if vector_ok and (bucket is None or bucket):
+            return "vector"
+        return "scalar"
+
+    def _choose_backend(
+        self, kernel: Kernel, bucket: Optional[bool]
+    ) -> str:
+        """Resolve this engine's backend mode for one kernel."""
+        from ..ir import npbackend
+
+        verdict = npbackend.eligibility(kernel)
+        if self.backend == "scalar":
+            return "scalar"
+        if self.backend == "vector":
+            if not verdict.ok:
+                # Fail up front with the *rule* that was violated,
+                # rather than letting the generator die mid-emission.
+                raise CodegenError(
+                    f"backend='vector' was forced but kernel "
+                    f"{kernel.name!r} is not eligible "
+                    f"[{verdict.rule}]: {verdict.detail}"
+                )
+            return "vector"
+        if self.backend == "native":
+            from ..ir.cbackend import native_eligibility
+            from . import native as native_rt
+
+            avail = native_rt.available()
+            native = native_eligibility(kernel)
+            if avail.ok and native.ok and not self.sanitize:
+                return "native"
+            if self.backend_forced:
+                if self.sanitize:
+                    raise CodegenError(
+                        "backend='native' cannot run sanitized: the "
+                        "sanitizer instruments the generated Python "
+                        "partition loop, which machine code does not "
+                        "have"
+                    )
+                bad = avail if not avail.ok else native
+                raise CodegenError(
+                    f"backend='native' was forced but kernel "
+                    f"{kernel.name!r} cannot use it "
+                    f"[{bad.rule}]: {bad.detail}"
+                )
+            # Env preference: degrade down the rest of the ladder.
+            return self._auto_choice(
+                kernel, verdict.ok, bucket, allow_native=False
+            )
+        return self._auto_choice(
+            kernel, verdict.ok, bucket,
+            allow_native=not self.sanitize,
+        )
+
+    def _resolve_backend(
+        self,
+        func: CheckedFunction,
+        schedule: Schedule,
+        domain: Optional[Domain],
+    ) -> Tuple[str, Optional[Kernel]]:
+        """Memoised backend resolution for one (function, schedule).
+
+        Returns ``(backend_name, kernel_or_None)`` — the kernel is
+        only built (and returned for reuse) on a memo miss.
+        """
+        if domain is None:
+            bucket: Optional[bool] = None
+        else:
+            bucket = max(domain.extents) >= vector_crossover_extent()
+        rkey = (
+            kernel_cache_key(func, schedule, self.prob_mode, "resolve"),
+            bucket,
+        )
+        hit = self._resolved.get(rkey)
+        if hit is not None:
+            return hit, None
+        kernel = build_kernel(func, schedule, self.prob_mode)
+        resolved = self._choose_backend(kernel, bucket)
+        self._resolved[rkey] = resolved
+        return resolved, kernel
+
     def compile(
         self,
         func: CheckedFunction,
         schedule: Schedule,
+        domain: Optional[Domain] = None,
     ) -> CompiledKernel:
         """Compile (or fetch) the kernel for one schedule.
 
-        Backend choice: ``vector`` evaluates whole partitions as NumPy
-        array operations when the kernel is eligible (2-D, no
-        reductions); ``scalar`` is the cell-at-a-time generator;
-        ``auto`` prefers vector and falls back.
+        Backend choice: ``native`` emits C99 and JIT-compiles it with
+        the system C compiler (whole runs execute as machine code);
+        ``vector`` evaluates whole partitions as NumPy array
+        operations when the kernel is eligible (2-D, no reductions);
+        ``scalar`` is the cell-at-a-time generator; ``auto`` walks the
+        ladder native > vector > scalar, preferring scalar/native over
+        vector below the measured crossover extent when ``domain`` is
+        given. The cache keys on the *resolved* backend, so a warm
+        native entry is found again regardless of the engine's mode.
         """
-        from ..ir import npbackend
+        from ..lang.errors import NativeBuildError
 
+        resolved, kernel = self._resolve_backend(
+            func, schedule, domain
+        )
         key = kernel_cache_key(
-            func, schedule, self.prob_mode, self.backend
+            func, schedule, self.prob_mode, resolved
         )
         cached = self._cache.lookup(key)
         if cached is not None:
@@ -312,27 +461,54 @@ class Engine:
             return cached
         self.cache_misses += 1
         started = time.perf_counter()
-        kernel = build_kernel(func, schedule, self.prob_mode)
-        verdict = npbackend.eligibility(kernel)
-        if self.backend == "vector" and not verdict.ok:
-            # Fail up front with the *rule* that was violated, rather
-            # than letting the generator die mid-emission.
-            raise CodegenError(
-                f"backend='vector' was forced but kernel "
-                f"{kernel.name!r} is not eligible "
-                f"[{verdict.rule}]: {verdict.detail}"
-            )
-        use_vector = self.backend == "vector" or (
-            self.backend == "auto" and verdict.ok
-        )
-        if use_vector:
+        if kernel is None:
+            kernel = build_kernel(func, schedule, self.prob_mode)
+        so_path = None
+        if resolved == "native":
+            from . import native as native_rt
+
+            try:
+                run, source, so_path = native_rt.compile_native(kernel)
+            except NativeBuildError:
+                if self.backend == "native" and self.backend_forced:
+                    raise
+                # Eligibility said yes but the toolchain said no
+                # (compiler rejection, dead probe). Permanent for
+                # this kernel: drop down the ladder and re-memoise
+                # so later calls skip the doomed build.
+                from ..ir import npbackend
+
+                resolved = self._auto_choice(
+                    kernel,
+                    npbackend.eligibility(kernel).ok,
+                    None if domain is None
+                    else max(domain.extents) >= vector_crossover_extent(),
+                    allow_native=False,
+                )
+                for rkey, name in list(self._resolved.items()):
+                    if name == "native" and rkey[0] == kernel_cache_key(
+                        func, schedule, self.prob_mode, "resolve"
+                    ):
+                        self._resolved[rkey] = resolved
+                key = kernel_cache_key(
+                    func, schedule, self.prob_mode, resolved
+                )
+                cached = self._cache.lookup(key)
+                if cached is not None:
+                    self.cache_hits += 1
+                    return cached
+        if resolved == "native":
+            pass  # compiled above
+        elif resolved == "vector":
+            from ..ir import npbackend
+
             run, source = npbackend.compile_vector_kernel(kernel)
         else:
             run, source = compile_kernel(kernel)
         elapsed = time.perf_counter() - started
         compiled = CompiledKernel(
             kernel, run, source, elapsed,
-            backend="vector" if use_vector else "scalar",
+            backend=resolved, so_path=so_path,
         )
         self._cache.store(key, compiled)
         return compiled
@@ -479,7 +655,7 @@ class Engine:
         domain = self.domain_of(func, bound, initial)
         schedule = self.schedule_for(func, domain, user_schedule)
         self.verify_compiled(func, schedule, domain)
-        compiled = self.compile(func, schedule)
+        compiled = self.compile(func, schedule, domain)
         ctx = self.build_context(compiled, bound, domain)
         table = self._table_for(compiled.kernel, domain)
 
@@ -541,7 +717,7 @@ class Engine:
             else:
                 schedule = self.schedule_for(func, domain)
             self.verify_compiled(func, schedule, domain)
-            compiled = self.compile(func, schedule)
+            compiled = self.compile(func, schedule, domain)
             prepared.append((bound, domain, compiled))
 
         costs: List[KernelCost] = []

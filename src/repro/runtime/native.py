@@ -1,0 +1,379 @@
+"""Native execution: compile emitted C99 with ``cc``, run via ctypes.
+
+This is the fastest rung of the backend ladder (native > vector >
+scalar): :mod:`repro.ir.cbackend` emits a portable C99 translation
+unit for a kernel, this module builds it into a shared object with
+the system compiler and dispatches whole runs — every partition, one
+call — through ``ctypes`` on the *same* numpy table and context
+buffers the other backends use (the C code writes straight into the
+table's memory; nothing is copied for contiguous tables).
+
+Robustness contract:
+
+* **Toolchain probe** — ``cc``/``gcc``/``clang`` (override with
+  ``REPRO_CC``) are probed once per process with a real test
+  compilation; the verdict is cached, so an environment without a
+  compiler pays the probe exactly once and every engine falls back
+  down the ladder with a machine-readable
+  :class:`~repro.ir.npbackend.Eligibility` reason.
+  ``REPRO_NATIVE_DISABLE=1`` force-disables the backend (checked on
+  every call, not cached — tests rely on that).
+* **Segfault-guarded load** — a freshly built (or cache-restored)
+  ``.so`` is first ``dlopen``-ed in a *subprocess*; if that probe
+  dies — including by signal — the library is never loaded into this
+  process and a :class:`~repro.lang.errors.NativeBuildError` (a
+  permanent ``DslError``, never retried) is raised instead.
+* **Content-addressed artifacts** — builds land in
+  ``$REPRO_NATIVE_CACHE_DIR`` (or a per-process temp dir) under the
+  sha256 of (source, compiler, flags), so recompilation is skipped
+  whenever the artifact already exists.
+
+``REPRO_NATIVE_OMP=1`` additionally emits ``#pragma omp parallel
+for`` over each partition's lane loop and builds with ``-fopenmp``
+when the compiler supports it (the paper's parfor over cells).
+"""
+
+from __future__ import annotations
+
+import atexit
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..gpu.spec import GTX480
+from ..gpu.timing import window_fits_shared
+from ..ir import cbackend
+from ..ir.kernel import Kernel
+from ..ir.npbackend import Eligibility
+from ..lang.errors import NativeBuildError
+
+#: ``part_lo``/``part_hi`` sentinels for "no clamp" (any real
+#: partition index is strictly inside this range).
+_NO_LO = -(2 ** 62)
+_NO_HI = 2 ** 62
+
+_CFLAGS = ("-std=c99", "-O2", "-fPIC", "-shared")
+
+#: Memoised toolchain probe: ``(cc_path_or_None, openmp_ok, detail)``.
+_TOOLCHAIN: Optional[Tuple[Optional[str], bool, str]] = None
+
+#: Per-process fallback build directory (created lazily).
+_BUILD_DIR: Optional[str] = None
+
+#: Shared objects already probed (and passed) in this process.
+_PROBED: Dict[str, bool] = {}
+
+
+def _candidate_compilers() -> List[str]:
+    override = os.environ.get("REPRO_CC")
+    if override:
+        return [override]
+    return ["cc", "gcc", "clang"]
+
+
+def build_dir() -> str:
+    """Where compiled ``.so`` artifacts live for this process."""
+    global _BUILD_DIR
+    configured = os.environ.get("REPRO_NATIVE_CACHE_DIR")
+    if configured:
+        path = os.path.expanduser(configured)
+        os.makedirs(path, exist_ok=True)
+        return path
+    if _BUILD_DIR is None:
+        _BUILD_DIR = tempfile.mkdtemp(prefix="repro-native-")
+        atexit.register(shutil.rmtree, _BUILD_DIR, True)
+    return _BUILD_DIR
+
+
+def toolchain() -> Tuple[Optional[str], bool, str]:
+    """Probe (once) for a working C compiler.
+
+    Returns ``(cc, openmp_ok, detail)``; ``cc`` is ``None`` when no
+    candidate both exists and compiles a trivial shared object.
+    """
+    global _TOOLCHAIN
+    if _TOOLCHAIN is not None:
+        return _TOOLCHAIN
+    probe_src = "int repro_probe(int x) { return x + 1; }\n"
+    tried: List[str] = []
+    for name in _candidate_compilers():
+        path = shutil.which(name)
+        if path is None:
+            tried.append(f"{name}: not found")
+            continue
+        with tempfile.TemporaryDirectory(
+            prefix="repro-ccprobe-"
+        ) as tmp:
+            src = os.path.join(tmp, "probe.c")
+            out = os.path.join(tmp, "probe.so")
+            with open(src, "w") as handle:
+                handle.write(probe_src)
+            base = [path, *_CFLAGS, "-o", out, src, "-lm"]
+            try:
+                result = subprocess.run(
+                    base, capture_output=True, timeout=60,
+                )
+            except (OSError, subprocess.TimeoutExpired) as err:
+                tried.append(f"{name}: {err}")
+                continue
+            if result.returncode != 0:
+                tried.append(
+                    f"{name}: exit {result.returncode}"
+                )
+                continue
+            omp = subprocess.run(
+                [path, *_CFLAGS, "-fopenmp", "-o", out, src, "-lm"],
+                capture_output=True, timeout=60,
+            ).returncode == 0
+            _TOOLCHAIN = (path, omp, f"system compiler {path}")
+            return _TOOLCHAIN
+    _TOOLCHAIN = (
+        None, False,
+        "no working C compiler (" + "; ".join(tried) + ")",
+    )
+    return _TOOLCHAIN
+
+
+def reset_toolchain_cache() -> None:
+    """Forget the probe verdict (tests exercising the no-cc path)."""
+    global _TOOLCHAIN
+    _TOOLCHAIN = None
+
+
+def available() -> Eligibility:
+    """Can this process use the native backend at all?
+
+    The environment kill-switch is consulted on every call; the
+    compiler probe itself is paid once per process.
+    """
+    if os.environ.get("REPRO_NATIVE_DISABLE"):
+        return Eligibility(
+            False, "disabled",
+            "native backend disabled by REPRO_NATIVE_DISABLE",
+        )
+    cc, _omp, detail = toolchain()
+    if cc is None:
+        return Eligibility(False, "no-compiler", detail)
+    return Eligibility(True, "ok", detail)
+
+
+def _use_openmp() -> bool:
+    if os.environ.get("REPRO_NATIVE_OMP") != "1":
+        return False
+    _cc, omp, _detail = toolchain()
+    return omp
+
+
+def build_shared_object(source: str) -> str:
+    """Compile ``source`` into a content-addressed ``.so``.
+
+    The artifact path is ``<sha256(cc, flags, source)>.so`` under
+    :func:`build_dir`; an existing artifact short-circuits the
+    compiler entirely (warm starts across processes when
+    ``REPRO_NATIVE_CACHE_DIR`` is shared).
+    """
+    cc, _omp, detail = toolchain()
+    if cc is None:
+        raise NativeBuildError(detail)
+    flags = list(_CFLAGS)
+    if _use_openmp():
+        flags.append("-fopenmp")
+    digest = hashlib.sha256(
+        "\x00".join([cc, " ".join(flags), source]).encode("utf-8")
+    ).hexdigest()
+    directory = build_dir()
+    so_path = os.path.join(directory, digest + ".so")
+    if os.path.exists(so_path):
+        return so_path
+    src_path = os.path.join(directory, digest + ".c")
+    tmp_out = so_path + f".tmp{os.getpid()}"
+    try:
+        with open(src_path, "w") as handle:
+            handle.write(source)
+        result = subprocess.run(
+            [cc, *flags, "-o", tmp_out, src_path, "-lm"],
+            capture_output=True, timeout=300,
+        )
+    except (OSError, subprocess.TimeoutExpired) as err:
+        raise NativeBuildError(f"native build failed: {err}") from err
+    if result.returncode != 0:
+        stderr = result.stderr.decode("utf-8", "replace").strip()
+        raise NativeBuildError(
+            f"{cc} exited {result.returncode} compiling kernel "
+            f"module:\n{stderr[:2000]}"
+        )
+    os.replace(tmp_out, so_path)
+    return so_path
+
+
+def probe_shared_object(so_path: str) -> None:
+    """``dlopen`` the library in a throwaway subprocess first.
+
+    A corrupt or ABI-incompatible artifact can take the whole process
+    down inside ``dlopen``; the probe confines that blast radius to a
+    child. Failure — any nonzero exit, including death by signal —
+    raises :class:`NativeBuildError`, which is a permanent
+    ``DslError``: the supervisor and service will not retry it.
+    Verdicts are memoised per path for the life of the process.
+    """
+    if _PROBED.get(so_path):
+        return
+    try:
+        result = subprocess.run(
+            [
+                sys.executable, "-c",
+                "import ctypes, sys; ctypes.CDLL(sys.argv[1])",
+                so_path,
+            ],
+            capture_output=True, timeout=60,
+        )
+    except (OSError, subprocess.TimeoutExpired) as err:
+        raise NativeBuildError(
+            f"subprocess dlopen probe failed for {so_path}: {err}"
+        ) from err
+    if result.returncode != 0:
+        reason = (
+            f"died with signal {-result.returncode}"
+            if result.returncode < 0
+            else f"exited {result.returncode}"
+        )
+        stderr = result.stderr.decode("utf-8", "replace").strip()
+        raise NativeBuildError(
+            f"subprocess dlopen probe of {so_path} {reason}"
+            + (f": {stderr[:500]}" if stderr else "")
+        )
+    _PROBED[so_path] = True
+
+
+class NativeRun:
+    """The compiled-kernel callable for a loaded shared object.
+
+    Speaks the backend calling convention —
+    ``run(T, ctx, part_lo=None, part_hi=None)`` — and picks the
+    ring-buffer entry point per call when the kernel has a constant
+    window that fits the simulated device's shared memory
+    (:func:`repro.gpu.timing.window_fits_shared` — the same Section
+    4.8 residency decision the analytic cost model prices).
+    """
+
+    def __init__(
+        self, kernel: Kernel, so_path: str, spec=None
+    ) -> None:
+        self.kernel = kernel
+        self.so_path = so_path
+        self.spec = spec or GTX480
+        self._lib = ctypes.CDLL(so_path)
+        self._spec = cbackend.native_param_spec(kernel)
+        self._plain = getattr(
+            self._lib, cbackend.entry_symbol(kernel)
+        )
+        self._plain.restype = None
+        self._plain.argtypes = self._argtypes()
+        self._windowed = None
+        if cbackend.supports_window(kernel):
+            self._windowed = getattr(
+                self._lib, cbackend.entry_symbol(kernel, windowed=True)
+            )
+            self._windowed.restype = None
+            self._windowed.argtypes = self._argtypes()
+
+    def _argtypes(self) -> List[object]:
+        types: List[object] = []
+        for param in self._spec:
+            if param.kind in ("table", "i64[]", "i32[]", "f64[]"):
+                types.append(ctypes.c_void_p)
+            elif param.ctext == "double":
+                types.append(ctypes.c_double)
+            else:
+                types.append(ctypes.c_long)
+        return types
+
+    def _use_window(self, ctx: Dict[str, object]) -> bool:
+        if self._windowed is None:
+            return False
+        from ..analysis.domain import Domain
+
+        extents = tuple(
+            int(ctx[f"ub_{d}"]) + 1 for d in self.kernel.dims
+        )
+        domain = Domain(self.kernel.dims, extents)
+        return window_fits_shared(
+            self.kernel, self.kernel.schedule, domain, self.spec
+        )
+
+    def __call__(
+        self,
+        T: np.ndarray,
+        ctx: Dict[str, object],
+        part_lo: Optional[int] = None,
+        part_hi: Optional[int] = None,
+    ) -> np.ndarray:
+        table = np.ascontiguousarray(T)
+        args: List[object] = []
+        keepalive: List[np.ndarray] = []
+        for param in self._spec:
+            if param.kind == "table":
+                args.append(table.ctypes.data)
+            elif param.name == "part_lo":
+                args.append(_NO_LO if part_lo is None else int(part_lo))
+            elif param.name == "part_hi":
+                args.append(_NO_HI if part_hi is None else int(part_hi))
+            elif param.kind == "ub":
+                args.append(int(ctx[param.key]))
+            elif param.kind == "cols":
+                args.append(int(np.asarray(ctx[param.key]).shape[1]))
+            elif param.kind == "scalar_int":
+                args.append(int(ctx[param.key]))
+            elif param.kind == "scalar_f64":
+                args.append(float(ctx[param.key]))
+            else:
+                dtype = {
+                    "i64[]": np.int64,
+                    "i32[]": np.int32,
+                    "f64[]": np.float64,
+                }[param.kind]
+                arr = np.ascontiguousarray(ctx[param.key], dtype=dtype)
+                keepalive.append(arr)
+                args.append(arr.ctypes.data)
+        entry = (
+            self._windowed if self._use_window(ctx) else self._plain
+        )
+        entry(*args)
+        if table is not T:
+            np.copyto(T, table)
+        return T
+
+
+def compile_native(kernel: Kernel):
+    """Emit, build, probe and load one kernel natively.
+
+    Returns ``(run, source, so_path)``; raises
+    :class:`NativeBuildError` on any failure (no compiler, compile
+    error, probe death).
+    """
+    verdict = available()
+    if not verdict.ok:
+        raise NativeBuildError(verdict.detail)
+    source = cbackend.emit_native_source(
+        kernel, openmp=_use_openmp()
+    )
+    so_path = build_shared_object(source)
+    probe_shared_object(so_path)
+    return NativeRun(kernel, so_path), source, so_path
+
+
+def load_compiled(kernel: Kernel, so_path: str) -> NativeRun:
+    """Load an existing artifact (persistent-cache warm path).
+
+    Still routed through the subprocess probe — a cache-restored
+    ``.so`` gets no more trust than a fresh build.
+    """
+    probe_shared_object(so_path)
+    return NativeRun(kernel, so_path)

@@ -38,7 +38,11 @@ from typing import Dict, List, NamedTuple, Optional, Tuple
 #: changes; old on-disk entries then simply miss instead of colliding.
 #: v2: kernels accept partition-range arguments (``part_lo`` /
 #: ``part_hi``) and records carry the producing backend.
-KEY_FORMAT = 2
+#: v3: records carry an artifact ``kind`` — ``"python-src"`` rebuilds
+#: by re-exec'ing generated source, ``"native-so"`` additionally
+#: embeds the compiled shared object (sha256-verified before it is
+#: ever ``dlopen``'d).
+KEY_FORMAT = 3
 
 #: Leading magic of every on-disk record. Checked *before* the pickle
 #: payload is touched: entries written by an older (or entirely
@@ -117,29 +121,56 @@ def encode_compiled(compiled) -> bytes:
     The record is the :data:`MAGIC` header followed by a pickled
     payload; the header carries the schema version in cleartext so
     readers can reject stale entries without unpickling them.
+
+    Native products embed the compiled shared object itself (kind
+    ``"native-so"``) with its sha256, so a warm process on the same
+    platform skips the C compiler entirely; the digest is re-verified
+    at decode time before the bytes go anywhere near ``dlopen``.
     """
+    record = {
+        "format": KEY_FORMAT,
+        "kind": "python-src",
+        "payload": compiled.kernel.to_payload(),
+        "source": compiled.source,
+        "compile_seconds": compiled.compile_seconds,
+        "backend": getattr(compiled, "backend", "scalar"),
+    }
+    so_path = getattr(compiled, "so_path", None)
+    if getattr(compiled, "backend", "scalar") == "native":
+        if not so_path:
+            raise ValueError(
+                "native compilation product has no shared object path"
+            )
+        with open(so_path, "rb") as handle:
+            so_bytes = handle.read()
+        record["kind"] = "native-so"
+        record["so"] = so_bytes
+        record["so_sha256"] = hashlib.sha256(so_bytes).hexdigest()
     return MAGIC + pickle.dumps(
-        {
-            "format": KEY_FORMAT,
-            "payload": compiled.kernel.to_payload(),
-            "source": compiled.source,
-            "compile_seconds": compiled.compile_seconds,
-            "backend": getattr(compiled, "backend", "scalar"),
-        },
-        protocol=pickle.HIGHEST_PROTOCOL,
+        record, protocol=pickle.HIGHEST_PROTOCOL
     )
 
 
-def decode_compiled(data: bytes):
+def decode_compiled(data: bytes, so_dir: Optional[str] = None):
     """Rebuild a ``CompiledKernel`` from :func:`encode_compiled` bytes.
 
     The :data:`MAGIC` header is verified *before* any unpickling: an
     entry from an older schema (or not written by this cache at all)
     raises ``ValueError`` immediately — callers evict it as corrupt —
     rather than being fed to ``pickle.loads`` and trusted to fail.
-    The executable callable is reconstructed by re-exec'ing the
-    generated source (both backends emit a self-contained module
-    defining ``kernel(T, ctx, part_lo=None, part_hi=None)``).
+    Python products are reconstructed by re-exec'ing the generated
+    source (the backends emit a self-contained module defining
+    ``kernel(T, ctx, part_lo=None, part_hi=None)``).
+
+    ``"native-so"`` records are reconstructed by materialising the
+    embedded shared object as ``<sha256>.so`` under ``so_dir`` (the
+    cache directory; the native build dir when None) — but only after
+    the recorded digest matches the embedded bytes. A bit-flipped
+    record is evicted as corrupt; it is **never** handed to
+    ``dlopen``, where damage would be undefined behaviour instead of
+    a checksum error. The restored object still passes the native
+    runtime's segfault-guarded subprocess probe before any in-process
+    load.
     """
     from ..ir.kernel import Kernel
     from ..runtime.engine import CompiledKernel
@@ -158,12 +189,21 @@ def decode_compiled(data: bytes):
             )
         kernel = Kernel.from_payload(record["payload"])
         source = record["source"]
-        namespace: Dict[str, object] = {}
-        exec(  # noqa: S102 - our own generated code
-            compile(source, f"<cached-kernel:{kernel.name}>", "exec"),
-            namespace,
-        )
-        run = namespace["kernel"]
+        kind = record.get("kind", "python-src")
+        so_path = None
+        if kind == "native-so":
+            run, so_path = _decode_native(record, kernel, so_dir)
+        elif kind == "python-src":
+            namespace: Dict[str, object] = {}
+            exec(  # noqa: S102 - our own generated code
+                compile(
+                    source, f"<cached-kernel:{kernel.name}>", "exec"
+                ),
+                namespace,
+            )
+            run = namespace["kernel"]
+        else:
+            raise ValueError(f"unknown cache record kind {kind!r}")
     except ValueError:
         raise
     except Exception as err:
@@ -174,7 +214,52 @@ def decode_compiled(data: bytes):
         source,
         float(record.get("compile_seconds", 0.0)),
         backend=str(record.get("backend", "scalar")),
+        so_path=so_path,
     )
+
+
+def _decode_native(record, kernel, so_dir: Optional[str]):
+    """Verify and materialise an embedded shared object.
+
+    Returns ``(run, so_path)``. Raises ``ValueError`` on digest
+    mismatch — before the bytes touch the filesystem, let alone
+    ``dlopen`` — and converts a
+    :class:`~repro.lang.errors.NativeBuildError` (probe death, no
+    loader on this host) into ``ValueError`` so the caller evicts
+    the record as corrupt and recompiles.
+    """
+    so_bytes = record["so"]
+    recorded = record["so_sha256"]
+    actual = hashlib.sha256(so_bytes).hexdigest()
+    if actual != recorded:
+        raise ValueError(
+            f"native cache record digest mismatch "
+            f"({actual[:12]} != {recorded[:12]}) — refusing to load "
+            f"the shared object"
+        )
+    if so_dir is None:
+        from ..runtime import native
+
+        so_dir = native.build_dir()
+    os.makedirs(so_dir, exist_ok=True)
+    so_path = os.path.join(so_dir, recorded + ".so")
+    if not os.path.exists(so_path):
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".so", dir=so_dir
+        )
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(so_bytes)
+        os.replace(tmp_path, so_path)
+    from ..lang.errors import NativeBuildError
+    from ..runtime import native
+
+    try:
+        run = native.load_compiled(kernel, so_path)
+    except NativeBuildError as err:
+        raise ValueError(
+            f"cached shared object failed the load probe: {err}"
+        ) from err
+    return run, so_path
 
 
 class LRUKernelCache:
@@ -350,7 +435,7 @@ class PersistentKernelCache(LRUKernelCache):
         except OSError:
             return None
         try:
-            return decode_compiled(data)
+            return decode_compiled(data, so_dir=self.directory)
         except ValueError:
             self._evict_file(path)
             with self._lock:

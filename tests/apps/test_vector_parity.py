@@ -2,10 +2,11 @@
 
 The acceptance bar for the reduction-capable vector backend: every
 case-study app (Smith-Waterman, Gotoh, Viterbi decoding, the gene
-finder, profile-HMM search) compiles to the vector backend under
-``backend="auto"`` and reproduces the scalar backend's results —
-bitwise for integer tables and direct-mode probabilities, within
-1e-9 relative in log space.
+finder, profile-HMM search) compiles on the vector backend and
+reproduces the scalar backend's results — bitwise for integer tables
+and direct-mode probabilities, within 1e-9 relative in log space.
+(``backend="auto"`` now prefers the native C backend when a compiler
+is present — see tests/apps/test_native_parity.py for that rung.)
 """
 
 import numpy as np
@@ -20,7 +21,7 @@ from repro.runtime.engine import Engine
 from repro.runtime.sequences import random_dna, random_protein
 
 
-def assert_auto_vectorised(engine):
+def assert_vectorised(engine):
     backends = {
         getattr(entry, "backend", "scalar")
         for entry in engine._cache.values()
@@ -33,12 +34,12 @@ class TestSmithWaterman:
         query = random_protein(40, seed=1)
         target = random_protein(44, seed=2)
         scalar = SmithWaterman(engine=Engine(backend="scalar"))
-        auto = SmithWaterman(engine=Engine(backend="auto"))
+        auto = SmithWaterman(engine=Engine(backend="vector"))
         a = scalar.align(query, target)
         b = auto.align(query, target)
         assert a.value == b.value
         assert a.table.tobytes() == b.table.tobytes()
-        assert_auto_vectorised(auto.engine)
+        assert_vectorised(auto.engine)
 
 
 class TestGotoh:
@@ -64,13 +65,13 @@ class TestViterbiDecode:
             hmm, engine=Engine(backend="scalar", prob_mode="direct")
         )
         auto = ViterbiDecoder(
-            hmm, engine=Engine(backend="auto", prob_mode="direct")
+            hmm, engine=Engine(backend="vector", prob_mode="direct")
         )
         a = scalar.decode(seq)
         b = auto.decode(seq)
         assert a.path == b.path
         assert a.probability == b.probability
-        assert_auto_vectorised(auto.engine)
+        assert_vectorised(auto.engine)
 
 
 class TestGeneFinder:
@@ -80,12 +81,12 @@ class TestGeneFinder:
             engine=Engine(backend="scalar", prob_mode="logspace")
         )
         auto = GeneFinder(
-            engine=Engine(backend="auto", prob_mode="logspace")
+            engine=Engine(backend="vector", prob_mode="logspace")
         )
         a = scalar.log_likelihood(seq)
         b = auto.log_likelihood(seq)
         assert np.isclose(a, b, rtol=1e-9, atol=1e-12)
-        assert_auto_vectorised(auto.engine)
+        assert_vectorised(auto.engine)
 
 
 class TestProfileHmm:
@@ -98,7 +99,7 @@ class TestProfileHmm:
         ).search(database)
         auto = ProfileSearch(
             profile,
-            engine=Engine(backend="auto", prob_mode="logspace"),
+            engine=Engine(backend="vector", prob_mode="logspace"),
         ).search(database)
         assert np.allclose(
             scalar.likelihoods, auto.likelihoods,

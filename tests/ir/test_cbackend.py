@@ -1,0 +1,180 @@
+"""Tests for the native C99 emitter (the compiled backend's source)."""
+
+import pytest
+
+from repro.ir.cbackend import (
+    emit_native_source,
+    entry_symbol,
+    native_eligibility,
+    native_param_spec,
+    supports_window,
+    value_ctype,
+)
+from repro.ir.kernel import build_kernel
+from repro.lang.parser import parse_function
+from repro.lang.typecheck import check_function
+from repro.schedule.schedule import Schedule
+
+EN = {"en": "abcdefghijklmnopqrstuvwxyz"}
+
+EDIT_DISTANCE = """
+int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i-1] == t[j-1] then d(i-1, j-1)
+  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1
+"""
+
+FORWARD = """
+prob forward(hmm h, state[h] s, seq[*] x, index[x] i) =
+  if i == 0 then (if s.isstart then 1.0 else 0.0)
+  else (if s.isend then 1.0 else s.emission[x[i-1]])
+    * sum(t in s.transitionsto : t.prob * forward(t.start, i - 1))
+"""
+
+ROW_MAJOR = """
+int f(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i < 2 then i + j
+  else if j < 2 then i + j
+  else f(i-1, j) + 1
+"""
+
+
+def kernel_for(src, schedule, alphabets=EN):
+    func = check_function(parse_function(src.strip()), alphabets)
+    return build_kernel(func, schedule)
+
+
+@pytest.fixture(scope="module")
+def edit_kernel():
+    return kernel_for(EDIT_DISTANCE, Schedule.of(i=1, j=1))
+
+
+class TestEmission:
+    def test_plain_entry_present(self, edit_kernel):
+        text = emit_native_source(edit_kernel)
+        assert f"void {entry_symbol(edit_kernel)}(" in text
+        assert entry_symbol(edit_kernel) == "repro_d"
+
+    def test_windowed_entry_for_diagonal(self, edit_kernel):
+        """S = i + j gives window 2 on a rank-2 nest: the ring-buffer
+        variant must be emitted alongside the plain entry."""
+        assert supports_window(edit_kernel)
+        text = emit_native_source(edit_kernel)
+        assert "void repro_d_windowed(" in text
+        assert "swin[" in text
+        # window + 1 = 3 rows resident.
+        assert "swin[3 * win_cols]" in text
+
+    def test_partition_clamps_emitted(self, edit_kernel):
+        """Replay support: both entries honour part_lo/part_hi."""
+        text = emit_native_source(edit_kernel)
+        assert "if (part_lo > _plo) _plo = part_lo;" in text
+        assert "if (part_hi < _phi) _phi = part_hi;" in text
+
+    def test_windowed_preload_for_mid_schedule_replay(self, edit_kernel):
+        """A replay starting at part_lo > 0 must find its look-back
+        rows in the ring: the emitter preloads them from the table."""
+        text = emit_native_source(edit_kernel)
+        assert "_pre" in text
+        assert "_plo - 2" in text  # window partitions preloaded
+
+    def test_table_type_matches_kind(self, edit_kernel):
+        assert value_ctype(edit_kernel) == "long"
+        forward = kernel_for(FORWARD, Schedule.of(s=0, i=1), {})
+        assert value_ctype(forward) == "double"
+
+    def test_openmp_pragma_is_opt_in(self, edit_kernel):
+        plain = emit_native_source(edit_kernel)
+        omp = emit_native_source(edit_kernel, openmp=True)
+        assert "#pragma omp parallel for" not in plain
+        assert "#pragma omp parallel for" in omp
+
+    def test_helpers_match_scalar_prelude(self, edit_kernel):
+        """The C helpers spell the exact formulas of the scalar
+        backend's prelude, the basis of bitwise native/scalar parity."""
+        text = emit_native_source(edit_kernel)
+        assert "m + log(exp(a - m) + exp(b - m))" in text
+        assert "x > 0.0 ? log(x) : -INFINITY" in text
+
+
+class TestWindowColumn:
+    def test_diagonal_ring_uses_first_dim(self, edit_kernel):
+        """Under S = i + j the partition determines j from i, so the
+        first dimension is a valid injective ring column."""
+        text = emit_native_source(edit_kernel)
+        assert "const long win_cols = ub_j + 1;" not in text
+        assert "const long win_cols = ub_i + 1;" in text
+
+    def test_row_major_ring_uses_space_dim(self):
+        """Under S = i the i coordinate is constant within a
+        partition — using it as the ring column would collide every
+        cell of a row into one slot. The column must be the pure space
+        dimension j (schedule coefficient zero)."""
+        kernel = kernel_for(ROW_MAJOR, Schedule.of(i=1, j=0))
+        assert kernel.window == 1
+        assert supports_window(kernel)
+        text = emit_native_source(kernel)
+        assert "const long win_cols = ub_j + 1;" in text
+        assert "swin[2 * win_cols]" in text
+
+
+class TestEligibility:
+    def test_edit_distance_eligible(self, edit_kernel):
+        verdict = native_eligibility(edit_kernel)
+        assert verdict.ok
+        assert verdict.rule == "ok"
+        assert "sliding window of 2" in verdict.detail
+
+    def test_hmm_forward_eligible_without_window(self):
+        kernel = kernel_for(FORWARD, Schedule.of(s=0, i=1), {})
+        verdict = native_eligibility(kernel)
+        assert verdict.ok
+        assert not supports_window(kernel)
+        assert "sliding window" not in verdict.detail
+
+    def test_mutual_group_member_rejected(self):
+        """Cross-table reads have no single-kernel C rendering."""
+        from repro.ir import expr as ir
+        import dataclasses
+
+        kernel = kernel_for(EDIT_DISTANCE, Schedule.of(i=1, j=1))
+        cross = ir.TableRead(
+            indices=(ir.DimRef("i"), ir.DimRef("j")),
+            table="other",
+        )
+        body = dataclasses.replace(kernel.body, cell=cross)
+        kernel = dataclasses.replace(kernel, body=body)
+        verdict = native_eligibility(kernel)
+        assert not verdict.ok
+        assert verdict.rule == "cross-table-read"
+
+
+class TestParamSpec:
+    def test_fixed_prefix(self, edit_kernel):
+        params = native_param_spec(edit_kernel)
+        names = [p.name for p in params]
+        assert names[:3] == ["farr", "part_lo", "part_hi"]
+        assert "ub_i" in names and "ub_j" in names
+
+    def test_sequences_marshalled_as_i64(self, edit_kernel):
+        params = {p.name: p for p in native_param_spec(edit_kernel)}
+        assert params["seq_s"].kind == "i64[]"
+        assert params["seq_s"].key == "seq_s"
+
+    def test_hmm_context_arrays_present(self):
+        kernel = kernel_for(FORWARD, Schedule.of(s=0, i=1), {})
+        names = {p.name for p in native_param_spec(kernel)}
+        assert {
+            "hmm_h_tprob", "hmm_h_inoff", "hmm_h_inids",
+            "hmm_h_emis", "hmm_h_symidx",
+        } <= names
+
+    def test_declaration_order_matches_spec(self, edit_kernel):
+        """The C signature is rendered from the same spec the ctypes
+        dispatcher marshals from; the emitted text must list the
+        parameters in spec order."""
+        text = emit_native_source(edit_kernel)
+        params = native_param_spec(edit_kernel)
+        decl = ", ".join(f"{p.ctext} {p.name}" for p in params)
+        assert f"void repro_d({decl})" in text

@@ -276,14 +276,17 @@ class TestReductionAgreement:
 
 
 class TestEngineIntegration:
-    def test_auto_uses_vector_for_eligible(self):
+    def test_auto_uses_vector_for_eligible(self, monkeypatch):
+        # Without a C toolchain the auto ladder's next rung is vector.
+        monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
         engine = Engine(backend="auto")
         func = checked(EDIT_DISTANCE)
         compiled = engine.compile(func, Schedule.of(i=1, j=1))
         assert "np.arange" in compiled.source
 
-    def test_auto_vectorises_hmm(self):
+    def test_auto_vectorises_hmm(self, monkeypatch):
         """Reduction kernels now take the vector path under auto."""
+        monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
         engine = Engine(backend="auto")
         func = checked(FORWARD, {"dna": DNA.chars})
         compiled = engine.compile(func, Schedule.of(s=0, i=1))
@@ -327,7 +330,8 @@ class TestEngineIntegration:
         verdict = compiled.eligibility
         assert verdict.ok and verdict.rule == "ok"
 
-    def test_scalar_fallback_surfaces_reason(self):
+    def test_scalar_fallback_surfaces_reason(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
         engine = Engine(backend="auto")
         func = checked(
             "int f(int n) = if n == 0 then 0 else f(n-1) + 1"

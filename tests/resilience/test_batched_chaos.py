@@ -42,10 +42,12 @@ class TestSupervisedBatchedMap:
     def test_fault_free_batched_map_matches_engine(
         self, edit_func, edit_bindings
     ):
-        baseline = Engine().map_run(
+        baseline = Engine(backend="vector").map_run(
             edit_func, base(edit_bindings), problems()
         )
-        supervisor = ExecutionSupervisor()
+        supervisor = ExecutionSupervisor(
+            engine=Engine(backend="vector")
+        )
         result = supervisor.map_run(
             edit_func, base(edit_bindings), problems()
         )
@@ -58,10 +60,11 @@ class TestSupervisedBatchedMap:
     def test_chaos_batched_map_matches_fault_free(
         self, edit_func, edit_bindings
     ):
-        baseline = Engine().map_run(
+        baseline = Engine(backend="vector").map_run(
             edit_func, base(edit_bindings), problems()
         )
         supervisor = ExecutionSupervisor(
+            engine=Engine(backend="vector"),
             plan=CHAOS,
             policy=SupervisionPolicy(checkpoint_interval=4),
         )
@@ -81,10 +84,11 @@ class TestSupervisedBatchedMap:
             seed=7, corrupt_rate=0.02, corrupt_mode="bitflip"
         )
         supervisor = ExecutionSupervisor(
+            engine=Engine(backend="vector"),
             plan=plan,
             policy=SupervisionPolicy(checkpoint_interval=3),
         )
-        baseline = Engine().map_run(
+        baseline = Engine(backend="vector").map_run(
             edit_func, base(edit_bindings), problems()
         )
         result = supervisor.map_run(
@@ -115,6 +119,7 @@ class TestSupervisedBatchedMap:
         from repro.runtime.engine import CompiledKernel
 
         supervisor = ExecutionSupervisor(
+            engine=Engine(backend="vector"),
             plan=FaultPlan(seed=3, corrupt_rate=0.05,
                            corrupt_mode="bitflip"),
             policy=SupervisionPolicy(checkpoint_interval=2),

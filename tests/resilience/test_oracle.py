@@ -10,10 +10,10 @@ from repro.resilience.oracle import DivergenceOracle, tables_agree
 from repro.runtime.values import Bindings
 
 
-def compiled_edit(edit_func, edit_bindings):
+def compiled_edit(edit_func, edit_bindings, backend="vector"):
     from repro.runtime.engine import Engine
 
-    engine = Engine()
+    engine = Engine(backend=backend)
     bound = Bindings(dict(edit_bindings))
     domain = engine.domain_of(edit_func, bound)
     schedule = engine.schedule_for(edit_func, domain)
@@ -65,6 +65,22 @@ class TestReferenceSelection:
         oracle = DivergenceOracle()
         first = oracle.reference_for(compiled)
         assert oracle.reference_for(compiled) is first
+
+    def test_native_kernel_gets_vector_reference(
+        self, edit_func, edit_bindings
+    ):
+        from repro.runtime import native
+
+        if not native.available().ok:
+            pytest.skip("no working C compiler in this environment")
+        compiled, _ctx, _domain, _base = compiled_edit(
+            edit_func, edit_bindings, backend="native"
+        )
+        assert compiled.backend == "native"
+        oracle = DivergenceOracle()
+        name, run = oracle.reference_for(compiled)
+        assert name == "vector"
+        assert run is not None
 
 
 class TestClassification:
@@ -131,3 +147,30 @@ class TestClassification:
 
     def test_divergence_is_a_dsl_error(self):
         assert issubclass(BackendDivergenceError, DslError)
+
+    def test_native_corruption_recovers_via_vector_reference(
+        self, edit_func, edit_bindings
+    ):
+        """The native rung is cross-checked too: a bit flip in a
+        natively-computed table is recovered from the vector
+        reference, not misdiagnosed as a compiler bug."""
+        from repro.runtime import native
+
+        if not native.available().ok:
+            pytest.skip("no working C compiler in this environment")
+        compiled, ctx, domain, base = compiled_edit(
+            edit_func, edit_bindings, backend="native"
+        )
+        schedule = compiled.schedule
+        lo = schedule.min_partition(domain)
+        hi = schedule.max_partition(domain)
+        clean = base.copy()
+        compiled.run(clean, ctx, part_lo=lo, part_hi=hi)
+        suspect = clean.copy()
+        suspect[2, 2] ^= 1 << 52
+        oracle = DivergenceOracle()
+        verdict, recovered = oracle.classify(
+            compiled, ctx, base, lo, hi, suspect=suspect
+        )
+        assert verdict == "corruption"
+        assert recovered.tobytes() == clean.tobytes()

@@ -59,7 +59,7 @@ class TestPlanBatches:
 
     def test_same_kernel_problems_group(self, edit_func):
         prepared = self.prepared(
-            Engine(backend="auto"), edit_func, edit_problems()
+            Engine(backend="vector"), edit_func, edit_problems()
         )
         groups = plan_batches(prepared)
         assert groups == [[0, 1, 2, 3]]
@@ -73,7 +73,7 @@ class TestPlanBatches:
     def test_singleton_groups_dropped(self, edit_func):
         assert MIN_BATCH == 2
         prepared = self.prepared(
-            Engine(backend="auto"), edit_func, edit_problems(["sit"])
+            Engine(backend="vector"), edit_func, edit_problems(["sit"])
         )
         assert plan_batches(prepared) == []
 
@@ -90,7 +90,7 @@ class TestPlanBatches:
             {"h": hmm_b, "x": random_protein(8, seed=4)},
         ]
         prepared = self.prepared(
-            Engine(backend="auto", prob_mode="logspace"),
+            Engine(backend="vector", prob_mode="logspace"),
             forward_func,
             problems,
         )
@@ -108,7 +108,7 @@ class TestPackGroup:
 
     def test_table_padded_to_max_extents(self, edit_func):
         packed, prepared = self.packed(
-            Engine(backend="auto"), edit_func, edit_problems()
+            Engine(backend="vector"), edit_func, edit_problems()
         )
         longest = max(len(word) for word in WORDS)
         assert packed.table.shape == (
@@ -118,7 +118,7 @@ class TestPackGroup:
 
     def test_bounds_and_sequences_packed_per_problem(self, edit_func):
         packed, _ = self.packed(
-            Engine(backend="auto"), edit_func, edit_problems()
+            Engine(backend="vector"), edit_func, edit_problems()
         )
         assert packed.ctx["ub_i"].shape == (len(WORDS), 1)
         assert [int(ub) for ub in packed.ctx["ub_i"][:, 0]] == [
@@ -133,7 +133,7 @@ class TestPackGroup:
 
     def test_member_view_has_true_extents(self, edit_func):
         packed, prepared = self.packed(
-            Engine(backend="auto"), edit_func, edit_problems()
+            Engine(backend="vector"), edit_func, edit_problems()
         )
         for slot, index in enumerate(packed.indices):
             domain = prepared[index][1]
@@ -146,10 +146,10 @@ class TestBatchedMapRun:
         scalar = Engine(backend="scalar").map_run(
             edit_func, BASE, problems
         )
-        looped = Engine(backend="auto", batching=False).map_run(
+        looped = Engine(backend="vector", batching=False).map_run(
             edit_func, BASE, problems
         )
-        batched = Engine(backend="auto", batching=True).map_run(
+        batched = Engine(backend="vector", batching=True).map_run(
             edit_func, BASE, problems
         )
         assert batched.values == looped.values == scalar.values
@@ -162,10 +162,10 @@ class TestBatchedMapRun:
         """Batching is a host-side simulator optimisation: the
         analytic launch report prices the same per-problem costs."""
         problems = edit_problems()
-        looped = Engine(backend="auto", batching=False).map_run(
+        looped = Engine(backend="vector", batching=False).map_run(
             edit_func, BASE, problems
         )
-        batched = Engine(backend="auto", batching=True).map_run(
+        batched = Engine(backend="vector", batching=True).map_run(
             edit_func, BASE, problems
         )
         assert batched.report.problems == len(problems)
@@ -179,7 +179,7 @@ class TestBatchedMapRun:
         scalar = Engine(backend="scalar").map_run(
             edit_func, BASE, problems, reduce="max"
         )
-        batched = Engine(backend="auto").map_run(
+        batched = Engine(backend="vector").map_run(
             edit_func, BASE, problems, reduce="max"
         )
         assert batched.lane_batched_problems == len(problems)
@@ -195,7 +195,9 @@ class TestBatchedMapRun:
         scalar = Engine(
             backend="scalar", prob_mode="logspace"
         ).map_run(forward_func, {"h": hmm}, problems)
-        batched = Engine(prob_mode="logspace").map_run(
+        batched = Engine(
+            backend="vector", prob_mode="logspace"
+        ).map_run(
             forward_func, {"h": hmm}, problems
         )
         assert batched.lane_batched_problems == len(problems)
@@ -219,7 +221,7 @@ class TestBatchedMapRun:
 
 class TestBatchedLaunch:
     def launch(self, edit_func):
-        engine = Engine(backend="auto")
+        engine = Engine(backend="vector")
         prepared, _, _, _ = engine.prepare_map(
             edit_func, BASE, edit_problems()
         )

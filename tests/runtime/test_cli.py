@@ -50,16 +50,21 @@ class TestCli:
         assert "^" in err  # caret diagnostics
 
     def test_explain_reports_backend_and_rule(
-        self, tmp_path, capsys
+        self, tmp_path, capsys, monkeypatch
     ):
+        monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
         script = tmp_path / "prog.dsl"
         script.write_text(DEMO)
         assert main(["explain", str(script)]) == 0
         out = capsys.readouterr().out
         assert "d: backend=vector rule=ok" in out
         assert "schedule=S = i + j" in out
+        assert "native: [disabled]" in out
 
-    def test_explain_reduction_kernel(self, tmp_path, capsys):
+    def test_explain_reduction_kernel(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
         script = tmp_path / "fwd.dsl"
         script.write_text(
             'alphabet dna = "acgt"\n'
@@ -82,7 +87,10 @@ class TestCli:
         assert "fw: backend=vector rule=ok" in out
         assert "masked lane-uniform" in out
 
-    def test_explain_scalar_fallback_named(self, tmp_path, capsys):
+    def test_explain_scalar_fallback_named(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
         script = tmp_path / "one.dsl"
         script.write_text(
             "int f(int n) = if n == 0 then 0 else f(n-1) + 1\n"

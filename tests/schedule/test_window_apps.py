@@ -1,0 +1,165 @@
+"""Sliding-window analysis (Section 4.8) across the paper's apps.
+
+The window is what the native and CUDA backends use to decide whether
+a kernel can keep its working set in a small ring buffer (the shared
+memory residency of Section 4.8). These tests pin down, per case
+study, what the analysis concludes for the *derived* schedule:
+
+* Smith-Waterman — diagonal ``S = i + j``, uniform descents, window 2
+  (three rows resident);
+* Gotoh — a mutual group; the single-kernel window analysis does not
+  apply (the dependences live in the cross descents, Section 9);
+* Nussinov RNA folding — the ``max(k in ...)`` range reduce is a
+  general affine descent, so no constant window exists;
+* Viterbi decoding / gene finding / profile-HMM search — the CSR
+  reduce over HMM transitions reads ``f(i-1, t.start)``, which is not
+  a uniform descent in the state dimension: no constant window.
+
+Every expectation is cross-checked against the window the compiled
+kernel actually carries, so the analysis and the code generators can
+never silently disagree.
+"""
+
+import pytest
+
+from repro.analysis.criteria import schedule_criteria
+from repro.lang.errors import AnalysisError
+from repro.runtime.engine import Engine
+from repro.runtime.sequences import random_dna, random_protein
+from repro.runtime.values import Bindings, Sequence
+from repro.schedule.schedule import Schedule
+from repro.schedule.window import window_rows, window_size
+
+
+def compiled_kernel(engine, func, bindings):
+    bound = Bindings(dict(bindings))
+    domain = engine.domain_of(func, bound)
+    schedule = engine.schedule_for(func, domain)
+    return engine.compile(func, schedule, domain).kernel, schedule
+
+
+class TestSmithWaterman:
+    def test_diagonal_window_is_two(self):
+        from repro.apps.smith_waterman import SmithWaterman
+
+        sw = SmithWaterman(engine=Engine(backend="scalar"))
+        kernel, schedule = compiled_kernel(
+            sw.engine,
+            sw.func,
+            {
+                "m": sw.matrix,
+                "q": random_protein(12, seed=1),
+                "d": random_protein(14, seed=2),
+            },
+        )
+        assert schedule == Schedule.of(i=1, j=1)
+        assert kernel.window == 2
+        criteria = schedule_criteria(sw.func)
+        assert window_size(schedule, criteria) == 2
+        assert window_rows(schedule, criteria) == 3
+
+    def test_window_grows_with_skewed_schedule(self):
+        """The window is a property of the schedule, not the program:
+        skewing the same recurrence doubles the look-back."""
+        from repro.apps.smith_waterman import smith_waterman_function
+
+        func = smith_waterman_function()
+        criteria = schedule_criteria(func)
+        assert window_size(Schedule.of(i=2, j=1), criteria) == 3
+
+
+class TestGotoh:
+    def test_mutual_group_outside_single_kernel_analysis(self):
+        """Affine-gap alignment is a three-function mutual group: its
+        dependences are cross descents (Section 9), which the
+        single-kernel window analysis refuses outright."""
+        from repro.apps.gotoh import GotohAligner
+
+        aligner = GotohAligner()
+        for func in aligner.funcs.values():
+            with pytest.raises(AnalysisError):
+                schedule_criteria(func)
+
+
+class TestNussinov:
+    def test_range_reduce_has_no_constant_window(self):
+        from repro.apps.rna_folding import RNA, nussinov_function
+
+        engine = Engine(backend="scalar")
+        func = nussinov_function()
+        kernel, schedule = compiled_kernel(
+            engine, func, {"x": Sequence("gcaucgaugg", RNA)}
+        )
+        assert kernel.window is None
+        assert window_size(schedule, schedule_criteria(func)) is None
+        assert window_rows(schedule, schedule_criteria(func)) is None
+
+
+class TestHmmApps:
+    """The transition reduce reads ``f(i-1, t.start)`` — not uniform
+    in the state dimension, so no constant window exists even though
+    the sequence dimension only ever steps by one."""
+
+    def test_viterbi_decode(self):
+        from repro.apps.gene_finder import build_gene_finder_hmm
+        from repro.apps.viterbi_decode import ViterbiDecoder
+
+        hmm = build_gene_finder_hmm()
+        decoder = ViterbiDecoder(
+            hmm, engine=Engine(backend="scalar", prob_mode="direct")
+        )
+        kernel, schedule = compiled_kernel(
+            decoder.engine,
+            decoder.func,
+            {"h": hmm, "x": random_dna(12, seed=5)},
+        )
+        assert kernel.window is None
+        assert window_size(schedule, schedule_criteria(decoder.func)) is None
+
+    def test_gene_finder(self):
+        from repro.apps.gene_finder import GeneFinder
+
+        finder = GeneFinder(
+            engine=Engine(backend="scalar", prob_mode="logspace")
+        )
+        kernel, _schedule = compiled_kernel(
+            finder.engine,
+            finder.func,
+            {"h": finder.hmm, "x": random_dna(12, seed=6)},
+        )
+        assert kernel.window is None
+
+    def test_profile_search(self):
+        from repro.apps.profile_hmm import ProfileSearch, tk_model
+
+        search = ProfileSearch(
+            tk_model(),
+            engine=Engine(backend="scalar", prob_mode="logspace"),
+        )
+        kernel, _schedule = compiled_kernel(
+            search.engine,
+            search.func,
+            {"h": search.profile, "x": random_protein(10, seed=7)},
+        )
+        assert kernel.window is None
+
+
+class TestKernelConsistency:
+    def test_kernel_window_matches_analysis(self):
+        """The window stored on the kernel is exactly what the
+        standalone analysis computes for the same schedule."""
+        from repro.apps.smith_waterman import SmithWaterman
+
+        sw = SmithWaterman(engine=Engine(backend="scalar"))
+        kernel, schedule = compiled_kernel(
+            sw.engine,
+            sw.func,
+            {
+                "m": sw.matrix,
+                "q": random_protein(8, seed=8),
+                "d": random_protein(9, seed=9),
+            },
+        )
+        assert kernel.window == window_size(
+            schedule, schedule_criteria(sw.func)
+        )

@@ -327,7 +327,7 @@ class TestFormatGuard:
         assert info.disk_stores == 1  # replaced with a fresh record
 
     def test_backend_survives_round_trip(self, edit_func):
-        engine = Engine()
+        engine = Engine(backend="vector")
         engine.run(edit_func, ARGS)
         compiled = engine._cache.values()[0]
         restored = decode_compiled(encode_compiled(compiled))
