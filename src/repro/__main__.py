@@ -8,7 +8,9 @@ Usage::
     python -m repro --demo                # run the built-in demo
 
     python -m repro explain prog.dsl      # backend eligibility per function
+    python -m repro explain prog.dsl --json   # machine-readable verdicts
     python -m repro lint prog.dsl         # static verification + lint
+    python -m repro fuzz --seed 0 --count 200   # differential fuzzing
 
     python -m repro serve --port 8753 --workers 4 --cache-dir .kcache
     python -m repro submit --port 8753 --program prog.dsl \\
@@ -176,6 +178,11 @@ def explain_main(argv) -> int:
         "--prob-mode", choices=("direct", "logspace"),
         default="direct",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable eligibility verdicts and "
+        "certificate summaries instead of text",
+    )
     args = parser.parse_args(argv)
 
     path = Path(args.script)
@@ -205,11 +212,19 @@ def explain_main(argv) -> int:
     else:
         names = sorted(program.functions)
 
+    def emit(line: str) -> None:
+        if not args.json:
+            print(line)
+
+    records = []
     failures = 0
     for name in names:
         func = program.functions[name]
+        record = {"function": name}
+        records.append(record)
         if not func.recursive_params:
-            print(f"{name}: not a recurrence (nothing to schedule)")
+            record["status"] = "not-a-recurrence"
+            emit(f"{name}: not a recurrence (nothing to schedule)")
             continue
         try:
             schedule = derive_schedule_set(func).schedules[0]
@@ -223,7 +238,9 @@ def explain_main(argv) -> int:
             try:
                 schedule = find_schedule(func, nominal)
             except (ScheduleError, DslError) as err:
-                print(f"{name}: no schedule ({err})")
+                record["status"] = "no-schedule"
+                record["error"] = str(err)
+                emit(f"{name}: no schedule ({err})")
                 failures += 1
                 continue
         kernel = build_kernel(func, schedule, args.prob_mode)
@@ -239,13 +256,33 @@ def explain_main(argv) -> int:
             backend = "vector"
         else:
             backend = "scalar"
-        print(f"{name}: backend={backend} rule={verdict.rule} "
-              f"schedule={schedule}")
-        print(f"  vector: [{verdict.rule}] {verdict.detail}")
+        record.update(
+            status="ok",
+            backend=backend,
+            schedule=str(schedule),
+            vector={
+                "ok": verdict.ok,
+                "rule": verdict.rule,
+                "detail": verdict.detail,
+            },
+            native_toolchain={
+                "ok": available.ok,
+                "rule": available.rule,
+                "detail": available.detail,
+            },
+            native={
+                "ok": native.ok,
+                "rule": native.rule,
+                "detail": native.detail,
+            },
+        )
+        emit(f"{name}: backend={backend} rule={verdict.rule} "
+             f"schedule={schedule}")
+        emit(f"  vector: [{verdict.rule}] {verdict.detail}")
         if not available.ok:
-            print(f"  native: [{available.rule}] {available.detail}")
+            emit(f"  native: [{available.rule}] {available.detail}")
         elif not native.ok:
-            print(f"  native: [{native.rule}] {native.detail}")
+            emit(f"  native: [{native.rule}] {native.detail}")
         else:
             import time as _time
 
@@ -255,11 +292,17 @@ def explain_main(argv) -> int:
             try:
                 native_rt.compile_native(kernel)
             except NativeBuildError as err:
-                print(f"  native: [build-failed] {err}")
+                record["native_build"] = {
+                    "ok": False, "error": str(err),
+                }
+                emit(f"  native: [build-failed] {err}")
             else:
                 elapsed = _time.perf_counter() - started
-                print(f"  native: [{native.rule}] {native.detail} "
-                      f"(compiled in {elapsed * 1e3:.0f} ms)")
+                record["native_build"] = {
+                    "ok": True, "seconds": elapsed,
+                }
+                emit(f"  native: [{native.rule}] {native.detail} "
+                     f"(compiled in {elapsed * 1e3:.0f} ms)")
         try:
             certificate, _diags = verify_schedule(
                 func,
@@ -270,13 +313,86 @@ def explain_main(argv) -> int:
                 ),
             )
         except DslError:
-            print("  verification: not applicable "
-                  "(outside the single-function verifier's scope)")
+            record["verification"] = None
+            emit("  verification: not applicable "
+                 "(outside the single-function verifier's scope)")
         else:
-            print(f"  verification: {certificate.summary}")
+            record["verification"] = {
+                "ok": certificate.ok,
+                "summary": certificate.summary,
+            }
+            emit(f"  verification: {certificate.summary}")
             if not certificate.ok:
                 failures += 1
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(
+            {"script": str(path), "functions": records}, indent=2
+        ))
     return 1 if failures else 0
+
+
+def fuzz_main(argv) -> int:
+    """``python -m repro fuzz``: grammar-driven differential fuzzing.
+
+    Draws seeded well-typed programs from the DSL grammar, runs each
+    on every backend rung (plus the sanitizer, lint, the divergence
+    oracle and the lane-batched map path), shrinks any failure to a
+    minimal reproducer and prints a deterministic report. Exit code 1
+    when any finding survives.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fuzz",
+        description="Fuzz the compiler: generate well-typed DSL "
+        "programs, run them differentially across scalar/vector/"
+        "native (and batched map groups), shrink failures to minimal "
+        "reproducers.",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed (same seed + count = same report)",
+    )
+    parser.add_argument(
+        "--count", type=int, default=200,
+        help="number of programs to generate",
+    )
+    parser.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock cutoff (a budget-limited run may stop "
+        "early and is exempt from the determinism promise)",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failures without delta-debugging them",
+    )
+    parser.add_argument(
+        "--no-native", action="store_true",
+        help="skip the native leg even when a toolchain is present",
+    )
+    parser.add_argument(
+        "--write-corpus", default=None, metavar="DIR",
+        help="write shrunk failures as corpus entries into DIR "
+        "(e.g. tests/corpus)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    from .fuzz import run_campaign
+
+    report = run_campaign(
+        seed=args.seed,
+        count=args.count,
+        budget_seconds=args.budget,
+        shrink_failures=not args.no_shrink,
+        use_native=False if args.no_native else None,
+        corpus_directory=args.write_corpus,
+    )
+    print(report.to_json() if args.json else report.render())
+    return 0 if report.ok else 1
 
 
 def lint_main(argv) -> int:
@@ -448,6 +564,8 @@ def main(argv=None) -> int:
         return explain_main(argv[1:])
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        return fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Synthesise and run GPU programs from recursion "

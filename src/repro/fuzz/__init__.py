@@ -1,0 +1,58 @@
+"""Grammar-driven DSL fuzzing with differential backend testing.
+
+Five paper apps are a thin scenario set for a system with four
+execution rungs (scalar, vector, lane-batched vector, native C), a
+static verifier, a runtime sanitizer and chaos injection. This
+package closes the gap:
+
+* :mod:`repro.fuzz.grammar` — structured *case specs* (one frozen
+  dataclass per program shape) that render to well-typed DSL source
+  text plus concrete arguments, in the enumerative
+  grammar-automaton style of ProgSynth;
+* :mod:`repro.fuzz.generator` — a seeded, deterministic generator
+  drawing specs biased toward the features that gate backend
+  eligibility (reductions, CSR transitions, ring schedules, tiny
+  domains, log space);
+* :mod:`repro.fuzz.differential` — the harness: every generated
+  program runs on every backend (and through the table sanitizer,
+  the static lint and the lane-batched ``map`` path) under the
+  shared :mod:`repro.runtime.parity` agreement policy, and the
+  outcome is classified as ``parity-ok`` / ``eligibility-mismatch``
+  / ``lint-gap`` / ``divergence`` / ``crash``;
+* :mod:`repro.fuzz.shrink` — a delta-debugging shrinker that
+  reduces a failing spec to a minimal reproducer preserving its
+  failure class;
+* :mod:`repro.fuzz.corpus` — the checked-in regression corpus
+  (``tests/corpus/*.dsl``) that tier-1 replays across backends;
+* :mod:`repro.fuzz.campaign` — bounded campaigns with a
+  deterministic report (``python -m repro fuzz``).
+"""
+
+from .campaign import CampaignReport, run_campaign
+from .corpus import CorpusEntry, load_corpus, replay_entry, write_entry
+from .differential import (
+    FAILURE_CLASSES,
+    CaseOutcome,
+    DifferentialHarness,
+)
+from .generator import generate_case
+from .grammar import FuzzCase, render
+from .shrink import shrink, shrink_candidates, spec_size
+
+__all__ = [
+    "CampaignReport",
+    "CaseOutcome",
+    "CorpusEntry",
+    "DifferentialHarness",
+    "FAILURE_CLASSES",
+    "FuzzCase",
+    "generate_case",
+    "load_corpus",
+    "render",
+    "replay_entry",
+    "run_campaign",
+    "shrink",
+    "shrink_candidates",
+    "spec_size",
+    "write_entry",
+]

@@ -1,0 +1,213 @@
+"""Bounded fuzz campaigns with deterministic reports.
+
+A campaign is: one ``random.Random(seed)`` stream, ``count``
+sequential case draws, each classified by the differential harness;
+failures are delta-debugged down to minimal reproducers (and
+optionally written straight into the regression corpus). The report
+deliberately contains no wall-clock data — the acceptance contract is
+*same seed, same count → byte-identical report* — so timing lives
+only in the optional ``budget_seconds`` cutoff (a budget-limited run
+records that it stopped early and is exempt from the determinism
+promise).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .differential import (
+    ALL_CLASSES,
+    DifferentialHarness,
+)
+from .generator import generate_case
+from .grammar import render, render_script
+from .shrink import shrink
+
+__all__ = ["CampaignReport", "FailureRecord", "run_campaign"]
+
+
+@dataclass
+class FailureRecord:
+    """One finding: the original case and its shrunk reproducer."""
+
+    index: int
+    shape: str
+    classification: str
+    detail: str
+    script: str
+    shrunk_script: str
+    shrink_steps: int
+    corpus_path: str = ""
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign produced, renderable and JSON-able."""
+
+    seed: int
+    count: int
+    classifications: Dict[str, int] = field(default_factory=dict)
+    shapes: Dict[str, int] = field(default_factory=dict)
+    skips: Dict[str, int] = field(default_factory=dict)
+    failures: List[FailureRecord] = field(default_factory=list)
+    budget_exhausted: bool = False
+    cases_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """No findings at all?"""
+        return not self.failures
+
+    def render(self) -> str:
+        """The deterministic human-readable report."""
+        lines = [
+            f"fuzz campaign: seed={self.seed} "
+            f"cases={self.cases_run}/{self.count}"
+            + (" (budget exhausted)" if self.budget_exhausted else "")
+        ]
+        for name in ALL_CLASSES:
+            lines.append(
+                f"  {name:<22} {self.classifications.get(name, 0)}"
+            )
+        if self.shapes:
+            shapes = " ".join(
+                f"{shape}={count}"
+                for shape, count in sorted(self.shapes.items())
+            )
+            lines.append(f"shapes: {shapes}")
+        if self.skips:
+            skips = " ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.skips.items())
+            )
+            lines.append(f"skips: {skips}")
+        if not self.failures:
+            lines.append("failures: none")
+        for failure in self.failures:
+            lines.append(
+                f"--- failure: case {failure.index} "
+                f"[{failure.shape}] {failure.classification} "
+                f"(shrunk {failure.shrink_steps} steps)"
+            )
+            lines.append(f"    {failure.detail}")
+            if failure.corpus_path:
+                lines.append(f"    written: {failure.corpus_path}")
+            lines.append("    minimal reproducer:")
+            for line in failure.shrunk_script.rstrip().splitlines():
+                lines.append(f"    | {line}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """The machine-readable report."""
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "count": self.count,
+                "cases_run": self.cases_run,
+                "budget_exhausted": self.budget_exhausted,
+                "ok": self.ok,
+                "classifications": {
+                    name: self.classifications.get(name, 0)
+                    for name in ALL_CLASSES
+                },
+                "shapes": dict(sorted(self.shapes.items())),
+                "skips": dict(sorted(self.skips.items())),
+                "failures": [
+                    {
+                        "index": f.index,
+                        "shape": f.shape,
+                        "classification": f.classification,
+                        "detail": f.detail,
+                        "shrink_steps": f.shrink_steps,
+                        "script": f.script,
+                        "shrunk_script": f.shrunk_script,
+                        "corpus_path": f.corpus_path,
+                    }
+                    for f in self.failures
+                ],
+            },
+            indent=2,
+            sort_keys=False,
+        )
+
+
+def run_campaign(
+    seed: int,
+    count: int = 200,
+    budget_seconds: Optional[float] = None,
+    shrink_failures: bool = True,
+    use_native: Optional[bool] = None,
+    corpus_directory: Optional[str] = None,
+    progress: Optional[Callable[[int, str], None]] = None,
+) -> CampaignReport:
+    """Run one campaign and return its report.
+
+    ``corpus_directory`` writes every shrunk failure as a corpus
+    entry; ``progress`` (case index, classification) is called after
+    each case — the CLI uses it for a live line.
+    """
+    rng = random.Random(int(seed))
+    harness = DifferentialHarness(use_native=use_native)
+    report = CampaignReport(seed=int(seed), count=int(count))
+    deadline = (
+        time.monotonic() + budget_seconds
+        if budget_seconds is not None
+        else None
+    )
+    for index in range(count):
+        if deadline is not None and time.monotonic() > deadline:
+            report.budget_exhausted = True
+            break
+        case = generate_case(rng)
+        outcome = harness.classify(case)
+        report.cases_run += 1
+        report.shapes[case.shape] = report.shapes.get(case.shape, 0) + 1
+        report.classifications[outcome.classification] = (
+            report.classifications.get(outcome.classification, 0) + 1
+        )
+        for skip in outcome.skips:
+            report.skips[skip] = report.skips.get(skip, 0) + 1
+        if progress is not None:
+            progress(index, outcome.classification)
+        if not outcome.failed:
+            continue
+
+        target = outcome.classification
+        spec, steps = case.spec, 0
+        if shrink_failures:
+            def still_fails(candidate) -> bool:
+                return (
+                    harness.classify(render(candidate)).classification
+                    == target
+                )
+
+            spec, steps = shrink(case.spec, still_fails)
+        shrunk_case = render(spec)
+        record = FailureRecord(
+            index=index,
+            shape=case.shape,
+            classification=target,
+            detail=outcome.detail,
+            script=render_script(case),
+            shrunk_script=render_script(shrunk_case),
+            shrink_steps=steps,
+        )
+        if corpus_directory is not None:
+            from .corpus import write_entry
+
+            record.corpus_path = write_entry(
+                record.shrunk_script,
+                name=f"fuzz-seed{seed}-case{index}-{target}",
+                meta={
+                    "origin": f"campaign seed={seed} case={index}",
+                    "prob-mode": shrunk_case.prob_mode,
+                    "note": outcome.detail,
+                },
+                directory=corpus_directory,
+            )
+        report.failures.append(record)
+    return report

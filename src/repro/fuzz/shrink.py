@@ -1,0 +1,304 @@
+"""Delta-debugging shrinker over case specs.
+
+Shrinking happens at the *spec* level, not on source text: every
+candidate is a structurally smaller spec that still renders to a
+well-formed program, so the search space contains no syntax errors —
+only semantically smaller neighbours. The algorithm is the classic
+greedy fixpoint: try each candidate in a deterministic order, adopt
+the first one the predicate still accepts (same failure class, as
+judged by the caller), restart; stop when no candidate survives.
+
+Two properties the test suite pins:
+
+* **monotonicity** — every candidate from
+  :func:`shrink_candidates` is strictly smaller under
+  :func:`spec_size`, so the loop terminates without a step budget
+  (one exists anyway, as a backstop);
+* **idempotence** — :func:`shrink` of an already-minimal spec
+  performs zero steps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Tuple
+
+from .grammar import (
+    CallTerm,
+    HmmSpec,
+    IntDimSpec,
+    Range1DSpec,
+    Range2DSpec,
+    Seq2DSpec,
+    spec_replace,
+)
+
+__all__ = ["shrink", "shrink_candidates", "spec_size"]
+
+#: backstop on shrink steps; monotone candidates terminate far below.
+MAX_STEPS = 400
+
+
+# ---------------------------------------------------------------------------
+# size metric
+
+
+def _term_size(term: CallTerm) -> int:
+    size = sum(abs(offset) for offset in term.offsets) + 1
+    size += {"none": 0, "const": 1, "matrix": 2, "charcmp": 2}[
+        term.addend
+    ]
+    if term.addend == "const":
+        size += abs(term.weight)
+    return size
+
+
+def spec_size(spec) -> int:
+    """Strictly-decreasing shrink metric (smaller = simpler)."""
+    if isinstance(spec, Seq2DSpec):
+        return (
+            sum(_term_size(t) for t in spec.terms)
+            + len(spec.s_text)
+            + len(spec.t_text)
+            + (1 if spec.plus_one else 0)
+            + (1 if spec.schedule is not None else 0)
+            + (1 if spec.reduce is not None else 0)
+            + sum(len(text) + 1 for text in spec.map_texts)
+        )
+    if isinstance(spec, Range2DSpec):
+        return (
+            sum(_term_size(t) for t in spec.terms)
+            + len(spec.x_text)
+            + (1 if spec.pair_bonus else 0)
+            + (2 if spec.range_op is not None else 0)
+            + (1 if spec.user_schedule else 0)
+        )
+    if isinstance(spec, Range1DSpec):
+        return (
+            len(spec.s_text)
+            + (1 if spec.use_char else 0)
+            + abs(spec.weight)
+        )
+    if isinstance(spec, HmmSpec):
+        return (
+            len(spec.states) * 2
+            + sum(len(table) for table in spec.emissions)
+            + len(spec.transitions)
+            + len(spec.x_text)
+            + (1 if spec.use_emission else 0)
+            + (1 if spec.prob_mode == "logspace" else 0)
+        )
+    if isinstance(spec, IntDimSpec):
+        return (
+            sum(_term_size(t) for t in spec.terms)
+            + len(spec.s_text)
+            + spec.n0
+        )
+    raise ValueError(f"unknown spec {spec!r}")
+
+
+# ---------------------------------------------------------------------------
+# candidate moves
+
+
+def _shrunk_texts(text: str) -> List[str]:
+    """Smaller versions of a data string: empty, halved, one shorter."""
+    if not text:
+        return []
+    out = [""]
+    if len(text) > 1:
+        out.append(text[: len(text) // 2])
+        out.append(text[:-1])
+    return out
+
+
+def _term_moves(term: CallTerm) -> List[CallTerm]:
+    moves = []
+    if term.addend != "none":
+        moves.append(spec_replace(term, addend="none", weight=0))
+    if term.addend == "const" and abs(term.weight) > 1:
+        moves.append(
+            spec_replace(term, weight=1 if term.weight > 0 else -1)
+        )
+    shallower = tuple(
+        -1 if offset < -1 else offset for offset in term.offsets
+    )
+    if shallower != term.offsets:
+        moves.append(spec_replace(term, offsets=shallower))
+    return moves
+
+
+def _seq2d_candidates(spec: Seq2DSpec) -> Iterator[Seq2DSpec]:
+    if spec.map_texts:
+        yield spec_replace(spec, map_texts=())
+        for index in range(len(spec.map_texts)):
+            rest = (
+                spec.map_texts[:index] + spec.map_texts[index + 1:]
+            )
+            yield spec_replace(spec, map_texts=rest)
+        for index, text in enumerate(spec.map_texts):
+            for smaller in _shrunk_texts(text):
+                texts = list(spec.map_texts)
+                texts[index] = smaller
+                yield spec_replace(spec, map_texts=tuple(texts))
+    if spec.reduce is not None:
+        yield spec_replace(spec, reduce=None)
+    if spec.schedule is not None:
+        yield spec_replace(spec, schedule=None)
+    if spec.plus_one:
+        yield spec_replace(spec, plus_one=False)
+    if len(spec.terms) > 1:
+        for index in range(len(spec.terms)):
+            terms = spec.terms[:index] + spec.terms[index + 1:]
+            # The ring schedule needs every term descending in i.
+            if spec.schedule == (1, 0) and not all(
+                t.offsets[0] <= -1 for t in terms
+            ):
+                continue
+            yield spec_replace(spec, terms=terms)
+    for index, term in enumerate(spec.terms):
+        for move in _term_moves(term):
+            terms = list(spec.terms)
+            terms[index] = move
+            yield spec_replace(spec, terms=tuple(terms))
+    for smaller in _shrunk_texts(spec.s_text):
+        yield spec_replace(spec, s_text=smaller)
+    for smaller in _shrunk_texts(spec.t_text):
+        yield spec_replace(spec, t_text=smaller)
+
+
+def _range2d_candidates(spec: Range2DSpec) -> Iterator[Range2DSpec]:
+    if spec.range_op is not None and spec.terms:
+        yield spec_replace(spec, range_op=None)
+    if spec.user_schedule:
+        yield spec_replace(spec, user_schedule=False)
+    if spec.pair_bonus:
+        yield spec_replace(spec, pair_bonus=False)
+    if len(spec.terms) > 1 or (spec.terms and spec.range_op):
+        for index in range(len(spec.terms)):
+            terms = spec.terms[:index] + spec.terms[index + 1:]
+            if not terms and spec.range_op is None:
+                continue
+            bonus = spec.pair_bonus and any(
+                t.offsets == (1, -1) for t in terms
+            )
+            yield spec_replace(spec, terms=terms, pair_bonus=bonus)
+    for smaller in _shrunk_texts(spec.x_text):
+        yield spec_replace(spec, x_text=smaller)
+
+
+def _range1d_candidates(spec: Range1DSpec) -> Iterator[Range1DSpec]:
+    if spec.use_char:
+        yield spec_replace(spec, use_char=False)
+    if spec.weight > 1:
+        yield spec_replace(spec, weight=1)
+    for smaller in _shrunk_texts(spec.s_text):
+        yield spec_replace(spec, s_text=smaller)
+
+
+def _drop_state(spec: HmmSpec, index: int) -> HmmSpec:
+    name = spec.states[index]
+    return spec_replace(
+        spec,
+        states=spec.states[:index] + spec.states[index + 1:],
+        emissions=(
+            spec.emissions[:index] + spec.emissions[index + 1:]
+        ),
+        transitions=tuple(
+            t for t in spec.transitions if name not in (t[0], t[1])
+        ),
+    )
+
+
+def _hmm_candidates(spec: HmmSpec) -> Iterator[HmmSpec]:
+    if spec.prob_mode == "logspace":
+        yield spec_replace(spec, prob_mode="direct")
+    if spec.use_emission:
+        yield spec_replace(spec, use_emission=False)
+    if len(spec.states) > 1:
+        for index in range(len(spec.states)):
+            yield _drop_state(spec, index)
+    for index in range(len(spec.transitions)):
+        yield spec_replace(
+            spec,
+            transitions=(
+                spec.transitions[:index]
+                + spec.transitions[index + 1:]
+            ),
+        )
+    for index, table in enumerate(spec.emissions):
+        for drop in range(len(table)):
+            tables = list(spec.emissions)
+            tables[index] = table[:drop] + table[drop + 1:]
+            yield spec_replace(spec, emissions=tuple(tables))
+    for smaller in _shrunk_texts(spec.x_text):
+        yield spec_replace(spec, x_text=smaller)
+
+
+def _intdim_candidates(spec: IntDimSpec) -> Iterator[IntDimSpec]:
+    if len(spec.terms) > 1:
+        for index in range(len(spec.terms)):
+            yield spec_replace(
+                spec, terms=spec.terms[:index] + spec.terms[index + 1:]
+            )
+    for index, term in enumerate(spec.terms):
+        for move in _term_moves(term):
+            terms = list(spec.terms)
+            terms[index] = move
+            yield spec_replace(spec, terms=tuple(terms))
+    if spec.n0 > 0:
+        yield spec_replace(spec, n0=spec.n0 // 2)
+        yield spec_replace(spec, n0=spec.n0 - 1)
+    for smaller in _shrunk_texts(spec.s_text):
+        yield spec_replace(spec, s_text=smaller)
+
+
+_CANDIDATES = {
+    Seq2DSpec: _seq2d_candidates,
+    Range2DSpec: _range2d_candidates,
+    Range1DSpec: _range1d_candidates,
+    HmmSpec: _hmm_candidates,
+    IntDimSpec: _intdim_candidates,
+}
+
+
+def shrink_candidates(spec) -> Iterator[object]:
+    """Strictly smaller neighbours of ``spec``, deterministic order."""
+    return _CANDIDATES[type(spec)](spec)
+
+
+# ---------------------------------------------------------------------------
+# the loop
+
+
+def shrink(
+    spec,
+    predicate: Callable[[object], bool],
+    max_steps: int = MAX_STEPS,
+) -> Tuple[object, int]:
+    """Greedy fixpoint: adopt the first smaller neighbour that still
+    satisfies ``predicate``; stop when none does.
+
+    Returns ``(minimal_spec, steps_taken)``. A predicate that raises
+    counts as False — a candidate whose classification itself blows
+    up is not the same failure.
+    """
+    steps = 0
+    current = spec
+    while steps < max_steps:
+        adopted = False
+        for candidate in shrink_candidates(current):
+            assert spec_size(candidate) < spec_size(current), (
+                "shrink candidate did not shrink"
+            )
+            try:
+                keep = predicate(candidate)
+            except Exception:
+                keep = False
+            if keep:
+                current = candidate
+                steps += 1
+                adopted = True
+                break
+        if not adopted:
+            break
+    return current, steps

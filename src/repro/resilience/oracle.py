@@ -48,8 +48,16 @@ class DivergenceOracle:
     """Re-executes suspect partition ranges on a reference backend."""
 
     def __init__(self) -> None:
-        #: compiled-kernel id -> (backend name, callable) reference.
-        self._references: Dict[int, Tuple[str, Optional[Callable]]] = {}
+        #: compiled-kernel id -> (compiled, (backend name, callable)).
+        #: The compiled object itself is pinned in the cache: a bare
+        #: id() key outlives its object, and CPython reuses freed
+        #: addresses, so a long-lived oracle would otherwise hand a
+        #: later kernel the reference runner compiled for an earlier
+        #: one (found by the differential fuzzer as a KeyError on a
+        #: bound parameter the stale runner expected).
+        self._references: Dict[
+            int, Tuple[object, Tuple[str, Optional[Callable]]]
+        ] = {}
         #: Clean re-executions performed (accounting).
         self.runs = 0
 
@@ -64,8 +72,8 @@ class DivergenceOracle:
         """
         key = id(compiled)
         cached = self._references.get(key)
-        if cached is not None:
-            return cached
+        if cached is not None and cached[0] is compiled:
+            return cached[1]
         from ..ir import npbackend
         from ..ir.pybackend import compile_kernel
 
@@ -75,7 +83,7 @@ class DivergenceOracle:
             # Compiled-like wrappers (the lane-batched launch) supply
             # their own independent replay — scalar per member.
             reference = ("scalar", custom)
-            self._references[key] = reference
+            self._references[key] = (compiled, reference)
             return reference
         backend = getattr(compiled, "backend", "scalar")
         if backend == "vector":
@@ -97,7 +105,7 @@ class DivergenceOracle:
             reference = ("vector", run)
         else:
             reference = ("none", None)
-        self._references[key] = reference
+        self._references[key] = (compiled, reference)
         return reference
 
     # -- classification ------------------------------------------------------

@@ -469,9 +469,17 @@ class Engine:
 
             try:
                 run, source, so_path = native_rt.compile_native(kernel)
-            except NativeBuildError:
+            except NativeBuildError as err:
                 if self.backend == "native" and self.backend_forced:
-                    raise
+                    # Name the failure the way a forced-vector
+                    # CodegenError names its eligibility rule, so
+                    # callers see which toolchain step broke.
+                    raise NativeBuildError(
+                        f"backend='native' was forced but kernel "
+                        f"{kernel.name!r} failed to build "
+                        f"[build-failed]: {err.message}",
+                        err.span,
+                    ) from err
                 # Eligibility said yes but the toolchain said no
                 # (compiler rejection, dead probe). Permanent for
                 # this kernel: drop down the ladder and re-memoise

@@ -1,0 +1,16 @@
+// fuzz: name = empty-sequence
+// fuzz: origin = seeded
+// fuzz: prob-mode = direct
+// fuzz: note = zero-extent data with 1-extent index dims: every backend must agree on a table of pure base cases
+// fuzz: expect = 0 3
+alphabet al = "ab"
+
+int f(seq[al] s, index[s] i, seq[al] t, index[t] j) =
+  if i < 1 then i + j
+  else if j < 1 then i + j
+  else (f(i - 1, j) min f(i, j - 1)) + 1
+
+let e = ""
+let b = "aba"
+print f(e, |e|, e, |e|)
+print f(e, |e|, b, |b|)

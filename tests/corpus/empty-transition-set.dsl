@@ -1,0 +1,24 @@
+// fuzz: name = empty-transition-set
+// fuzz: origin = seeded
+// fuzz: prob-mode = direct
+// fuzz: note = the orphan state has no incoming transitions: its CSR row is empty and the probability max over it must be 0, identically on every backend
+alphabet al = "ab"
+
+hmm m [al] {
+  state begin : start
+  state orphan emits { a: 0.5, b: 0.5 }
+  state main emits { a: 0.3, b: 0.7 }
+  state fin : end
+  trans begin -> main : 1.0
+  trans main -> main : 0.5
+  trans orphan -> main : 0.25
+  trans main -> fin : 0.5
+}
+
+prob f(hmm h, state[h] s, seq[*] x, index[x] i) =
+  if i == 0 then (if s.isstart then 1.0 else 0.0)
+  else (if s.isend then 1.0 else s.emission[x[i - 1]])
+    * max(t in s.transitionsto : t.prob * f(t.start, i - 1))
+
+let x = "abba"
+print f(m, m.end, x, |x|)

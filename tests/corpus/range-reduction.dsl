@@ -1,0 +1,20 @@
+// fuzz: name = range-reduction
+// fuzz: origin = seeded
+// fuzz: prob-mode = direct
+// fuzz: note = bounded range reductions make the kernel vector-ineligible: the forced-vector replay must skip with the eligibility rule while scalar and native agree
+// fuzz: expect = 3 0
+alphabet rna = "acgu"
+
+int f(seq[rna] x, index[x] i, index[x] j) =
+  if j < i + 2 then 0
+  else (
+    f(i + 1, j)
+    max f(i, j - 1)
+    max (f(i + 1, j - 1) + (if x[i] == x[j - 1] then 1 else 0))
+    max max(k in i + 1 .. j - 1 : f(i, k) + f(k, j))
+  )
+
+let a = "gggaaaccc"
+let e = "a"
+print f(a, 0, |a|)
+print f(e, 0, |e|)

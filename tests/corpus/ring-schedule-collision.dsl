@@ -1,0 +1,18 @@
+// fuzz: name = ring-schedule-collision
+// fuzz: origin = seeded
+// fuzz: prob-mode = direct
+// fuzz: note = S = i leaves j pure-space: partitions are whole rows and the native windowed entry's ring buffer must not collide across the wrap
+// fuzz: expect = 16 6
+alphabet al = "acgt"
+
+int f(seq[al] s, index[s] i, seq[al] t, index[t] j) =
+  if i < 2 then i + j
+  else if j < 2 then i + j
+  else (f(i - 1, j) max f(i - 2, j - 1)) + 1
+
+schedule f : i
+
+let a = "acgtacgt"
+let b = "tgcatgca"
+print f(a, |a|, b, |b|)
+print f(a, 4, b, 2)

@@ -1,0 +1,17 @@
+// fuzz: name = size-one-domain
+// fuzz: origin = seeded
+// fuzz: prob-mode = direct
+// fuzz: note = size-1 sequences sit far below the vector crossover; forced vector and native must still agree with scalar
+// fuzz: expect = 0 1
+alphabet al = "ab"
+
+int f(seq[al] s, index[s] i, seq[al] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i - 1] == t[j - 1] then f(i - 1, j - 1)
+  else (f(i - 1, j) min f(i, j - 1) min f(i - 1, j - 1)) + 1
+
+let a = "a"
+let b = "b"
+print f(a, |a|, a, |a|)
+print f(a, |a|, b, |b|)

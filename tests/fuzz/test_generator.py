@@ -1,0 +1,75 @@
+"""Generator properties: determinism, validity, coverage."""
+
+import random
+
+from repro.fuzz.generator import generate_case, generate_spec
+from repro.fuzz.grammar import render, render_script
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import check_program
+
+DRAWS = 60
+
+
+def draw_specs(seed, count=DRAWS):
+    rng = random.Random(seed)
+    return [generate_spec(rng) for _ in range(count)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_specs(self):
+        assert draw_specs(0) == draw_specs(0)
+
+    def test_same_seed_same_rendered_text(self):
+        first = [render(s).text for s in draw_specs(7)]
+        second = [render(s).text for s in draw_specs(7)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert draw_specs(0) != draw_specs(1)
+
+    def test_render_is_pure(self):
+        for spec in draw_specs(3, 20):
+            assert render(spec).text == render(spec).text
+
+
+class TestValidity:
+    def test_every_program_typechecks(self):
+        for spec in draw_specs(11):
+            case = render(spec)
+            checked = check_program(parse_program(case.text))
+            assert case.function in checked.functions
+
+    def test_every_script_typechecks(self):
+        for spec in draw_specs(13):
+            script = render_script(spec)
+            check_program(parse_program(script))
+
+    def test_declaration_text_is_service_admissible_shape(self):
+        # The declaration text must carry no imperative statements —
+        # that is what lets the harness bind it through the service.
+        for spec in draw_specs(17):
+            text = render(spec).text
+            assert "print" not in text
+            assert "let " not in text
+
+
+class TestCoverage:
+    def test_all_shapes_appear(self):
+        shapes = {spec.shape for spec in draw_specs(0, 200)}
+        assert shapes == {
+            "seq2d", "range2d", "range1d", "hmm", "intdim"
+        }
+
+    def test_edge_features_appear(self):
+        cases = [render(s) for s in draw_specs(0, 200)]
+        assert any(case.map_texts for case in cases)
+        assert any(case.prob_mode == "logspace" for case in cases)
+        assert any(case.reduce for case in cases)
+        assert any("schedule" in case.text for case in cases)
+        # Empty and size-1 data domains below the vector crossover.
+        assert any(
+            not case.args.get("s", "x") for case in cases
+        ) or any(not case.args.get("x", "y") for case in cases)
+
+    def test_generate_case_accepts_plain_seed(self):
+        assert generate_case(5).text == generate_case(5).text

@@ -1,0 +1,101 @@
+"""Shrinker properties: monotone candidates, idempotence, class
+preservation."""
+
+import random
+
+import pytest
+
+from repro.fuzz.generator import generate_spec
+from repro.fuzz.grammar import render, render_script
+from repro.fuzz.shrink import shrink, shrink_candidates, spec_size
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import check_program
+
+
+def specs(seed, count=40):
+    rng = random.Random(seed)
+    return [generate_spec(rng) for _ in range(count)]
+
+
+class TestCandidates:
+    def test_every_candidate_strictly_smaller(self):
+        for spec in specs(0):
+            size = spec_size(spec)
+            for candidate in shrink_candidates(spec):
+                assert spec_size(candidate) < size
+
+    def test_every_candidate_renders_valid(self):
+        for spec in specs(1, 25):
+            for candidate in shrink_candidates(spec):
+                script = render_script(candidate)
+                check_program(parse_program(script))
+
+    def test_candidate_order_deterministic(self):
+        for spec in specs(2, 15):
+            first = list(shrink_candidates(spec))
+            second = list(shrink_candidates(spec))
+            assert first == second
+
+
+class TestShrinkLoop:
+    def test_idempotent_on_minimal_specs(self):
+        """Shrinking an already-minimal spec is a no-op."""
+        for spec in specs(3, 15):
+            predicate = lambda s: True  # noqa: E731
+            minimal, _steps = shrink(spec, predicate)
+            again, steps = shrink(minimal, predicate)
+            assert steps == 0
+            assert again == minimal
+
+    def test_every_step_preserves_the_predicate(self):
+        """The failure class (here: a structural stand-in) holds at
+        every adopted intermediate, not just at the end."""
+        for spec in specs(4, 20):
+            marker = "max"
+            if marker not in render(spec).text:
+                continue
+            trail = []
+
+            def predicate(candidate):
+                keep = marker in render(candidate).text
+                if keep:
+                    trail.append(candidate)
+                return keep
+
+            minimal, steps = shrink(spec, predicate)
+            assert marker in render(minimal).text
+            assert len(trail) >= steps
+            for adopted in trail:
+                assert marker in render(adopted).text
+
+    def test_shrinks_to_a_fixpoint(self):
+        """No candidate of the result still satisfies the predicate."""
+        for spec in specs(5, 10):
+            predicate = lambda s: True  # noqa: E731
+            minimal, _steps = shrink(spec, predicate)
+            assert not any(True for _ in shrink_candidates(minimal))
+
+    def test_predicate_exception_counts_as_false(self):
+        spec = specs(6, 1)[0]
+
+        def explosive(candidate):
+            raise RuntimeError("classification blew up")
+
+        minimal, steps = shrink(spec, explosive)
+        assert steps == 0
+        assert minimal == spec
+
+    def test_step_budget_respected(self):
+        spec = max(specs(7, 20), key=spec_size)
+        _minimal, steps = shrink(spec, lambda s: True, max_steps=3)
+        assert steps == 3
+
+
+class TestSizeMetric:
+    def test_size_positive(self):
+        for spec in specs(8):
+            assert spec_size(spec) >= 0
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError):
+            spec_size(object())

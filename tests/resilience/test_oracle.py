@@ -66,6 +66,38 @@ class TestReferenceSelection:
         first = oracle.reference_for(compiled)
         assert oracle.reference_for(compiled) is first
 
+    def test_reference_cache_pins_the_compiled_object(
+        self, edit_func, edit_bindings
+    ):
+        """The cache key is id(compiled); the entry must keep the
+        compiled object alive, or CPython reuses the freed address
+        and a later kernel inherits a stale reference runner built
+        for different dims (found by the differential fuzzer)."""
+        compiled, _ctx, _domain, _base = compiled_edit(
+            edit_func, edit_bindings
+        )
+        oracle = DivergenceOracle()
+        oracle.reference_for(compiled)
+        assert any(
+            entry[0] is compiled
+            for entry in oracle._references.values()
+        )
+
+    def test_stale_cache_entry_not_returned_for_new_object(
+        self, edit_func, edit_bindings
+    ):
+        compiled, _ctx, _domain, _base = compiled_edit(
+            edit_func, edit_bindings
+        )
+        oracle = DivergenceOracle()
+        # Simulate an address collision: a cache slot left behind by
+        # some other (freed) compiled object.
+        sentinel = ("scalar", None)
+        oracle._references[id(compiled)] = (object(), sentinel)
+        name, run = oracle.reference_for(compiled)
+        assert (name, run) != sentinel
+        assert run is not None
+
     def test_native_kernel_gets_vector_reference(
         self, edit_func, edit_bindings
     ):

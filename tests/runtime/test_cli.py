@@ -100,6 +100,48 @@ class TestCli:
         out = capsys.readouterr().out
         assert "f: backend=scalar rule=rank" in out
 
+    def test_explain_json_mode(self, tmp_path, capsys, monkeypatch):
+        """--json emits machine-readable eligibility verdicts and
+        certificate summaries, nothing else on stdout."""
+        import json
+
+        monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
+        script = tmp_path / "prog.dsl"
+        script.write_text(DEMO)
+        assert main(["explain", str(script), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["script"] == str(script)
+        (record,) = payload["functions"]
+        assert record["function"] == "d"
+        assert record["backend"] == "vector"
+        assert record["vector"] == {
+            "ok": True,
+            "rule": "ok",
+            "detail": record["vector"]["detail"],
+        }
+        assert record["native_toolchain"]["ok"] is False
+        assert record["native_toolchain"]["rule"] == "disabled"
+        assert record["verification"]["ok"] is True
+        assert "verified" in record["verification"]["summary"]
+
+    def test_explain_json_scalar_fallback(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
+        script = tmp_path / "one.dsl"
+        script.write_text(
+            "int f(int n) = if n == 0 then 0 else f(n-1) + 1\n"
+            "print f(4)\n"
+        )
+        assert main(["explain", str(script), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (record,) = payload["functions"]
+        assert record["backend"] == "scalar"
+        assert record["vector"]["ok"] is False
+        assert record["vector"]["rule"] == "rank"
+
     def test_logspace_mode(self, tmp_path, capsys):
         script = tmp_path / "fwd.dsl"
         script.write_text(

@@ -190,6 +190,35 @@ class TestEngineLadder:
             compile_edit(engine)
         assert "disabled" in str(err.value)
 
+    def test_forced_native_build_failure_names_the_detail(
+        self, monkeypatch
+    ):
+        """A forced backend='native' whose build fails must render
+        the compiler/probe detail the way a forced vector CodegenError
+        names its eligibility rule."""
+        from repro.runtime import native as native_mod
+
+        def broken_compile(kernel):
+            raise NativeBuildError(
+                "cc exited with status 1: synthetic probe detail"
+            )
+
+        monkeypatch.setattr(
+            native_mod, "compile_native", broken_compile
+        )
+        monkeypatch.setattr(
+            native_mod, "available",
+            lambda: native_mod.Eligibility(True, "ok", "stubbed"),
+        )
+        engine = Engine(backend="native")
+        with pytest.raises(NativeBuildError) as err:
+            compile_edit(engine)
+        message = str(err.value)
+        assert "backend='native' was forced" in message
+        assert "'d'" in message  # the kernel is named
+        assert "[build-failed]" in message
+        assert "synthetic probe detail" in message
+
     def test_env_native_is_preference_not_force(self, monkeypatch):
         """REPRO_BACKEND=native degrades down the ladder instead of
         erroring when native is unavailable."""
