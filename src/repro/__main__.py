@@ -105,12 +105,36 @@ def serve_main(argv) -> int:
         "--chaos-seed", type=int, default=0,
         help="seed of the deterministic fault injector",
     )
+    parser.add_argument(
+        "--chaos-kill", type=float, default=0.0,
+        help="per-launch probability of SIGKILLing the sandbox "
+        "worker subprocess (requires --sandbox)",
+    )
+    parser.add_argument(
+        "--chaos-hang", type=float, default=0.0,
+        help="per-launch probability of hanging the sandbox worker "
+        "past its deadline (requires --sandbox)",
+    )
+    parser.add_argument(
+        "--sandbox", action="store_true",
+        help="run native kernels in crash-isolated worker "
+        "subprocesses (a segfault kills the worker, not the service)",
+    )
     args = parser.parse_args(argv)
 
-    from .service.server import ComputeService, make_http_server
+    from .service.server import (
+        ComputeService,
+        install_signal_handlers,
+        make_http_server,
+    )
 
     fault_plan = None
-    if args.chaos_rate > 0.0 or args.chaos_corrupt > 0.0:
+    if (
+        args.chaos_rate > 0.0
+        or args.chaos_corrupt > 0.0
+        or args.chaos_kill > 0.0
+        or args.chaos_hang > 0.0
+    ):
         from .resilience import FaultPlan
 
         fault_plan = FaultPlan(
@@ -119,6 +143,8 @@ def serve_main(argv) -> int:
             truncate_rate=args.chaos_rate,
             corrupt_rate=args.chaos_corrupt,
             corrupt_mode="bitflip",
+            worker_kill_rate=args.chaos_kill,
+            sandbox_hang_rate=args.chaos_hang,
         )
 
     service = ComputeService(
@@ -131,13 +157,16 @@ def serve_main(argv) -> int:
         prob_mode=args.prob_mode,
         backend=args.backend,
         fault_plan=fault_plan,
+        sandbox_native=True if args.sandbox else None,
     )
     server = make_http_server(service, args.host, args.port)
+    install_signal_handlers(server, service)
     host, port = server.server_address[:2]
     print(
         f"repro service on http://{host}:{port} "
         f"({args.workers} workers, cache="
-        f"{args.cache_dir or 'memory-only'})",
+        f"{args.cache_dir or 'memory-only'}"
+        f"{', sandboxed native' if args.sandbox else ''})",
         file=sys.stderr,
     )
     try:
@@ -379,7 +408,22 @@ def fuzz_main(argv) -> int:
         "--json", action="store_true",
         help="emit the report as JSON",
     )
+    parser.add_argument(
+        "--service", action="store_true",
+        help="also round-trip locally-clean cases through a live "
+        "HTTP service instance (service-crash / service-divergence "
+        "findings)",
+    )
+    parser.add_argument(
+        "--chaos-rate", type=float, default=0.0, metavar="RATE",
+        help="with --service: inject sandbox worker kills/hangs and "
+        "launch faults at this rate (the service must still answer "
+        "correctly)",
+    )
     args = parser.parse_args(argv)
+
+    if args.chaos_rate > 0.0 and not args.service:
+        parser.error("--chaos-rate requires --service")
 
     from .fuzz import run_campaign
 
@@ -390,6 +434,8 @@ def fuzz_main(argv) -> int:
         shrink_failures=not args.no_shrink,
         use_native=False if args.no_native else None,
         corpus_directory=args.write_corpus,
+        service_mode=args.service,
+        chaos_rate=args.chaos_rate,
     )
     print(report.to_json() if args.json else report.render())
     return 0 if report.ok else 1

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional
 
 from .differential import (
     ALL_CLASSES,
+    FAILURE_CLASSES,
     DifferentialHarness,
 )
 from .generator import generate_case
@@ -143,42 +144,93 @@ def run_campaign(
     use_native: Optional[bool] = None,
     corpus_directory: Optional[str] = None,
     progress: Optional[Callable[[int, str], None]] = None,
+    service_mode: bool = False,
+    chaos_rate: float = 0.0,
 ) -> CampaignReport:
     """Run one campaign and return its report.
 
     ``corpus_directory`` writes every shrunk failure as a corpus
     entry; ``progress`` (case index, classification) is called after
-    each case — the CLI uses it for a live line.
+    each case — the CLI uses it for a live line. ``service_mode``
+    round-trips every locally-clean case through a live HTTP service
+    (see :mod:`repro.fuzz.service_mode`), with ``chaos_rate``-driven
+    sandbox-worker kills/hangs and launch faults injected; a crash
+    that leaks out of the recovery ladder is a ``service-crash``
+    finding.
     """
     rng = random.Random(int(seed))
     harness = DifferentialHarness(use_native=use_native)
+    roundtrip = None
+    if service_mode:
+        from .service_mode import ServiceRoundTrip
+
+        roundtrip = ServiceRoundTrip(
+            chaos_rate=chaos_rate,
+            chaos_seed=int(seed),
+            use_native=use_native,
+        )
     report = CampaignReport(seed=int(seed), count=int(count))
     deadline = (
         time.monotonic() + budget_seconds
         if budget_seconds is not None
         else None
     )
+    try:
+        _run_cases(
+            rng, harness, roundtrip, report, count, deadline,
+            shrink_failures, corpus_directory, progress, seed,
+        )
+    finally:
+        if roundtrip is not None:
+            roundtrip.close()
+    return report
+
+
+def _run_cases(
+    rng,
+    harness: DifferentialHarness,
+    roundtrip,
+    report: CampaignReport,
+    count: int,
+    deadline: Optional[float],
+    shrink_failures: bool,
+    corpus_directory: Optional[str],
+    progress: Optional[Callable[[int, str], None]],
+    seed: int,
+) -> None:
     for index in range(count):
         if deadline is not None and time.monotonic() > deadline:
             report.budget_exhausted = True
             break
         case = generate_case(rng)
         outcome = harness.classify(case)
+        classification, detail = (
+            outcome.classification, outcome.detail
+        )
+        if roundtrip is not None and not outcome.failed:
+            scalar = outcome.legs.get("scalar")
+            if scalar is not None and scalar.status == "ok":
+                finding = roundtrip.check(case, scalar.value)
+                if finding is not None:
+                    classification, detail = finding
         report.cases_run += 1
         report.shapes[case.shape] = report.shapes.get(case.shape, 0) + 1
-        report.classifications[outcome.classification] = (
-            report.classifications.get(outcome.classification, 0) + 1
+        report.classifications[classification] = (
+            report.classifications.get(classification, 0) + 1
         )
         for skip in outcome.skips:
             report.skips[skip] = report.skips.get(skip, 0) + 1
         if progress is not None:
-            progress(index, outcome.classification)
-        if not outcome.failed:
+            progress(index, classification)
+        if classification not in FAILURE_CLASSES:
             continue
 
-        target = outcome.classification
+        target = classification
         spec, steps = case.spec, 0
-        if shrink_failures:
+        # Service findings depend on live service state (chaos
+        # sequence, breaker, queue); the local harness cannot
+        # reproduce them, so they are reported unshrunk.
+        if shrink_failures and not target.startswith("service-"):
             def still_fails(candidate) -> bool:
                 return (
                     harness.classify(render(candidate)).classification
@@ -191,7 +243,7 @@ def run_campaign(
             index=index,
             shape=case.shape,
             classification=target,
-            detail=outcome.detail,
+            detail=detail,
             script=render_script(case),
             shrunk_script=render_script(shrunk_case),
             shrink_steps=steps,
@@ -205,9 +257,8 @@ def run_campaign(
                 meta={
                     "origin": f"campaign seed={seed} case={index}",
                     "prob-mode": shrunk_case.prob_mode,
-                    "note": outcome.detail,
+                    "note": detail,
                 },
                 directory=corpus_directory,
             )
         report.failures.append(record)
-    return report

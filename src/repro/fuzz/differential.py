@@ -61,9 +61,13 @@ __all__ = [
 ]
 
 #: classifications that count as fuzzer findings, most severe first.
+#: The ``service-*`` pair only occurs in service round-trip campaigns
+#: (see :mod:`repro.fuzz.service_mode`).
 FAILURE_CLASSES = (
     "crash",
+    "service-crash",
     "divergence",
+    "service-divergence",
     "eligibility-mismatch",
     "lint-gap",
 )

@@ -60,6 +60,27 @@ class KernelHang(DeviceFault):
     """A kernel exceeded the watchdog deadline and was abandoned."""
 
 
+class WorkerCrash(DeviceFault):
+    """A sandbox worker process died mid-launch (signal or exit).
+
+    Raised by the native sandbox when the subprocess executing a
+    kernel launch is killed — a segfault or abort in generated C
+    code, an external SIGKILL, or an open circuit breaker refusing
+    further launches of a crash-prone kernel. The launch never
+    touched the parent's table, so recovery is a clean re-resolution
+    down the backend ladder.
+    """
+
+
+class SandboxHang(DeviceFault):
+    """A sandboxed kernel launch exceeded its deadline and was killed.
+
+    Unlike :class:`KernelHang` (a thread-watchdog abandonment that
+    can leak the wedged thread), a sandbox hang is terminated for
+    real: the worker process is SIGKILLed and respawned.
+    """
+
+
 class CellCorruption(DeviceFault):
     """Table cells were detected to hold corrupted values."""
 
@@ -117,6 +138,13 @@ class FaultPlan:
     only replay-verification or the oracle catches it; integer tables
     always bit-flip, NaN has no int encoding). ``only_partitions`` /
     ``only_sms`` restrict which sites may fault at all.
+
+    ``worker_kill_rate`` and ``sandbox_hang_rate`` are per sandboxed
+    partition-range launch: the sandbox worker process is SIGKILLed
+    mid-launch (the real process-death failure mode, not an
+    exception) or wedged past the watchdog deadline (and then killed
+    for real). Both are inert for in-process backends — only launches
+    routed through :mod:`repro.runtime.sandbox` can honour them.
     """
 
     seed: int = 0
@@ -124,6 +152,8 @@ class FaultPlan:
     corrupt_rate: float = 0.0
     truncate_rate: float = 0.0
     hang_rate: float = 0.0
+    worker_kill_rate: float = 0.0
+    sandbox_hang_rate: float = 0.0
     corrupt_mode: str = "nan"
     hang_seconds: float = 0.2
     only_partitions: Optional[FrozenSet[int]] = None
@@ -131,7 +161,8 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         for name in ("launch_fail_rate", "corrupt_rate",
-                     "truncate_rate", "hang_rate"):
+                     "truncate_rate", "hang_rate",
+                     "worker_kill_rate", "sandbox_hang_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
@@ -149,6 +180,8 @@ class FaultPlan:
             or self.corrupt_rate > 0.0
             or self.truncate_rate > 0.0
             or self.hang_rate > 0.0
+            or self.worker_kill_rate > 0.0
+            or self.sandbox_hang_rate > 0.0
         )
 
 
@@ -212,6 +245,29 @@ class FaultInjector:
             raise TransferFault(
                 f"injected transfer truncation at {site.tokens()}", site
             )
+
+    def sandbox_fault(self, site: FaultSite) -> Optional[dict]:
+        """The fault directive for one *sandboxed* launch, or None.
+
+        Returns ``{"kind": "kill"}`` (the worker SIGKILLs itself
+        mid-launch) or ``{"kind": "hang", "seconds": s}`` (the worker
+        wedges until the parent watchdog kills it). Only launches
+        dispatched through the native sandbox consult this — the
+        directive travels inside the pipe request, so the failure is
+        a *real* process death, not a simulated exception.
+        """
+        plan = self.plan
+        if not self._enabled(site):
+            return None
+        kill = plan.worker_kill_rate
+        if kill > 0.0 and self._uniform("worker-kill", site) < kill:
+            self._record("worker-kill", site)
+            return {"kind": "kill"}
+        hang = plan.sandbox_hang_rate
+        if hang > 0.0 and self._uniform("sandbox-hang", site) < hang:
+            self._record("sandbox-hang", site)
+            return {"kind": "hang", "seconds": plan.hang_seconds}
+        return None
 
     def hang_delay(self, site: FaultSite) -> float:
         """Seconds this kernel will wedge for (0.0 = healthy)."""

@@ -34,7 +34,6 @@ from __future__ import annotations
 
 import itertools
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence as Seq, Tuple
 
@@ -166,6 +165,9 @@ class ExecutionSupervisor:
         self.checkpoints = CheckpointLog()
         self.on_fault = on_fault
         self._problem_ids = itertools.count()
+        #: kernel digest -> demoted CompiledKernel (vector/scalar),
+        #: built at most once per crashing kernel.
+        self._demoted: Dict[str, object] = {}
 
         plan = injector.plan if injector is not None else None
         verify = self.policy.verify
@@ -177,7 +179,9 @@ class ExecutionSupervisor:
             )
         self._verify = verify
         watchdog = self.policy.watchdog_seconds
-        if watchdog is None and plan is not None and plan.hang_rate > 0:
+        if watchdog is None and plan is not None and (
+            plan.hang_rate > 0 or plan.sandbox_hang_rate > 0
+        ):
             watchdog = max(0.02, plan.hang_seconds / 4.0)
         self._watchdog = watchdog
 
@@ -341,7 +345,11 @@ class ExecutionSupervisor:
         for elo, ehi in partition_ranges(
             p_lo, p_hi, self.policy.checkpoint_interval
         ):
-            state = self._run_epoch(
+            # ``compiled`` can change mid-problem: a sandboxed native
+            # kernel whose circuit breaker opens is swapped for its
+            # demoted (vector/scalar) twin, and later epochs keep
+            # using the demoted rung.
+            state, compiled = self._run_epoch(
                 compiled, ctx, state, elo, ehi, problem, sm
             )
             self.stats.epochs_committed += 1
@@ -360,8 +368,13 @@ class ExecutionSupervisor:
         ehi: int,
         problem: int,
         sm: int,
-    ) -> np.ndarray:
-        """One epoch to a committed state, replaying on faults."""
+    ) -> Tuple[np.ndarray, object]:
+        """One epoch to a committed state, replaying on faults.
+
+        Returns ``(state, compiled)`` — the compiled kernel may have
+        been swapped for its demoted twin when the sandbox circuit
+        breaker opened mid-epoch.
+        """
         attempts = itertools.count()
         for round_index in range(self.policy.max_replays + 1):
             try:
@@ -382,7 +395,7 @@ class ExecutionSupervisor:
                             FaultSite(problem, elo, sm, round_index,
                                       "memory"),
                         )
-                return scratch
+                return scratch, compiled
             except DeviceFault as fault:
                 self.stats.note_fault(fault)
                 if self.on_fault is not None:
@@ -402,7 +415,12 @@ class ExecutionSupervisor:
                     )
                     self.stats.oracle_runs = self.oracle.runs
                     self.stats.corruption_recovered += 1
-                    return recovered
+                    return recovered, compiled
+                # A sandboxed kernel whose breaker opened keeps
+                # raising "circuit open" on every replay — burning
+                # the budget can only end in escalation. Re-resolve
+                # down the ladder instead and replay there.
+                compiled = self._demote_if_circuit_open(compiled)
                 self.stats.replays += 1
                 self.stats.replayed_ranges.append((problem, elo, ehi))
         raise FaultEscalation(
@@ -411,6 +429,45 @@ class ExecutionSupervisor:
             FaultSite(problem, elo, sm, self.policy.max_replays,
                       "kernel"),
         )
+
+    def _demote_if_circuit_open(self, compiled):
+        """Swap a circuit-broken sandboxed kernel for its demoted twin.
+
+        No-op for everything else (plain kernels, batched launches, a
+        sandboxed kernel whose breaker is still closed — a transient
+        crash there is retried on native as usual).
+        """
+        run = getattr(compiled, "run", None)
+        if not getattr(run, "sandboxed", False):
+            return compiled
+        from ..runtime import sandbox as sandbox_rt
+
+        if sandbox_rt.get_breaker().allows(run.digest):
+            return compiled
+        demoted = self._demoted.get(run.digest)
+        if demoted is None:
+            from ..ir import npbackend
+            from ..ir.pybackend import compile_kernel
+            from ..runtime.engine import CompiledKernel
+
+            kernel = compiled.kernel
+            backend = self.engine._auto_choice(
+                kernel, npbackend.eligibility(kernel).ok,
+                None, allow_native=False,
+            )
+            if backend == "vector":
+                run_fn, source = npbackend.compile_vector_kernel(kernel)
+            else:
+                run_fn, source = compile_kernel(kernel)
+            demoted = CompiledKernel(
+                kernel, run_fn, source, 0.0, backend=backend
+            )
+            self._demoted[run.digest] = demoted
+        engine = self.engine
+        engine.native_demotions = (
+            getattr(engine, "native_demotions", 0) + 1
+        )
+        return demoted
 
     def _attempt(
         self,
@@ -461,12 +518,31 @@ class ExecutionSupervisor:
         site: FaultSite,
     ) -> None:
         """Execute the partition range, under the watchdog if set."""
+        injector = self.injector
         hang = (
-            self.injector.hang_delay(site)
-            if self.injector is not None
-            else 0.0
+            injector.hang_delay(site) if injector is not None else 0.0
         )
         deadline = self._watchdog
+        if getattr(compiled.run, "sandboxed", False):
+            # Sandboxed native launch: the subprocess pool *is* the
+            # watchdog (a wedged worker gets SIGKILLed for real, no
+            # thread is left behind), so hang injection routes
+            # through the worker as a fault directive instead of a
+            # parent-side sleep. Kill/hang directives come from the
+            # injection plane; WorkerCrash / SandboxHang surface as
+            # DeviceFaults and replay like any other launch fault.
+            fault = (
+                injector.sandbox_fault(site)
+                if injector is not None
+                else None
+            )
+            if fault is None and hang > 0.0:
+                fault = {"kind": "hang", "seconds": hang}
+            compiled.run(
+                scratch, ctx, part_lo=elo, part_hi=ehi,
+                fault=fault, deadline=deadline,
+            )
+            return
         if deadline is None:
             if hang > 0.0:
                 # No watchdog configured: surface the wedge directly
@@ -479,12 +555,17 @@ class ExecutionSupervisor:
             return
 
         done = threading.Event()
+        cancel = threading.Event()
         failure: List[BaseException] = []
 
         def body() -> None:
             try:
-                if hang > 0.0:
-                    time.sleep(hang)  # the wedge the watchdog catches
+                # The injected wedge the watchdog catches. A
+                # cancellable wait, not a sleep: when the watchdog
+                # fires it sets ``cancel`` and this thread exits
+                # promptly instead of leaking for ``hang`` seconds.
+                if hang > 0.0 and cancel.wait(hang):
+                    return
                 compiled.run(scratch, ctx, part_lo=elo, part_hi=ehi)
             except BaseException as err:  # noqa: BLE001 - relayed
                 failure.append(err)
@@ -498,6 +579,10 @@ class ExecutionSupervisor:
         if not done.wait(deadline):
             # Abandon the wedged launch; it ran on its own scratch
             # copy of the checkpoint, so the committed state is safe.
+            # Cancelling the injected wedge lets the thread unwind
+            # now (a *real* runaway launch still needs the sandbox —
+            # only a subprocess can be killed for real).
+            cancel.set()
             raise KernelHang(
                 f"watchdog: partitions [{elo}, {ehi}] exceeded "
                 f"{deadline}s", site

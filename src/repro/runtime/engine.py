@@ -248,12 +248,19 @@ class Engine:
         self.sanitize = sanitize
         self.verified_schedules = 0
         self.verify_failures = 0
+        #: Launches re-routed off the native backend after a sandbox
+        #: worker crash/hang or an open circuit breaker (the service
+        #: stats endpoint sums this across its worker engines).
+        self.native_demotions = 0
         self._verdicts: Dict[str, tuple] = {}
         # Memoised backend resolution: content hash (+ size bucket)
-        # -> resolved backend name. Keeps the auto ladder's
+        # -> (resolved backend, sandbox kernel digest or None, the
+        # allow_native=False fallback). Keeps the auto ladder's
         # eligibility probes off the hot path and guarantees the
-        # kernel cache keys on the *resolved* backend.
-        self._resolved: Dict[tuple, str] = {}
+        # kernel cache keys on the *resolved* backend; the digest
+        # lets a memo hit consult the crash circuit breaker without
+        # rebuilding the kernel.
+        self._resolved: Dict[tuple, tuple] = {}
 
     def cache_info(self) -> CacheInfo:
         """Counter snapshot of the kernel cache (both tiers), extended
@@ -411,7 +418,12 @@ class Engine:
         """Memoised backend resolution for one (function, schedule).
 
         Returns ``(backend_name, kernel_or_None)`` — the kernel is
-        only built (and returned for reuse) on a memo miss.
+        only built (and returned for reuse) on a memo miss. When the
+        sandbox is on and the kernel resolves native, the crash
+        circuit breaker is consulted on every call (memo hits
+        included): an open breaker re-routes to the memoised
+        ``allow_native=False`` fallback *without* rewriting the memo,
+        so the kernel returns to native once the breaker half-opens.
         """
         if domain is None:
             bucket: Optional[bool] = None
@@ -423,11 +435,45 @@ class Engine:
         )
         hit = self._resolved.get(rkey)
         if hit is not None:
-            return hit, None
+            resolved, digest, fallback = hit
+            if digest is not None and self._breaker_open(digest):
+                self.native_demotions += 1
+                return fallback, None
+            return resolved, None
         kernel = build_kernel(func, schedule, self.prob_mode)
         resolved = self._choose_backend(kernel, bucket)
-        self._resolved[rkey] = resolved
+        digest = None
+        fallback = resolved
+        if resolved == "native":
+            from . import sandbox as sandbox_rt
+
+            if sandbox_rt.enabled():
+                from ..ir import npbackend
+
+                digest = sandbox_rt.kernel_digest(kernel)
+                fallback = self._auto_choice(
+                    kernel, npbackend.eligibility(kernel).ok,
+                    bucket, allow_native=False,
+                )
+        self._resolved[rkey] = (resolved, digest, fallback)
+        if digest is not None and self._breaker_open(digest):
+            self.native_demotions += 1
+            return fallback, kernel
         return resolved, kernel
+
+    def _breaker_open(self, digest: str) -> bool:
+        from . import sandbox as sandbox_rt
+
+        if not sandbox_rt.enabled():
+            return False
+        return not sandbox_rt.get_breaker().allows(digest)
+
+    @staticmethod
+    def _is_sandbox_fault(err: Exception) -> bool:
+        """A sandboxed native launch died (crash / hang / breaker)."""
+        from ..resilience.faults import SandboxHang, WorkerCrash
+
+        return isinstance(err, (WorkerCrash, SandboxHang))
 
     def compile(
         self,
@@ -493,11 +539,11 @@ class Engine:
                     else max(domain.extents) >= vector_crossover_extent(),
                     allow_native=False,
                 )
-                for rkey, name in list(self._resolved.items()):
-                    if name == "native" and rkey[0] == kernel_cache_key(
+                for rkey, entry in list(self._resolved.items()):
+                    if entry[0] == "native" and rkey[0] == kernel_cache_key(
                         func, schedule, self.prob_mode, "resolve"
                     ):
-                        self._resolved[rkey] = resolved
+                        self._resolved[rkey] = (resolved, None, resolved)
                 key = kernel_cache_key(
                     func, schedule, self.prob_mode, resolved
                 )
@@ -517,6 +563,52 @@ class Engine:
         compiled = CompiledKernel(
             kernel, run, source, elapsed,
             backend=resolved, so_path=so_path,
+        )
+        self._cache.store(key, compiled)
+        return compiled
+
+    def _compile_demoted(
+        self,
+        func: CheckedFunction,
+        schedule: Schedule,
+        domain: Optional[Domain],
+    ) -> CompiledKernel:
+        """Compile the same kernel one rung down (native excluded).
+
+        The recovery path after a sandbox worker crash/hang: the
+        native launch is abandoned and the problem re-executes on
+        the ``allow_native=False`` ladder choice (vector when
+        eligible, else scalar). Shares the kernel cache, so repeated
+        demotions of one kernel compile exactly once.
+        """
+        from ..ir import npbackend
+
+        kernel = build_kernel(func, schedule, self.prob_mode)
+        bucket = (
+            None
+            if domain is None
+            else max(domain.extents) >= vector_crossover_extent()
+        )
+        resolved = self._auto_choice(
+            kernel, npbackend.eligibility(kernel).ok,
+            bucket, allow_native=False,
+        )
+        key = kernel_cache_key(
+            func, schedule, self.prob_mode, resolved
+        )
+        cached = self._cache.lookup(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        started = time.perf_counter()
+        if resolved == "vector":
+            run, source = npbackend.compile_vector_kernel(kernel)
+        else:
+            run, source = compile_kernel(kernel)
+        elapsed = time.perf_counter() - started
+        compiled = CompiledKernel(
+            kernel, run, source, elapsed, backend=resolved
         )
         self._cache.store(key, compiled)
         return compiled
@@ -686,7 +778,25 @@ class Engine:
                 compiled, table, ctx, domain
             )
         else:
-            execute_one = lambda _k: compiled.run(table, ctx)  # noqa: E731
+
+            def execute_one(_k) -> None:
+                try:
+                    compiled.run(table, ctx)
+                except Exception as err:
+                    if not self._is_sandbox_fault(err):
+                        raise
+                    # The sandboxed native launch died (worker crash,
+                    # deadline kill, or open breaker). The parent
+                    # table is untouched — re-zero it and re-execute
+                    # one rung down; integer kernels recover
+                    # bitwise-identical.
+                    self.native_demotions += 1
+                    demoted = self._compile_demoted(
+                        func, schedule, domain
+                    )
+                    table[...] = 0
+                    demoted.run(table, ctx)
+
         report = self.device.launch([problem], run=execute_one)
         coords = self.result_coords(func, bound, domain, at, initial)
         value = self._extract(compiled.kernel, table, coords, reduce)
@@ -807,7 +917,17 @@ class Engine:
 
                 run_sanitized(compiled, table, ctx, domain)
             else:
-                compiled.run(table, ctx)
+                try:
+                    compiled.run(table, ctx)
+                except Exception as err:
+                    if not self._is_sandbox_fault(err):
+                        raise
+                    self.native_demotions += 1
+                    demoted = self._compile_demoted(
+                        func, compiled.schedule, domain
+                    )
+                    table[...] = 0
+                    demoted.run(table, ctx)
             coords = (
                 None
                 if reduce

@@ -193,7 +193,16 @@ def build_shared_object(source: str) -> str:
     if os.path.exists(so_path):
         return so_path
     src_path = os.path.join(directory, digest + ".c")
-    tmp_out = so_path + f".tmp{os.getpid()}"
+    # The temp name must be unique per *build*, not per process: two
+    # worker threads compiling the same kernel concurrently share a
+    # pid, and a pid-suffixed name lets the second cc truncate the
+    # file while the first publishes it — torn (even empty) .so
+    # artifacts. mkstemp gives each build its own output; identical
+    # content makes the concurrent replaces a benign last-writer-wins.
+    fd, tmp_out = tempfile.mkstemp(
+        prefix=digest + ".tmp", suffix=".so", dir=directory
+    )
+    os.close(fd)
     try:
         with open(src_path, "w") as handle:
             handle.write(source)
@@ -202,15 +211,30 @@ def build_shared_object(source: str) -> str:
             capture_output=True, timeout=300,
         )
     except (OSError, subprocess.TimeoutExpired) as err:
+        _remove_quietly(tmp_out)
         raise NativeBuildError(f"native build failed: {err}") from err
     if result.returncode != 0:
+        _remove_quietly(tmp_out)
         stderr = result.stderr.decode("utf-8", "replace").strip()
         raise NativeBuildError(
             f"{cc} exited {result.returncode} compiling kernel "
             f"module:\n{stderr[:2000]}"
         )
+    if os.path.getsize(tmp_out) == 0:
+        _remove_quietly(tmp_out)
+        raise NativeBuildError(
+            f"{cc} exited 0 but produced an empty shared object"
+        )
     os.replace(tmp_out, so_path)
     return so_path
+
+
+def _remove_quietly(path: str) -> None:
+    """Best-effort unlink of a build leftover."""
+    try:
+        os.remove(path)
+    except OSError:
+        pass
 
 
 def probe_shared_object(so_path: str) -> None:
@@ -366,14 +390,29 @@ def compile_native(kernel: Kernel):
     )
     so_path = build_shared_object(source)
     probe_shared_object(so_path)
-    return NativeRun(kernel, so_path), source, so_path
+    return _make_run(kernel, so_path), source, so_path
 
 
-def load_compiled(kernel: Kernel, so_path: str) -> NativeRun:
+def _make_run(kernel: Kernel, so_path: str):
+    """In-process ``NativeRun``, or the sandbox proxy when enabled.
+
+    When ``REPRO_NATIVE_SANDBOX=1`` (or :func:`repro.runtime.sandbox
+    .configure`) the ``.so`` is never ``CDLL``-ed into this process:
+    the proxy ships launches to a worker subprocess instead, so a
+    segfault in the generated C kills only the worker.
+    """
+    from . import sandbox
+
+    if sandbox.enabled():
+        return sandbox.SandboxedNativeRun(kernel, so_path)
+    return NativeRun(kernel, so_path)
+
+
+def load_compiled(kernel: Kernel, so_path: str):
     """Load an existing artifact (persistent-cache warm path).
 
     Still routed through the subprocess probe — a cache-restored
     ``.so`` gets no more trust than a fresh build.
     """
     probe_shared_object(so_path)
-    return NativeRun(kernel, so_path)
+    return _make_run(kernel, so_path)

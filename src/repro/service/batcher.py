@@ -17,7 +17,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from .queue import GroupKey, Job, JobQueue
+from .queue import DeadlineError, GroupKey, Job, JobQueue, JobState
 
 
 @dataclass
@@ -54,6 +54,7 @@ class Batcher(threading.Thread):
         batches: "_queue.Queue[Optional[Batch]]",
         window: float = 0.01,
         max_batch: int = 32,
+        stats=None,
     ) -> None:
         super().__init__(name="repro-batcher", daemon=True)
         if max_batch < 1:
@@ -62,6 +63,7 @@ class Batcher(threading.Thread):
         self.batches = batches
         self.window = max(0.0, window)
         self.max_batch = max_batch
+        self.stats = stats
         self._buckets: Dict[GroupKey, List[Job]] = {}
         self._opened: Dict[GroupKey, float] = {}
         self._stop = threading.Event()
@@ -89,6 +91,22 @@ class Batcher(threading.Thread):
                     return
 
     def _add(self, job: Job, now: float) -> None:
+        if job.expired(now):
+            # Dequeue-time deadline check: a job whose budget was
+            # eaten by queue wait is *shed* here — it never reaches a
+            # bucket, so no launch is ever attempted on its behalf.
+            job.handle.reject(
+                DeadlineError(
+                    f"job {job.job_id} deadline expired after "
+                    f"{job.age(now):.3f}s in the queue "
+                    f"(timeout {job.timeout}s); shed before launch"
+                ),
+                state=JobState.TIMED_OUT,
+                latency=job.age(now),
+            )
+            if self.stats is not None:
+                self.stats.job_shed()
+            return
         key = job.group_key
         bucket = self._buckets.setdefault(key, [])
         if not bucket:

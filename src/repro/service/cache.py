@@ -143,6 +143,12 @@ def encode_compiled(compiled) -> bytes:
             )
         with open(so_path, "rb") as handle:
             so_bytes = handle.read()
+        if not so_bytes:
+            # A torn build artifact (e.g. a concurrent compile racing
+            # the publish) must not be immortalised as a cache record.
+            raise ValueError(
+                f"refusing to embed empty shared object {so_path}"
+            )
         record["kind"] = "native-so"
         record["so"] = so_bytes
         record["so_sha256"] = hashlib.sha256(so_bytes).hexdigest()
@@ -357,16 +363,26 @@ class LRUKernelCache:
 class PersistentKernelCache(LRUKernelCache):
     """Memory tier + content-addressed directory of kernel plans.
 
-    One file per key (``<sha256>.kpkl``) under ``directory``. Writes
-    go to a temp file in the same directory and ``os.replace`` into
-    place, so concurrent processes only ever observe complete entries.
-    A load that fails for any reason evicts the file and counts a
-    ``corrupt_eviction`` — a damaged cache degrades to recompilation,
-    never to a crash. ``disk_capacity`` (entries) bounds the directory
-    by evicting the oldest files (mtime order).
+    One file per key (``<sha256>.kpkl``) under ``directory``. The
+    directory is **multi-process safe**: every record lands via
+    atomic temp-file + ``os.replace`` (readers only ever observe
+    complete entries), writers and the prune pass serialise on a
+    cross-process :class:`~repro.service.locking.FileLock`
+    (``.lock`` sidecar), and a crash-recovery sweep at start-up
+    quarantines torn or foreign entries into ``.quarantine/`` —
+    preserved for post-mortem, never re-read, never fatal — and
+    clears stale temp files left by crashed writers. A load that
+    fails for any reason likewise quarantines the file and counts a
+    ``corrupt_eviction`` — a damaged cache degrades to
+    recompilation, never to a crash. ``disk_capacity`` (entries)
+    bounds the directory by evicting the oldest files (mtime order).
     """
 
     SUFFIX = ".kpkl"
+    QUARANTINE = ".quarantine"
+    #: A ``.tmp-*`` file older than this is a crashed writer's
+    #: leftover, not a write in flight, and is swept.
+    STALE_TMP_SECONDS = 60.0
 
     def __init__(
         self,
@@ -382,6 +398,12 @@ class PersistentKernelCache(LRUKernelCache):
         self.directory = str(directory)
         self.disk_capacity = disk_capacity
         os.makedirs(self.directory, exist_ok=True)
+        from .locking import FileLock
+
+        self._file_lock = FileLock(
+            os.path.join(self.directory, ".lock")
+        )
+        self._recover_sweep()
 
     # -- tiered lookup -------------------------------------------------------
 
@@ -404,16 +426,26 @@ class PersistentKernelCache(LRUKernelCache):
             return None
 
     def store(self, key: str, compiled) -> None:
-        """Insert into both tiers; disk errors degrade to memory-only."""
+        """Insert into both tiers; disk errors degrade to memory-only.
+
+        The disk write and the prune pass hold the cross-process file
+        lock, so two processes storing the same digest concurrently
+        serialise instead of racing the prune against each other's
+        fresh records. A lock timeout is just another disk error:
+        memory-only, never fatal.
+        """
         with self._lock:
             self._store_memory(key, compiled)
         try:
-            self._write_to_disk(key, compiled)
-            with self._lock:
-                self.disk_stores += 1
-        except OSError:
-            pass  # a read-only / full disk never fails compilation
-        self._prune_disk()
+            with self._file_lock:
+                self._write_to_disk(key, compiled)
+                with self._lock:
+                    self.disk_stores += 1
+                self._prune_disk()
+        except (OSError, ValueError):
+            pass  # a read-only / full / contended disk (or an
+            # unencodable product, e.g. a torn .so) never fails
+            # compilation — the disk tier just misses next time
 
     def _store_memory(self, key: str, compiled) -> None:
         self._entries[key] = compiled
@@ -437,7 +469,7 @@ class PersistentKernelCache(LRUKernelCache):
         try:
             return decode_compiled(data, so_dir=self.directory)
         except ValueError:
-            self._evict_file(path)
+            self._quarantine(path)
             with self._lock:
                 self.corrupt_evictions += 1
             return None
@@ -479,6 +511,69 @@ class PersistentKernelCache(LRUKernelCache):
             os.remove(path)
         except OSError:
             pass
+
+    def _quarantine(self, path: str) -> None:
+        """Move a torn/foreign record into ``.quarantine/``.
+
+        Quarantined entries are kept for post-mortem instead of
+        silently deleted, and — crucially for multi-process safety —
+        the atomic rename means two processes discovering the same
+        torn record race benignly: exactly one wins the move, the
+        loser's rename fails on the vanished source and is ignored.
+        """
+        quarantine_dir = os.path.join(self.directory, self.QUARANTINE)
+        try:
+            os.makedirs(quarantine_dir, exist_ok=True)
+            os.replace(
+                path,
+                os.path.join(
+                    quarantine_dir,
+                    f"{os.path.basename(path)}.{os.getpid()}",
+                ),
+            )
+        except OSError:
+            self._evict_file(path)
+
+    def _recover_sweep(self) -> None:
+        """Crash recovery at start-up: clear wreckage, keep evidence.
+
+        Quarantines every record whose :data:`MAGIC` header does not
+        match (a torn write, a schema change, or a foreign file) and
+        removes ``.tmp-*`` files older than
+        :data:`STALE_TMP_SECONDS` — the leftovers of writers that
+        died between ``mkstemp`` and ``os.replace``. Young temp
+        files are left alone: they may be a live sibling's write in
+        flight. Best-effort throughout; a contended or read-only
+        directory never blocks construction.
+        """
+        import time
+
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        now = time.time()
+        for name in names:
+            path = os.path.join(self.directory, name)
+            if name.startswith(".tmp-"):
+                try:
+                    age = now - os.path.getmtime(path)
+                except OSError:
+                    continue
+                if age > self.STALE_TMP_SECONDS:
+                    self._evict_file(path)
+                continue
+            if not name.endswith(self.SUFFIX):
+                continue
+            try:
+                with open(path, "rb") as handle:
+                    head = handle.read(len(MAGIC))
+            except OSError:
+                continue
+            if head != MAGIC:
+                self._quarantine(path)
+                with self._lock:
+                    self.corrupt_evictions += 1
 
     def disk_keys(self) -> Tuple[str, ...]:
         """The keys currently present on disk."""

@@ -1,0 +1,138 @@
+"""A small portable cross-process file lock.
+
+:class:`FileLock` guards multi-process critical sections — the
+persistent kernel cache's store/prune paths — with an exclusive OS
+advisory lock on a sidecar lock file: ``fcntl.flock`` on POSIX,
+``msvcrt.locking`` on Windows, and a clean no-op where neither
+exists (single-process semantics are then unchanged). A process
+crash releases the OS lock automatically, so a holder dying
+mid-write can never deadlock its siblings — torn records are the
+reader's problem and are handled by the cache's quarantine sweep.
+
+The lock is also reentrant-unsafe by design (tiny, honest): one
+:class:`FileLock` instance serialises its own process's threads with
+an internal ``threading.Lock`` and everyone else with the OS lock.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Optional
+
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - windows
+    fcntl = None
+
+try:  # Windows
+    import msvcrt
+except ImportError:
+    msvcrt = None  # pragma: no cover - posix
+
+
+class LockTimeout(OSError):
+    """The lock could not be acquired before the timeout."""
+
+
+class FileLock:
+    """Exclusive advisory lock on ``path`` (created on first use).
+
+    Use as a context manager::
+
+        lock = FileLock(os.path.join(cache_dir, ".lock"))
+        with lock:
+            ...  # cross-process critical section
+
+    ``timeout`` bounds the acquire wait (seconds); ``None`` waits
+    forever. Acquisition polls with a short sleep rather than using
+    blocking mode, so a timeout can be honoured portably.
+    """
+
+    def __init__(
+        self, path: str, timeout: Optional[float] = 30.0
+    ) -> None:
+        self.path = path
+        self.timeout = timeout
+        self._thread_lock = threading.Lock()
+        self._fd: Optional[int] = None
+
+    @property
+    def supported(self) -> bool:
+        """Does this platform have a real cross-process lock?"""
+        return fcntl is not None or msvcrt is not None
+
+    def _try_lock(self, fd: int) -> bool:
+        if fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                return True
+            except OSError:
+                return False
+        if msvcrt is not None:  # pragma: no cover - windows
+            try:
+                msvcrt.locking(fd, msvcrt.LK_NBLCK, 1)
+                return True
+            except OSError:
+                return False
+        return True  # no OS lock available: degrade to thread lock
+
+    def _unlock(self, fd: int) -> None:
+        if fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            except OSError:
+                pass
+        elif msvcrt is not None:  # pragma: no cover - windows
+            try:
+                os.lseek(fd, 0, os.SEEK_SET)
+                msvcrt.locking(fd, msvcrt.LK_UNLCK, 1)
+            except OSError:
+                pass
+
+    def acquire(self) -> None:
+        """Take the lock; :class:`LockTimeout` after ``timeout`` seconds."""
+        self._thread_lock.acquire()
+        try:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            deadline = (
+                None
+                if self.timeout is None
+                else time.monotonic() + self.timeout
+            )
+            while not self._try_lock(fd):
+                if (
+                    deadline is not None
+                    and time.monotonic() >= deadline
+                ):
+                    os.close(fd)
+                    raise LockTimeout(
+                        f"could not lock {self.path} within "
+                        f"{self.timeout}s"
+                    )
+                time.sleep(0.01)
+            self._fd = fd
+        except BaseException:
+            self._thread_lock.release()
+            raise
+
+    def release(self) -> None:
+        """Release the OS lock and the in-process mutex."""
+        fd, self._fd = self._fd, None
+        try:
+            if fd is not None:
+                self._unlock(fd)
+                os.close(fd)
+        finally:
+            self._thread_lock.release()
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()

@@ -29,6 +29,16 @@ class JobTimeoutError(RuntimeError):
     """The job missed its deadline before (or while) executing."""
 
 
+class DeadlineError(JobTimeoutError):
+    """The job's deadline expired before it was ever launched.
+
+    Raised by the dequeue-time and pre-launch deadline checks: the
+    work was *shed* — no launch was attempted on its behalf — which
+    the stats count separately from jobs that timed out mid-retry.
+    The HTTP layer maps it (like any ``JobTimeoutError``) to 504.
+    """
+
+
 class JobState(Enum):
     """Lifecycle of a submitted job."""
 

@@ -17,7 +17,17 @@ The HTTP layer is deliberately small (``http.server`` +
   "job_id": "...", "latency_seconds": ...}``;
 * ``GET /stats`` → the :class:`~repro.service.stats.ServiceStats`
   snapshot as JSON;
-* ``GET /healthz`` → ``{"ok": true}``.
+* ``GET /healthz`` → ``{"ok": true}`` (liveness: the process serves);
+* ``GET /readyz`` → ``{"ok": true}`` while accepting work, 503 with
+  ``Retry-After`` once draining — load balancers stop routing here
+  first.
+
+Fault-tolerance plumbing: request deadlines propagate from the JSON
+body or the ``X-Repro-Timeout`` header through queue wait into
+execution (expired jobs are shed, never launched → 504); a full
+queue sheds load with 503 + ``Retry-After``; SIGTERM (see
+:func:`install_signal_handlers`) drains gracefully — stop accepting,
+finish in-flight jobs, flush stats.
 """
 
 from __future__ import annotations
@@ -25,6 +35,8 @@ from __future__ import annotations
 import json
 import os
 import queue as _queue
+import signal
+import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Mapping, Optional
@@ -41,7 +53,14 @@ from ..runtime.engine import Engine
 from .batcher import Batch, Batcher
 from .cache import LRUKernelCache, PersistentKernelCache
 from .programs import ProgramRegistry
-from .queue import AdmissionError, Job, JobHandle, JobQueue
+from .queue import (
+    AdmissionError,
+    DeadlineError,
+    Job,
+    JobHandle,
+    JobQueue,
+    JobTimeoutError,
+)
 from .stats import ServiceStats, StatsRegistry
 from .workers import WorkerPool
 
@@ -50,15 +69,19 @@ def chaos_plan_from_env(environ=None) -> Optional[FaultPlan]:
     """Build a :class:`FaultPlan` from ``REPRO_CHAOS_*`` variables.
 
     ``REPRO_CHAOS_RATE`` (launch failure + transfer truncation rate),
-    ``REPRO_CHAOS_CORRUPT`` (per-cell corruption rate) and
-    ``REPRO_CHAOS_SEED`` let CI run the whole service suite under
+    ``REPRO_CHAOS_CORRUPT`` (per-cell corruption rate),
+    ``REPRO_CHAOS_KILL`` / ``REPRO_CHAOS_HANG`` (sandbox worker
+    SIGKILL / hang rates — only live when the native sandbox is on)
+    and ``REPRO_CHAOS_SEED`` let CI run the whole service suite under
     fault injection without touching any test. Returns ``None`` when
     chaos is not requested.
     """
     environ = os.environ if environ is None else environ
     rate = float(environ.get("REPRO_CHAOS_RATE", "0") or 0.0)
     corrupt = float(environ.get("REPRO_CHAOS_CORRUPT", "0") or 0.0)
-    if rate <= 0.0 and corrupt <= 0.0:
+    kill = float(environ.get("REPRO_CHAOS_KILL", "0") or 0.0)
+    hang = float(environ.get("REPRO_CHAOS_HANG", "0") or 0.0)
+    if rate <= 0.0 and corrupt <= 0.0 and kill <= 0.0 and hang <= 0.0:
         return None
     return FaultPlan(
         seed=int(environ.get("REPRO_CHAOS_SEED", "0") or 0),
@@ -66,6 +89,8 @@ def chaos_plan_from_env(environ=None) -> Optional[FaultPlan]:
         truncate_rate=rate,
         corrupt_rate=corrupt,
         corrupt_mode="bitflip",
+        worker_kill_rate=kill,
+        sandbox_hang_rate=hang,
     )
 
 
@@ -89,9 +114,16 @@ class ComputeService:
         fault_plan: Optional[FaultPlan] = None,
         supervision: Optional[SupervisionPolicy] = None,
         demote_after: int = 3,
+        sandbox_native: Optional[bool] = None,
     ) -> None:
         if fault_plan is None:
             fault_plan = chaos_plan_from_env()
+        if sandbox_native is not None:
+            # Crash-isolate native launches in worker subprocesses
+            # (process-wide: the engines share the native runtime).
+            from ..runtime import sandbox as native_sandbox
+
+            native_sandbox.configure(sandbox_native)
         self.kernel_cache = (
             PersistentKernelCache(cache_dir, capacity=cache_capacity)
             if cache_dir is not None
@@ -104,6 +136,7 @@ class ComputeService:
         self.batcher = Batcher(
             self.jobs, self.batch_queue,
             window=batch_window, max_batch=max_batch,
+            stats=self.stats_registry,
         )
         self.default_timeout = default_timeout
         self.max_retries = max_retries
@@ -137,6 +170,7 @@ class ComputeService:
             demote_after=demote_after,
         )
         self._closed = False
+        self._draining = False
         self.batcher.start()
         self.pool.start()
 
@@ -184,19 +218,45 @@ class ComputeService:
     # -- observability -------------------------------------------------------
 
     def stats(self) -> ServiceStats:
-        """Current service snapshot (queue, batches, cache, latency)."""
+        """Current service snapshot (queue, batches, cache, latency).
+
+        Sandbox crash/hang counts come from the process-wide sandbox
+        module and ``demotions_native`` from the worker engines —
+        snapshot inputs, owned elsewhere, never double-ticked here.
+        """
+        from ..runtime import sandbox as native_sandbox
+
+        counters = native_sandbox.counters()
         return self.stats_registry.snapshot(
             queue_depth=self.jobs.depth(),
             cache_info=self.kernel_cache.cache_info(),
+            worker_crashes=counters["crashes"] + counters["hangs"],
+            demotions_native=self.pool.native_demotions(),
         )
 
     # -- lifecycle -----------------------------------------------------------
+
+    def ready(self) -> bool:
+        """Is the service accepting new work (readiness probe)?"""
+        return not (self._draining or self._closed or self.jobs.closed)
+
+    def begin_drain(self) -> None:
+        """Stop accepting; in-flight and queued jobs keep executing.
+
+        First phase of graceful SIGTERM shutdown: ``/readyz`` flips
+        to 503 (load balancers stop routing), new submissions get
+        :class:`AdmissionError`, and :meth:`shutdown` then finishes
+        whatever was already admitted.
+        """
+        self._draining = True
+        self.jobs.close()
 
     def shutdown(self, drain: bool = True, timeout: float = 10.0) -> None:
         """Stop the service; ``drain`` finishes every admitted job."""
         if self._closed:
             return
         self._closed = True
+        self._draining = True
         self.jobs.close()
         if drain:
             self.batcher.stop(drain_timeout=timeout)
@@ -228,7 +288,18 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         if self.path == "/stats":
             self._reply(200, self.server.service.stats().to_dict())
         elif self.path == "/healthz":
+            # Liveness: the process is up and serving HTTP — true
+            # even while draining (kill -9 would lose in-flight work).
             self._reply(200, {"ok": True})
+        elif self.path == "/readyz":
+            if self.server.service.ready():
+                self._reply(200, {"ok": True})
+            else:
+                self._reply(
+                    503,
+                    {"ok": False, "error": "draining"},
+                    headers={"Retry-After": "1"},
+                )
         else:
             self._reply(404, {"ok": False, "error": "unknown path"})
 
@@ -259,6 +330,22 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             )
             return
         timeout = request.get("timeout")
+        if timeout is None:
+            # Deadline propagation from the transport layer: proxies
+            # and load balancers can stamp the header without parsing
+            # the body.
+            header = self.headers.get("X-Repro-Timeout")
+            if header:
+                try:
+                    timeout = float(header)
+                except ValueError:
+                    self._reply(
+                        400,
+                        {"ok": False,
+                         "error": f"bad X-Repro-Timeout header "
+                                  f"{header!r}: not a number"},
+                    )
+                    return
         try:
             handle = self.server.service.submit(
                 program,
@@ -267,14 +354,33 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 timeout=timeout,
                 reduce=request.get("reduce"),
             )
+            # Wait slightly *past* the job's own deadline: the queue
+            # and batcher enforce it authoritatively (classifying the
+            # outcome as shed vs timed-out mid-run), and that verdict
+            # should win the race against this thread's stopwatch.
             value = handle.result(
-                timeout=timeout if timeout is not None
+                timeout=timeout + self.server.DEADLINE_GRACE
+                if timeout is not None
                 else self.server.result_timeout
             )
         except AdmissionError as err:
+            # Queue-full / draining load shedding: tell the caller
+            # when to come back instead of just slamming the door.
             self._reply(
                 503, {"ok": False, "error": err.reason,
                       "rejected": True},
+                headers={"Retry-After": "1"},
+            )
+            return
+        except JobTimeoutError as err:
+            # The job missed its deadline — shed before launch
+            # (DeadlineError) or timed out mid-retry. Gateway-timeout
+            # semantics either way.
+            self._reply(
+                504,
+                {"ok": False, "error": str(err),
+                 "timed_out": True,
+                 "shed": isinstance(err, DeadlineError)},
             )
             return
         except DslError as err:
@@ -302,11 +408,18 @@ class _ServiceHandler(BaseHTTPRequestHandler):
              "latency_seconds": handle.latency_seconds},
         )
 
-    def _reply(self, status: int, payload: Dict[str, object]) -> None:
+    def _reply(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -322,6 +435,9 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     # when ~100 clients connect in the same instant (the service's
     # whole point). Match the admission queue's scale instead.
     request_queue_size = 128
+    #: Extra seconds the handler waits beyond a job's deadline so the
+    #: batcher's shed/timeout classification arrives before we reply.
+    DEADLINE_GRACE = 2.0
 
     def __init__(
         self,
@@ -351,6 +467,45 @@ def serve_in_thread(server: ServiceHTTPServer) -> threading.Thread:
     )
     thread.start()
     return thread
+
+
+def install_signal_handlers(
+    server: ServiceHTTPServer,
+    service: ComputeService,
+    signals: tuple = (signal.SIGTERM,),
+) -> None:
+    """Wire graceful drain into SIGTERM (call from the main thread).
+
+    On signal: :meth:`ComputeService.begin_drain` runs immediately
+    (``/readyz`` flips to 503, admissions stop), then a background
+    thread finishes every in-flight job, flushes the final stats
+    snapshot to stderr, and stops the HTTP server — which unblocks
+    ``serve_forever`` in the main thread. A second signal during the
+    drain is ignored (the drain is already as graceful as it gets).
+    """
+    done = threading.Event()
+
+    def handler(signum, frame) -> None:
+        if done.is_set():
+            return
+        done.set()
+        service.begin_drain()
+
+        def drain() -> None:
+            service.shutdown(drain=True)
+            try:
+                sys.stderr.write(service.stats().render() + "\n")
+                sys.stderr.flush()
+            except Exception:
+                pass
+            server.shutdown()
+
+        threading.Thread(
+            target=drain, name="repro-drain", daemon=True
+        ).start()
+
+    for signum in signals:
+        signal.signal(signum, handler)
 
 
 # -- client helpers -----------------------------------------------------------

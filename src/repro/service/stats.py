@@ -35,9 +35,18 @@ class ServiceStats:
     completed: int
     failed: int
     timed_out: int
+    #: Jobs whose deadline expired before any launch was attempted
+    #: (dequeue-time / pre-launch shedding) — work the service
+    #: declined, not work that failed.
+    shed: int
     retries: int
     device_faults: int
     demotions: int
+    #: Sandbox worker subprocesses that died (or were deadline-killed)
+    #: mid-launch, and launches re-routed off the native backend after
+    #: a crash or an open circuit breaker.
+    worker_crashes: int
+    demotions_native: int
     batches: int
     batched_jobs: int
     mean_batch_size: float
@@ -61,10 +70,13 @@ class ServiceStats:
             "service stats",
             f"  jobs        submitted={self.submitted} "
             f"completed={self.completed} failed={self.failed} "
-            f"timed_out={self.timed_out} rejected={self.rejected} "
+            f"timed_out={self.timed_out} shed={self.shed} "
+            f"rejected={self.rejected} "
             f"retries={self.retries}",
             f"  resilience  device_faults={self.device_faults} "
-            f"demotions={self.demotions}",
+            f"demotions={self.demotions} "
+            f"worker_crashes={self.worker_crashes} "
+            f"demotions_native={self.demotions_native}",
             f"  queue       depth={self.queue_depth}",
             f"  batching    batches={self.batches} "
             f"jobs={self.batched_jobs} "
@@ -91,6 +103,7 @@ class StatsRegistry:
         self.completed = 0
         self.failed = 0
         self.timed_out = 0
+        self.shed = 0
         self.retries = 0
         self.device_faults = 0
         self.demotions = 0
@@ -123,9 +136,14 @@ class StatsRegistry:
             self.failed += 1
 
     def job_timed_out(self) -> None:
-        """A job's deadline passed before it could run."""
+        """A job's deadline passed while it was being retried."""
         with self._lock:
             self.timed_out += 1
+
+    def job_shed(self) -> None:
+        """A job's deadline expired before any launch was attempted."""
+        with self._lock:
+            self.shed += 1
 
     def retry(self) -> None:
         """A batch attempt hit a transient error and will rerun."""
@@ -155,8 +173,15 @@ class StatsRegistry:
         self,
         queue_depth: int = 0,
         cache_info: Optional[CacheInfo] = None,
+        worker_crashes: int = 0,
+        demotions_native: int = 0,
     ) -> ServiceStats:
-        """The current :class:`ServiceStats`."""
+        """The current :class:`ServiceStats`.
+
+        ``worker_crashes``/``demotions_native`` are snapshot *inputs*
+        (the sandbox module and the pool's engines own those
+        counters), so the registry never double-counts them.
+        """
         cache = cache_info or CacheInfo(0, 0, 0, 0, 0, 0, 0, 0)
         with self._lock:
             lookups = cache.hits + cache.misses
@@ -166,9 +191,12 @@ class StatsRegistry:
                 completed=self.completed,
                 failed=self.failed,
                 timed_out=self.timed_out,
+                shed=self.shed,
                 retries=self.retries,
                 device_faults=self.device_faults,
                 demotions=self.demotions,
+                worker_crashes=worker_crashes,
+                demotions_native=demotions_native,
                 batches=self.batches,
                 batched_jobs=self.batched_jobs,
                 mean_batch_size=(

@@ -32,6 +32,7 @@ Failure policy per batch attempt (see :func:`classify_failure`):
 
 from __future__ import annotations
 
+import hashlib
 import queue as _queue
 import threading
 import time
@@ -43,7 +44,7 @@ from ..resilience.reference import serial_reference_run
 from ..runtime.engine import Engine
 from .batcher import Batch
 from .programs import ProgramRegistry
-from .queue import Job, JobState, JobTimeoutError
+from .queue import DeadlineError, Job, JobState, JobTimeoutError
 from .stats import StatsRegistry
 
 
@@ -64,6 +65,23 @@ def classify_failure(error: BaseException) -> str:
     if isinstance(error, (OSError, MemoryError, TimeoutError)):
         return "transient"
     return "permanent"
+
+
+def backoff_delay(
+    base: float, round_index: int, cap: float, token: str
+) -> float:
+    """Exponential backoff with *deterministic* jitter.
+
+    ``base * 2**round`` scaled by a factor in ``[0.5, 1.5)`` derived
+    from ``sha256(token | round)`` — so concurrent batches desynchronise
+    (no thundering-herd retry waves) while any given (batch, round)
+    always sleeps the same amount, keeping chaos runs reproducible.
+    """
+    digest = hashlib.sha256(
+        f"{token}|{round_index}".encode("utf-8")
+    ).hexdigest()
+    unit = int(digest[:8], 16) / float(0xFFFFFFFF)
+    return min(cap, base * (2.0 ** round_index) * (0.5 + unit))
 
 
 class WorkerPool:
@@ -93,6 +111,10 @@ class WorkerPool:
         self.backoff_seconds = backoff_seconds
         self.backoff_cap_seconds = backoff_cap_seconds
         self.demote_after = demote_after
+        #: The engines (or supervisors) the worker threads built —
+        #: the stats endpoint sums ``native_demotions`` across them.
+        self.engines: List[object] = []
+        self._engines_lock = threading.Lock()
         self._threads = [
             threading.Thread(
                 target=self._worker_loop,
@@ -130,8 +152,19 @@ class WorkerPool:
 
     # -- execution -----------------------------------------------------------
 
+    def native_demotions(self) -> int:
+        """Launches the worker engines re-routed off native after a
+        sandbox crash/hang or an open circuit breaker."""
+        with self._engines_lock:
+            return sum(
+                getattr(engine, "native_demotions", 0)
+                for engine in self.engines
+            )
+
     def _worker_loop(self) -> None:
         engine = self.engine_factory()
+        with self._engines_lock:
+            self.engines.append(engine)
         while True:
             batch = self.batches.get()
             try:
@@ -154,14 +187,20 @@ class WorkerPool:
         reduce = batch.key[4]
 
         live = list(batch.jobs)
-        delay = self.backoff_seconds
+        retry_round = 0
         device_fault_rounds = 0
+        # Until the first launch is attempted, an expired deadline
+        # means the job was *shed* (queue/batcher wait ate its whole
+        # budget) rather than timed out mid-retry.
+        attempted = False
+        backoff_token = f"{batch.program_sha}:{batch.function}"
         while True:
-            live = self._expire(live)
+            live = self._expire(live, shed=not attempted)
             if not live:
                 return
             for job in live:
                 job.handle.state = JobState.RUNNING
+            attempted = True
             try:
                 result = engine.map_run(
                     func,
@@ -201,8 +240,13 @@ class WorkerPool:
                 if not live:
                     return
                 self.stats.retry()
-                time.sleep(min(delay, self.backoff_cap_seconds))
-                delay *= 2.0
+                time.sleep(
+                    backoff_delay(
+                        self.backoff_seconds, retry_round,
+                        self.backoff_cap_seconds, backoff_token,
+                    )
+                )
+                retry_round += 1
                 continue
             now = time.monotonic()
             self.stats.batch_executed(len(live))
@@ -214,21 +258,41 @@ class WorkerPool:
 
     # -- helpers -------------------------------------------------------------
 
-    def _expire(self, jobs: List[Job]) -> List[Job]:
+    def _expire(
+        self, jobs: List[Job], shed: bool = False
+    ) -> List[Job]:
+        """Drop jobs whose deadline has passed.
+
+        ``shed=True`` marks the pre-first-launch check: the job is
+        rejected with :class:`DeadlineError` and counted as shed —
+        the service declined the work — instead of as a mid-retry
+        timeout.
+        """
         now = time.monotonic()
         live: List[Job] = []
         for job in jobs:
             if job.expired(now):
-                job.handle.reject(
-                    JobTimeoutError(
+                if shed:
+                    error: JobTimeoutError = DeadlineError(
+                        f"job {job.job_id} deadline expired before "
+                        f"launch (waited {job.age(now):.3f}s of its "
+                        f"{job.timeout}s budget); shed"
+                    )
+                else:
+                    error = JobTimeoutError(
                         f"job {job.job_id} exceeded its "
                         f"{job.timeout}s timeout after waiting "
                         f"{job.age(now):.3f}s"
-                    ),
+                    )
+                job.handle.reject(
+                    error,
                     state=JobState.TIMED_OUT,
                     latency=job.age(now),
                 )
-                self.stats.job_timed_out()
+                if shed:
+                    self.stats.job_shed()
+                else:
+                    self.stats.job_timed_out()
             else:
                 live.append(job)
         return live

@@ -44,7 +44,8 @@ class TestCampaign:
         assert payload["ok"] is True
         assert payload["cases_run"] == 5
         assert set(payload["classifications"]) == {
-            "crash", "divergence", "eligibility-mismatch",
+            "crash", "service-crash", "divergence",
+            "service-divergence", "eligibility-mismatch",
             "lint-gap", "rejected", "parity-ok",
         }
         assert payload["failures"] == []

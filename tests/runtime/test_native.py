@@ -99,6 +99,41 @@ class TestBuild:
         assert other != first
 
     @needs_cc
+    def test_concurrent_same_source_builds_never_torn(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: the temp output used to be pid-suffixed, so two
+        threads compiling the same kernel shared one temp file and the
+        second cc could truncate it while the first published it —
+        torn (even empty) .so artifacts in the shared cache. Each
+        build now gets its own temp file."""
+        import threading
+
+        monkeypatch.setenv("REPRO_NATIVE_CACHE_DIR", str(tmp_path))
+        source = "int repro_race(int x) { return x * 3; }\n"
+        paths, errors = [], []
+
+        def build():
+            try:
+                paths.append(native.build_shared_object(source))
+            except Exception as err:  # noqa: BLE001 - collected
+                errors.append(err)
+
+        threads = [threading.Thread(target=build) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        assert len(set(paths)) == 1
+        assert os.path.getsize(paths[0]) > 0
+        # No temp leftovers: every racer either published or cleaned up.
+        leftovers = [
+            name for name in os.listdir(tmp_path) if ".tmp" in name
+        ]
+        assert leftovers == []
+
+    @needs_cc
     def test_compile_error_raises_native_build_error(
         self, tmp_path, monkeypatch
     ):

@@ -21,6 +21,16 @@ from repro.service.cache import (
 ARGS = {"s": Sequence("kitten", ENGLISH), "t": Sequence("sitting", ENGLISH)}
 
 
+def record_names(directory):
+    """The ``.kpkl`` records on disk (the directory also holds the
+    ``.lock`` sidecar and, after quarantines, ``.quarantine/``)."""
+    return [
+        name
+        for name in os.listdir(directory)
+        if name.endswith(PersistentKernelCache.SUFFIX)
+    ]
+
+
 class TestScheduleSerialisation:
     def test_round_trip(self):
         schedule = Schedule(("i", "j"), (1, 2))
@@ -204,7 +214,7 @@ class TestPersistentKernelCache:
         warm = Engine(kernel_cache=PersistentKernelCache(str(tmp_path)))
         warm.run(edit_func, ARGS)
         (path,) = [
-            tmp_path / name for name in os.listdir(tmp_path)
+            tmp_path / name for name in record_names(tmp_path)
         ]
         path.write_bytes(b"\x00garbage\x00")
 
@@ -220,7 +230,7 @@ class TestPersistentKernelCache:
     def test_truncated_pickle_evicted(self, tmp_path, edit_func):
         warm = Engine(kernel_cache=PersistentKernelCache(str(tmp_path)))
         warm.run(edit_func, ARGS)
-        (name,) = os.listdir(tmp_path)
+        (name,) = record_names(tmp_path)
         path = tmp_path / name
         path.write_bytes(path.read_bytes()[:50])
         cold = Engine(kernel_cache=PersistentKernelCache(str(tmp_path)))
@@ -234,7 +244,12 @@ class TestPersistentKernelCache:
             kernel_cache=PersistentKernelCache(str(tmp_path))
         )
         engine.run(edit_func, ARGS)
-        names = os.listdir(tmp_path)
+        names = [
+            name
+            for name in os.listdir(tmp_path)
+            if name != ".lock"
+            and name != PersistentKernelCache.QUARANTINE
+        ]
         assert all(name.endswith(".kpkl") for name in names)
         assert not any(name.startswith(".tmp-") for name in names)
 
@@ -294,6 +309,29 @@ class TestFormatGuard:
             MAGIC.decode()
         )
 
+    def test_empty_shared_object_refused_at_encode(
+        self, edit_func, tmp_path
+    ):
+        """A torn build artifact (zero bytes on disk) must never be
+        immortalised as a native-so record — and a store hitting one
+        degrades to memory-only instead of failing the compile."""
+        engine = Engine()
+        engine.run(edit_func, ARGS)
+        compiled = engine._cache.values()[0]
+        torn = tmp_path / "torn.so"
+        torn.write_bytes(b"")
+        compiled = type(compiled)(
+            compiled.kernel, compiled.run, compiled.source,
+            compiled.compile_seconds, backend="native",
+            so_path=str(torn),
+        )
+        with pytest.raises(ValueError, match="empty shared object"):
+            encode_compiled(compiled)
+        cache = PersistentKernelCache(str(tmp_path / "cache"))
+        cache.store("torn-key", compiled)  # must not raise
+        assert cache.lookup("torn-key") is compiled  # memory tier intact
+        assert "torn-key" not in cache.disk_keys()
+
     def test_headerless_record_rejected_without_unpickling(self):
         """A v1-era record (bare pickle, no magic) must be refused
         before pickle.loads ever runs on it."""
@@ -310,7 +348,7 @@ class TestFormatGuard:
     def test_old_schema_file_evicted_on_load(self, tmp_path, edit_func):
         warm = Engine(kernel_cache=PersistentKernelCache(str(tmp_path)))
         warm.run(edit_func, ARGS)
-        (name,) = os.listdir(tmp_path)
+        (name,) = record_names(tmp_path)
         path = tmp_path / name
         # Rewrite the entry as an older schema would have: same pickle
         # payload, previous version in the header.

@@ -1,0 +1,177 @@
+"""Multi-process kernel cache: locking, quarantine, crash recovery.
+
+The acceptance scenario: two concurrent OS processes sharing one
+cache directory both complete a warm-start round trip with zero
+corrupt-eviction races — plus the crash-recovery sweep that makes a
+shared directory safe to reopen after a writer died mid-store.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import Engine, Sequence, check_function, parse_function
+from repro.runtime import ENGLISH
+from repro.service.cache import MAGIC, PersistentKernelCache
+from repro.service.locking import FileLock, LockTimeout
+
+SRC_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(Engine.__init__.__code__.co_filename)))
+)
+
+EDIT_FUNC_SRC = """
+int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i-1] == t[j-1] then d(i-1, j-1)
+  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1
+""".strip()
+
+#: What each racing child runs: same function, same shared cache
+#: directory, so both processes compile + store the same digest.
+CHILD_SCRIPT = """
+import sys
+from repro import Engine, Sequence, check_function, parse_function
+from repro.runtime import ENGLISH
+from repro.service.cache import PersistentKernelCache
+
+func = check_function(
+    parse_function({src!r}), {{"en": ENGLISH.chars}}
+)
+cache = PersistentKernelCache(sys.argv[1])
+engine = Engine(kernel_cache=cache)
+for _ in range(3):
+    result = engine.run(
+        func,
+        {{"s": Sequence("kitten", ENGLISH),
+          "t": Sequence("sitting", ENGLISH)}},
+    )
+    assert result.value == 3, result.value
+info = cache.cache_info()
+assert info.corrupt_evictions == 0, info
+print(result.value)
+"""
+
+
+def edit_func():
+    return check_function(
+        parse_function(EDIT_FUNC_SRC), {"en": ENGLISH.chars}
+    )
+
+
+def run_children(cache_dir, count=2):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    script = CHILD_SCRIPT.format(src=EDIT_FUNC_SRC)
+    children = [
+        subprocess.Popen(
+            [sys.executable, "-c", script, str(cache_dir)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+        )
+        for _ in range(count)
+    ]
+    outcomes = []
+    for child in children:
+        out, err = child.communicate(timeout=120)
+        outcomes.append((child.returncode, out, err))
+    return outcomes
+
+
+class TestTwoProcessRace:
+    def test_concurrent_writers_share_one_directory(self, tmp_path):
+        """Two processes compile-and-store the same kernel into the
+        same directory simultaneously: both succeed, and a cold
+        reader afterwards warm-starts with zero corrupt evictions."""
+        outcomes = run_children(tmp_path, count=2)
+        for code, out, err in outcomes:
+            assert code == 0, err.decode()
+            assert out.strip() == b"3"
+        # The directory holds exactly one record per digest — the
+        # concurrent stores serialised on the file lock instead of
+        # colliding.
+        cold = PersistentKernelCache(str(tmp_path))
+        assert len(cold.disk_keys()) >= 1
+        engine = Engine(kernel_cache=cold)
+        result = engine.run(
+            edit_func(),
+            {"s": Sequence("kitten", ENGLISH),
+             "t": Sequence("sitting", ENGLISH)},
+        )
+        assert result.value == 3
+        info = cold.cache_info()
+        assert info.corrupt_evictions == 0
+        assert info.disk_hits >= 1  # warm start, no recompilation
+
+
+class TestRecoverySweep:
+    def warm_cache(self, tmp_path):
+        warm = Engine(
+            kernel_cache=PersistentKernelCache(str(tmp_path))
+        )
+        warm.run(
+            edit_func(),
+            {"s": Sequence("kitten", ENGLISH),
+             "t": Sequence("sitting", ENGLISH)},
+        )
+
+    def test_torn_record_quarantined_not_deleted(self, tmp_path):
+        self.warm_cache(tmp_path)
+        (key,) = PersistentKernelCache(str(tmp_path)).disk_keys()
+        record = tmp_path / (key + PersistentKernelCache.SUFFIX)
+        record.write_bytes(b"\x00torn write, no magic")
+        cache = PersistentKernelCache(str(tmp_path))
+        # Swept at construction: quarantined for post-mortem, counted.
+        assert cache.cache_info().corrupt_evictions == 1
+        assert cache.disk_keys() == ()
+        quarantine = tmp_path / PersistentKernelCache.QUARANTINE
+        (moved,) = os.listdir(quarantine)
+        assert moved.startswith(key + PersistentKernelCache.SUFFIX)
+        # And the next run recompiles cleanly into the same directory.
+        engine = Engine(kernel_cache=cache)
+        assert engine.run(
+            edit_func(),
+            {"s": Sequence("kitten", ENGLISH),
+             "t": Sequence("sitting", ENGLISH)},
+        ).value == 3
+
+    def test_stale_tmp_files_swept_young_ones_kept(self, tmp_path):
+        stale = tmp_path / ".tmp-dead-writer.kpkl"
+        stale.write_bytes(b"partial")
+        old = time.time() - 2 * PersistentKernelCache.STALE_TMP_SECONDS
+        os.utime(stale, (old, old))
+        young = tmp_path / ".tmp-live-writer.kpkl"
+        young.write_bytes(b"in flight")
+        PersistentKernelCache(str(tmp_path))
+        assert not stale.exists()  # crashed writer's leftover
+        assert young.exists()  # may be a live sibling's write
+
+    def test_valid_records_survive_the_sweep(self, tmp_path):
+        self.warm_cache(tmp_path)
+        cache = PersistentKernelCache(str(tmp_path))
+        assert cache.cache_info().corrupt_evictions == 0
+        assert len(cache.disk_keys()) == 1
+
+
+class TestFileLock:
+    def test_exclusive_across_check(self, tmp_path):
+        path = str(tmp_path / "x.lock")
+        with FileLock(path):
+            other = FileLock(path, timeout=0.1)
+            if other.supported:
+                with pytest.raises(LockTimeout):
+                    with other:
+                        pass
+
+    def test_reentrant_use_after_release(self, tmp_path):
+        lock = FileLock(str(tmp_path / "x.lock"))
+        for _ in range(3):
+            with lock:
+                pass
+
+    def test_magic_header_is_versioned(self):
+        assert MAGIC.startswith(b"repro-kernel-cache:")

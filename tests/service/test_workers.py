@@ -10,6 +10,7 @@ from repro.runtime.engine import Engine
 from repro.service.batcher import Batch
 from repro.service.programs import ProgramRegistry
 from repro.service.queue import (
+    DeadlineError,
     Job,
     JobState,
     JobTimeoutError,
@@ -102,7 +103,9 @@ class TestExecution:
 
 
 class TestTimeout:
-    def test_expired_job_times_out_without_running(self):
+    def test_expired_job_shed_without_running(self):
+        # A deadline that expires before *any* launch attempt is a
+        # shed (the service declined the work), not a timeout.
         stats, registry = StatsRegistry(), ProgramRegistry()
         pool = make_pool(stats, registry)
         batch = edit_batch(registry, ["kitten"], timeout=0.001)
@@ -110,10 +113,11 @@ class TestTimeout:
         pool.execute_batch(Engine(), batch)
         job = batch.jobs[0]
         assert job.handle.state is JobState.TIMED_OUT
-        with pytest.raises(JobTimeoutError):
+        with pytest.raises(DeadlineError):
             job.handle.result(timeout=1)
         snapshot = stats.snapshot()
-        assert snapshot.timed_out == 1
+        assert snapshot.shed == 1
+        assert snapshot.timed_out == 0
         assert snapshot.batches == 0  # nothing was executed
 
     def test_live_jobs_survive_expired_neighbours(self):
