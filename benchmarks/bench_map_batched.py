@@ -5,23 +5,35 @@ positions) against a sequence database — one forward problem per
 database sequence, all sharing one kernel and one HMM. That is the
 ideal case for the engine's lane-batched map path: the problems pack
 into a single array with a leading problem axis and execute as one
-vectorised sweep instead of a Python loop of per-problem sweeps.
+launch instead of a Python loop of per-problem sweeps.
 
-This benchmark measures the real wall-clock win over the per-problem
-loop (``Engine(batching=False)``) on a 64-sequence database and
-asserts it stays at least 5x. Results are written to
+Two batched rungs are measured against the per-problem loop
+(``Engine(batching=False)``):
+
+* **vector-batched** — the NumPy batched twin (one masked sweep);
+* **native-batched** — the batched C entry point, at 1, 2 and all
+  cores (``REPRO_NATIVE_THREADS`` drives the OpenMP problem loop).
+
+The acceptance bars: vector batching stays >= 5x the vector loop,
+native batching stays >= 5x vector batching, the ``auto`` ladder
+actually picks the native-batched rung for this workload, and every
+rung agrees (native bitwise with the per-problem native loop; vector
+within the documented logaddexp tolerance). Results are written to
 ``BENCH_map_batched.json`` at the repository root.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
 import numpy as np
+import pytest
 
 from repro.apps.profile_hmm import ProfileSearch, tk_model
+from repro.runtime import native as native_rt
 from repro.runtime.engine import Engine
 from repro.runtime.sequences import random_protein
 
@@ -30,16 +42,41 @@ from conftest import write_table
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 PROBLEMS = 64
-SEQ_LENGTH = 120
+SEQ_LENGTH = 240
+
+
+def _timed_search(search, database, repeats=3):
+    """Best-of-``repeats`` wall time (and the last result).
+
+    The batched legs finish in tens of milliseconds; a single shot is
+    at the mercy of the scheduler, so each leg reports its best of a
+    few repeats — the standard floor estimator for short benchmarks.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = search(database)
+        best = min(best, time.perf_counter() - started)
+    return result, best
+
+
+def _native_engine():
+    return Engine(
+        prob_mode="logspace", backend="native", batching=True
+    )
 
 
 def test_map_batched_profile_speedup(benchmark):
+    if not native_rt.available().ok:
+        pytest.skip("no C compiler: native rungs unmeasurable")
     profile = tk_model()
     database = [
         random_protein(SEQ_LENGTH, seed=k) for k in range(PROBLEMS)
     ]
-    # Lane batching is a vector-backend feature; pin the backend so
-    # the comparison is batching on/off, not native vs vector.
+    cores = max(1, os.cpu_count() or 1)
+    thread_legs = sorted({1, 2, cores})
+
     batched = ProfileSearch(
         profile,
         engine=Engine(
@@ -52,27 +89,55 @@ def test_map_batched_profile_speedup(benchmark):
             prob_mode="logspace", backend="vector", batching=False
         ),
     )
+    native_loop = ProfileSearch(
+        profile,
+        engine=Engine(
+            prob_mode="logspace", backend="native", batching=False
+        ),
+    )
     batched.search(database[:2])  # warm the kernel caches
     looped.search(database[:2])
+    native_loop.search(database[:2])
 
     def compute():
-        started = time.perf_counter()
-        batched_result = batched.search(database)
-        batched_s = time.perf_counter() - started
-        started = time.perf_counter()
-        looped_result = looped.search(database)
-        looped_s = time.perf_counter() - started
-        return batched_result, batched_s, looped_result, looped_s
+        batched_result, batched_s = _timed_search(
+            batched.search, database
+        )
+        looped_result, looped_s = _timed_search(
+            looped.search, database, repeats=1
+        )
+        native_loop_result, native_loop_s = _timed_search(
+            native_loop.search, database
+        )
+        # Thread legs get fresh engines: the OpenMP cap is applied
+        # when each engine's library handle loads.
+        native_legs = {}
+        for threads in thread_legs:
+            os.environ["REPRO_NATIVE_THREADS"] = str(threads)
+            try:
+                search = ProfileSearch(profile, engine=_native_engine())
+                search.search(database[:2])  # warm: compile + load
+                native_legs[threads] = _timed_search(
+                    search.search, database
+                )
+            finally:
+                os.environ.pop("REPRO_NATIVE_THREADS", None)
+        return (
+            batched_result, batched_s, looped_result, looped_s,
+            native_loop_result, native_loop_s, native_legs,
+        )
 
-    batched_result, batched_s, looped_result, looped_s = (
-        benchmark.pedantic(compute, rounds=1, iterations=1)
-    )
+    (
+        batched_result, batched_s, looped_result, looped_s,
+        native_loop_result, native_loop_s, native_legs,
+    ) = benchmark.pedantic(compute, rounds=1, iterations=1)
 
     # One lane batch covering the whole database, identical scores.
     mapped = batched_result.map_result
     assert mapped.lane_batches == 1
     assert mapped.lane_batched_problems == PROBLEMS
     assert len(mapped.batched_costs) == 1
+    assert mapped.batched_backends == ["vector-batched"]
     assert np.allclose(
         batched_result.likelihoods,
         looped_result.likelihoods,
@@ -80,14 +145,59 @@ def test_map_batched_profile_speedup(benchmark):
         atol=1e-12,
     )
 
+    # The native rung: one native-batched launch per thread leg,
+    # bitwise-identical to the per-problem native loop at any count.
+    for threads, (result, _seconds) in native_legs.items():
+        assert result.map_result.batched_backends == [
+            "native-batched"
+        ], (threads, result.map_result.batched_backends)
+        assert result.likelihoods == native_loop_result.likelihoods, (
+            f"native-batched at {threads} threads diverged from the "
+            f"per-problem native loop"
+        )
+    assert np.allclose(
+        native_legs[thread_legs[-1]][0].likelihoods,
+        batched_result.likelihoods,
+        rtol=1e-9,
+        atol=1e-12,
+    )
+
+    # The auto ladder must pick the native-batched rung unprompted.
+    auto = ProfileSearch(
+        profile, engine=Engine(prob_mode="logspace")
+    )
+    auto_result = auto.search(database[:8])
+    assert auto_result.map_result.batched_backends == [
+        "native-batched"
+    ], auto_result.map_result.batched_backends
+
+    native_best_s = min(s for _r, s in native_legs.values())
     speedup = looped_s / batched_s
+    native_speedup = batched_s / native_best_s
+    rows = [
+        (PROBLEMS, "vector loop", 1, looped_s, 1.0),
+        (
+            PROBLEMS, "vector batched", 1, batched_s,
+            looped_s / batched_s,
+        ),
+        (
+            PROBLEMS, "native loop", 1, native_loop_s,
+            looped_s / native_loop_s,
+        ),
+    ] + [
+        (
+            PROBLEMS, "native batched", threads, seconds,
+            looped_s / seconds,
+        )
+        for threads, (_result, seconds) in sorted(native_legs.items())
+    ]
     write_table(
         "map_batched_fig14",
-        "Lane-batched map vs per-problem loop\n"
+        "Lane-batched map rungs vs per-problem loop\n"
         f"(Figure 14 profile forward, {PROBLEMS} x "
         f"{SEQ_LENGTH}aa sequences, host seconds)",
-        ("problems", "loop (s)", "batched (s)", "speedup"),
-        [(PROBLEMS, looped_s, batched_s, speedup)],
+        ("problems", "rung", "threads", "seconds", "vs vector loop"),
+        rows,
     )
     payload = {
         "benchmark": "map_batched_fig14_profile",
@@ -98,16 +208,27 @@ def test_map_batched_profile_speedup(benchmark):
         "looped_s": looped_s,
         "batched_s": batched_s,
         "speedup": speedup,
+        "native_loop_s": native_loop_s,
+        "native_batched_s": {
+            str(threads): seconds
+            for threads, (_r, seconds) in sorted(native_legs.items())
+        },
+        "native_batched_best_s": native_best_s,
+        "native_vs_vector_batched": native_speedup,
+        "auto_backend": "native-batched",
         "lane_batches": mapped.lane_batches,
         "lane_batched_problems": mapped.lane_batched_problems,
         "batched_launch_seconds": [
             cost.seconds for cost in mapped.batched_costs
         ],
-        "agreement": "likelihoods match the per-problem loop "
-        "(rtol=1e-9)",
+        "agreement": "native-batched bitwise == per-problem native "
+        "loop at every thread count; vector rungs match within "
+        "rtol=1e-9",
     }
     (REPO_ROOT / "BENCH_map_batched.json").write_text(
         json.dumps(payload, indent=2) + "\n"
     )
-    # The acceptance bar: batching the map must be worth at least 5x.
+    # The acceptance bars: batching worth >= 5x over the loop, and
+    # the native rung worth >= 5x over the vector rung.
     assert speedup >= 5.0, speedup
+    assert native_speedup >= 5.0, native_speedup

@@ -117,3 +117,49 @@ def test_smoke_native_agrees_with_scalar_and_vector():
     ).search(database)
     # Same formulas through the same libm: bitwise, even in log space.
     assert compiled.likelihoods == scalar.likelihoods
+
+
+@pytest.mark.skipif(
+    not native.available().ok,
+    reason="no working C compiler in this environment",
+)
+def test_smoke_batched_rungs_agree():
+    """Scalar loop == batched-vector == batched-native on tiny sizes.
+
+    This is the agreement bar ``bench_map_batched`` times at scale:
+    the batched C entry point and the masked NumPy sweep must both
+    reproduce the per-problem scalar results, and the engines must
+    actually take their batched rungs (not silently demote)."""
+    profile = tk_model()
+    database = [
+        random_protein(SMOKE_SIZE, seed=9000 + k)
+        for k in range(SMOKE_PROBLEMS)
+    ]
+    scalar = ProfileSearch(
+        profile,
+        engine=Engine(
+            prob_mode="logspace", backend="scalar", batching=False
+        ),
+    ).search(database)
+    vector = ProfileSearch(
+        profile,
+        engine=Engine(
+            prob_mode="logspace", backend="vector", batching=True
+        ),
+    ).search(database)
+    batched_native = ProfileSearch(
+        profile,
+        engine=Engine(
+            prob_mode="logspace", backend="native", batching=True
+        ),
+    ).search(database)
+    assert vector.map_result.batched_backends == ["vector-batched"]
+    assert batched_native.map_result.batched_backends == [
+        "native-batched"
+    ]
+    assert np.allclose(
+        vector.likelihoods, scalar.likelihoods, rtol=1e-9, atol=1e-12
+    )
+    # The batched entry runs each member's exact serial nest: bitwise
+    # with the scalar interpreter through the same libm.
+    assert batched_native.likelihoods == scalar.likelihoods

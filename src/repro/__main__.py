@@ -305,13 +305,23 @@ def explain_main(argv) -> int:
                 "detail": native.detail,
             },
         )
+        from .runtime.batching import batched_native_eligibility
+
+        batched = batched_native_eligibility(kernel)
+        record["batched_native"] = {
+            "ok": batched.ok,
+            "rule": batched.rule,
+            "detail": batched.detail,
+        }
         emit(f"{name}: backend={backend} rule={verdict.rule} "
              f"schedule={schedule}")
         emit(f"  vector: [{verdict.rule}] {verdict.detail}")
         if not available.ok:
             emit(f"  native: [{available.rule}] {available.detail}")
+            emit(f"  batched-native: [{batched.rule}] {batched.detail}")
         elif not native.ok:
             emit(f"  native: [{native.rule}] {native.detail}")
+            emit(f"  batched-native: [{batched.rule}] {batched.detail}")
         else:
             import time as _time
 
@@ -319,12 +329,16 @@ def explain_main(argv) -> int:
 
             started = _time.perf_counter()
             try:
-                native_rt.compile_native(kernel)
+                _run, _source, so_path = native_rt.compile_native(
+                    kernel
+                )
             except NativeBuildError as err:
                 record["native_build"] = {
                     "ok": False, "error": str(err),
                 }
                 emit(f"  native: [build-failed] {err}")
+                emit(f"  batched-native: [{batched.rule}] "
+                     f"{batched.detail}")
             else:
                 elapsed = _time.perf_counter() - started
                 record["native_build"] = {
@@ -332,6 +346,31 @@ def explain_main(argv) -> int:
                 }
                 emit(f"  native: [{native.rule}] {native.detail} "
                      f"(compiled in {elapsed * 1e3:.0f} ms)")
+                # The batched entry point lives in the same
+                # translation unit; prove it loads (the map path's
+                # rung is only real if the symbol resolves).
+                if batched.ok:
+                    loaded = _time.perf_counter()
+                    try:
+                        native_rt.load_batched(kernel, so_path)
+                    except NativeBuildError as err:
+                        record["batched_native"]["ok"] = False
+                        record["batched_native"]["error"] = str(err)
+                        emit(f"  batched-native: [load-failed] {err}")
+                    else:
+                        load_ms = _time.perf_counter() - loaded
+                        record["batched_native"]["seconds"] = elapsed
+                        record["batched_native"]["load_seconds"] = (
+                            load_ms
+                        )
+                        emit(
+                            f"  batched-native: [{batched.rule}] "
+                            f"{batched.detail} (same module, "
+                            f"compiled in {elapsed * 1e3:.0f} ms)"
+                        )
+                else:
+                    emit(f"  batched-native: [{batched.rule}] "
+                         f"{batched.detail}")
         try:
             certificate, _diags = verify_schedule(
                 func,

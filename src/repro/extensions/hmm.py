@@ -179,8 +179,20 @@ class Hmm:
         return "\n".join(lines)
 
     def arrays(self, logspace: bool = False) -> "HmmArrays":
-        """The device layout of this model (see HmmArrays)."""
-        return HmmArrays.build(self, logspace=logspace)
+        """The device layout of this model (see HmmArrays).
+
+        Memoised per model: a lane-batched map group binds the same
+        model for every member, and the layout (emission matrix,
+        CSR-ish transition lists) is pure in the model, so the batch
+        pays for one build instead of one per member.
+        """
+        cache = self.__dict__.setdefault("_arrays_cache", {})
+        built = cache.get(logspace)
+        if built is None:
+            built = cache[logspace] = HmmArrays.build(
+                self, logspace=logspace
+            )
+        return built
 
 
 class HmmBuilder:

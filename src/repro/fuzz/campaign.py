@@ -249,16 +249,27 @@ def _run_cases(
             shrink_steps=steps,
         )
         if corpus_directory is not None:
+            import json
+
             from .corpus import write_entry
 
+            meta = {
+                "origin": f"campaign seed={seed} case={index}",
+                "prob-mode": shrunk_case.prob_mode,
+                "note": detail,
+            }
+            if shrunk_case.map_texts and shrunk_case.map_call:
+                # Bank the lane-batched leg with the script so the
+                # corpus replay re-runs the batched rungs, not just
+                # the single-problem prints.
+                meta["map-call"] = shrunk_case.map_call
+                meta["map-texts"] = json.dumps(
+                    list(shrunk_case.map_texts)
+                )
             record.corpus_path = write_entry(
                 record.shrunk_script,
                 name=f"fuzz-seed{seed}-case{index}-{target}",
-                meta={
-                    "origin": f"campaign seed={seed} case={index}",
-                    "prob-mode": shrunk_case.prob_mode,
-                    "note": detail,
-                },
+                meta=meta,
                 directory=corpus_directory,
             )
         report.failures.append(record)

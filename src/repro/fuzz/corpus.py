@@ -17,11 +17,17 @@ Header format, one ``// fuzz: key = value`` line per key::
 
 Recognised keys: ``name``, ``origin``, ``prob-mode`` (engine mode
 for the replay, default ``direct``), ``expect`` (space-separated
-golden printed values, checked against the scalar leg), ``note``.
+golden printed values, checked against the scalar leg), ``note``,
+and the map-leg pair ``map-call`` / ``map-texts``: a map template
+call (``d(a, |a|, _, |_|)``) plus a JSON list of member texts (JSON,
+so empty-string members survive). Entries carrying both replay the
+lane-batched map path on every backend — scalar loop, batched-vector
+and batched-native compared member for member.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -69,6 +75,24 @@ class CorpusEntry:
         """Golden printed values, when the entry pins them."""
         raw = self.meta.get("expect")
         return raw.split() if raw else None
+
+    @property
+    def map_call(self) -> Optional[str]:
+        """The map template call text, for map-leg entries."""
+        return self.meta.get("map-call") or None
+
+    @property
+    def map_texts(self) -> Optional[List[str]]:
+        """Member texts of the replayed map batch (JSON list)."""
+        raw = self.meta.get("map-texts")
+        if not raw:
+            return None
+        texts = json.loads(raw)
+        if not isinstance(texts, list):
+            raise ValueError(
+                f"map-texts must be a JSON list, got {texts!r}"
+            )
+        return [str(text) for text in texts]
 
 
 @dataclass
@@ -158,17 +182,39 @@ def replay_entry(
     toolchain is present."""
     from ..runtime import native as native_rt
     from ..runtime.engine import Engine
-    from ..runtime.program import run_script
+    from ..runtime.program import ProgramRunner, run_script
 
     report = ReplayReport(entry)
     skipped: List[str] = []
+    map_texts = entry.map_texts
+    script = entry.script
+    if map_texts is not None and entry.map_call:
+        # The map leg replays through the script-level ``map``
+        # statement; the collection is pre-seeded into the runner
+        # (bare strings coerce per member), so empty-string members
+        # survive where a FASTA round-trip would drop them. Scalar
+        # engines sweep per member; vector/native engines take their
+        # lane-batched rungs — exactly the fuzzer's map comparison.
+        script = (
+            script.rstrip("\n")
+            + f"\nmap fuzzmap = {entry.map_call} over fuzzdb\n"
+        )
     for backend in backends:
         if backend == "native" and not native_rt.available().ok:
             skipped.append("native: no toolchain")
             continue
         engine = Engine(backend=backend, prob_mode=entry.prob_mode)
         try:
-            result = run_script(entry.script, engine)
+            if map_texts is not None and entry.map_call:
+                runner = ProgramRunner(engine)
+                runner.globals["fuzzdb"] = list(map_texts)
+                result = runner.run_text(script)
+                values = list(result.values) + list(
+                    result.maps["fuzzmap"].values
+                )
+            else:
+                result = run_script(script, engine)
+                values = list(result.values)
         except CodegenError as err:
             skipped.append(f"{backend}: {err}")
             continue
@@ -179,7 +225,7 @@ def replay_entry(
             )
             report.skipped = tuple(skipped)
             return report
-        report.values[backend] = list(result.values)
+        report.values[backend] = values
     report.skipped = tuple(skipped)
 
     baseline = report.values.get("scalar")

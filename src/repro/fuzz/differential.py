@@ -67,6 +67,7 @@ FAILURE_CLASSES = (
     "crash",
     "service-crash",
     "divergence",
+    "map-native-divergence",
     "service-divergence",
     "eligibility-mismatch",
     "lint-gap",
@@ -544,5 +545,34 @@ class DifferentialHarness:
                         "divergence",
                         f"map problem {index}: batched={a!r} "
                         f"{name}={b!r}",
+                    )
+
+        # Forced batched-native leg: the batched C entry point must
+        # reproduce the scalar sweep member for member. Classified
+        # apart from plain "divergence" — a miss here implicates the
+        # batched emission (ragged tails, per-member bound columns),
+        # not the kernel body.
+        if self.use_native:
+            try:
+                native = self._engine(
+                    "native", case.prob_mode
+                ).map_run(func, base, problems, reduce=case.reduce)
+            except (CodegenError, NativeBuildError):
+                return None  # ineligible kernel: a refusal, not a bug
+            except Exception as err:
+                return (
+                    "crash",
+                    f"batched-native map leg failed: "
+                    f"{type(err).__name__}: {err}",
+                )
+            for index, (a, b) in enumerate(
+                zip(native.values, scalar.values)
+            ):
+                if not values_agree(a, b):
+                    rungs = ",".join(native.batched_backends)
+                    return (
+                        "map-native-divergence",
+                        f"map problem {index}: native({rungs})={a!r} "
+                        f"scalar={b!r}",
                     )
         return None

@@ -139,6 +139,14 @@ def _draw_seq2d(rng: random.Random) -> Seq2DSpec:
             _text(rng, alphabet, _length(rng))
             for _ in range(2 + int(rng.random() * 3))
         )
+        # Degenerate members ride along often: an empty sequence
+        # (zero-extent domain) and a one-character member exercise
+        # the batched native entry's ragged tails and per-member
+        # bound columns, where padded-batch bugs live.
+        if rng.random() < 0.5:
+            map_texts += ("",)
+        if rng.random() < 0.5:
+            map_texts += (_text(rng, alphabet, 1),)
     reduce = _pick(rng, ((None, 7), ("max", 2), ("min", 1)))
     return Seq2DSpec(
         ret=ret,

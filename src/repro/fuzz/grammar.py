@@ -182,6 +182,9 @@ class FuzzCase:
     reduce: Optional[str] = None
     map_param: Optional[str] = None
     map_texts: Tuple[str, ...] = ()
+    #: the script-level ``map`` template call (``f(a, |a|, _, |_|)``)
+    #: for corpus entries that replay the lane-batched leg.
+    map_call: Optional[str] = None
     #: driver statements (let/print) appended by :func:`render_script`.
     driver: Tuple[str, ...] = field(default_factory=tuple)
 
@@ -322,6 +325,9 @@ def _render_seq2d(spec: Seq2DSpec) -> FuzzCase:
     proto = ["m"] if uses_matrix else []
     proto += ["a", "|a|", "b", "|b|"]
     driver.append(f"print f({', '.join(proto)})")
+    map_proto = (["m"] if uses_matrix else []) + [
+        "a", "|a|", "_", "|_|"
+    ]
     return FuzzCase(
         spec=spec,
         text="\n".join(lines) + "\n",
@@ -330,6 +336,9 @@ def _render_seq2d(spec: Seq2DSpec) -> FuzzCase:
         reduce=spec.reduce,
         map_param="t" if spec.map_texts else None,
         map_texts=spec.map_texts,
+        map_call=(
+            f"f({', '.join(map_proto)})" if spec.map_texts else None
+        ),
         driver=tuple(driver),
     )
 

@@ -187,6 +187,7 @@ def batched_launch_cost(
     domains,
     spec: DeviceSpec,
     mean_degree: float = 1.0,
+    threads: int = 1,
 ) -> KernelCost:
     """Price one *lane-batched* launch of many same-kernel problems.
 
@@ -200,6 +201,11 @@ def batched_launch_cost(
 
     The batch shares one table layout, so no shared-memory window is
     assumed (the padded batch table lives in global memory).
+
+    ``threads`` models multi-core launches (the batched-native rung's
+    OpenMP problem loop): cell work — compute and memory — divides
+    across cores, while the per-partition synchronisation cost does
+    not (barriers are the serial fraction of the sweep).
     """
     schedule = kernel.schedule
     profiles = [partition_sizes(schedule, d) for d in domains]
@@ -210,9 +216,14 @@ def batched_launch_cost(
     per_cell = cell_cost_cycles(
         kernel, spec, mean_degree, table_in_shared=False
     )
+    share = max(1, int(threads))
     warp_batches = np.ceil(sizes / spec.warp_size)
-    compute_total = float(warp_batches.sum()) * per_cell["compute"]
-    memory_total = float(warp_batches.sum()) * per_cell["memory"]
+    compute_total = (
+        float(warp_batches.sum()) * per_cell["compute"] / share
+    )
+    memory_total = (
+        float(warp_batches.sum()) * per_cell["memory"] / share
+    )
     sync_total = span * spec.sync_cycles
     cycles = compute_total + memory_total + sync_total
     return KernelCost(

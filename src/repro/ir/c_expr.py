@@ -39,12 +39,31 @@ class CCellEmitter:
     buffer ``swin`` (``window + 1`` rows of ``win_cols`` cells,
     addressed by partition modulo the row count); otherwise accesses
     linearise row-major into ``farr``.
+
+    ``strides`` overrides the linearisation extents: by default a
+    dimension's row length is its own inclusive bound plus one
+    (``ub_<dim> + 1``), but a *batched* entry point addresses one
+    problem's slice of a padded ``(B, d0max, ...)`` table, whose row
+    lengths are the shared padded extents — the caller passes their C
+    spellings (one per dimension, e.g. ``pad_<dim>``) here.
     """
 
-    def __init__(self, kernel: Kernel, windowed: bool = False) -> None:
+    def __init__(
+        self,
+        kernel: Kernel,
+        windowed: bool = False,
+        strides: Optional[Tuple[str, ...]] = None,
+    ) -> None:
         self.kernel = kernel
         self.windowed = windowed
+        self.strides = tuple(strides) if strides is not None else None
         self.counter = 0
+
+    def _dim_size(self, k: int) -> str:
+        """C text of dimension ``k``'s row length in the table."""
+        if self.strides is not None:
+            return self.strides[k]
+        return f"ub_{self.kernel.dims[k]} + 1"
 
     def fresh(self) -> str:
         name = f"_t{self.counter}"
@@ -177,7 +196,7 @@ class CCellEmitter:
             return f"swin[({row}) * win_cols + ({col})]"
         text = rendered[0]
         for k in range(1, len(dims)):
-            text = f"({text}) * (ub_{dims[k]} + 1) + {rendered[k]}"
+            text = f"({text}) * ({self._dim_size(k)}) + {rendered[k]}"
         return f"farr[{text}]"
 
     def linear_ref(self, indices: Tuple[ir.Node, ...]) -> str:
@@ -187,7 +206,7 @@ class CCellEmitter:
         dims = self.kernel.dims
         text = rendered[0]
         for k in range(1, len(dims)):
-            text = f"({text}) * (ub_{dims[k]} + 1) + {rendered[k]}"
+            text = f"({text}) * ({self._dim_size(k)}) + {rendered[k]}"
         return f"farr[{text}]"
 
     def emit_to(

@@ -25,6 +25,23 @@ Both entries take ``(table, part_lo, part_hi, bounds, context
 arrays...)`` with a fixed parameter order described by
 :func:`native_param_spec` — :mod:`repro.runtime.native` builds the
 matching ``ctypes`` call from the same spec.
+
+A third entry point is always emitted for the lane-batched ``map``
+path (the native mirror of the vector batcher in
+:mod:`repro.ir.npbackend`):
+
+* ``repro_<name>_batched`` — runs a whole same-kernel map group as
+  one call over a padded ``(B, d0max, ...)`` table with ``(B, 1)``
+  bounds, ``(B, Lmax)`` sequence buffers and length-``B`` scalar
+  columns (:func:`native_batched_param_spec`). Where the NumPy
+  batcher needs explicit validity masks (`_bread`/`_bgather`/
+  `_bstore`) because every lane executes every global partition, the
+  C entry simply runs each member's *own* loop nest over its own
+  bounds inside an outer problem loop — no masking, no clamping, and
+  bitwise-identical cells to the per-problem entry. The problem loop
+  is the race-free parallel axis (members write disjoint padded
+  slices), so with OpenMP it carries ``#pragma omp parallel for``;
+  the serial build of the identical loop produces identical bits.
 """
 
 from __future__ import annotations
@@ -75,7 +92,12 @@ class Param:
     ``scalar_int``  ``long`` scalar from ``ctx[key]``
     ``scalar_f64``  ``double`` scalar from ``ctx[key]``
     ``cols``        trailing dimension of the 2-D array at ``ctx[key]``
+    ``nprob``       batch size ``B`` (``long``, from ``table.shape[0]``)
+    ``pad``         one padded table extent (``long``, from
+                    ``table.shape[1 + k]`` in dimension order)
     ==============  ====================================================
+
+    The last two appear only in :func:`native_batched_param_spec`.
     """
 
     name: str
@@ -90,9 +112,16 @@ def value_ctype(kernel: Kernel) -> str:
     return "long" if kernel.body.return_kind == "int" else "double"
 
 
-def entry_symbol(kernel: Kernel, windowed: bool = False) -> str:
+def entry_symbol(
+    kernel: Kernel, windowed: bool = False, batched: bool = False
+) -> str:
     """Exported symbol name of an entry point."""
-    suffix = "_windowed" if windowed else ""
+    if windowed and batched:
+        raise CodegenError(
+            "no windowed batched entry exists: batched launches use "
+            "the plain body (rule 'ok-plain-body')"
+        )
+    suffix = "_windowed" if windowed else "_batched" if batched else ""
     return f"repro_{kernel.name}{suffix}"
 
 
@@ -156,6 +185,16 @@ def native_param_spec(kernel: Kernel) -> List[Param]:
         kind = scalar_kinds.get(a, "scalar_f64")
         ctext = "long" if kind == "scalar_int" else "double"
         params.append(Param(f"arg_{a}", ctext, kind, f"arg_{a}"))
+    params += _shared_model_params(kernel, refs)
+    return params
+
+
+def _shared_model_params(kernel: Kernel, refs: dict) -> List[Param]:
+    """Matrix and HMM parameters, identical in the per-problem and
+    batched entries: every member of a map group shares one scoring
+    model (the batcher groups by model identity), so these marshal
+    once, not per problem."""
+    params: List[Param] = []
     for m in sorted(refs["matrices"]):
         params += [
             Param(f"mat_{m}", "const long*", "i64[]", f"mat_{m}"),
@@ -179,6 +218,51 @@ def native_param_spec(kernel: Kernel) -> List[Param]:
             Param(f"{hp}_outoff", "const long*", "i64[]", f"{hp}_outoff"),
             Param(f"{hp}_outids", "const long*", "i64[]", f"{hp}_outids"),
         ]
+    return params
+
+
+def native_batched_param_spec(kernel: Kernel) -> List[Param]:
+    """The (ordered) formal parameters of the batched entry point.
+
+    The padded ``(B, d0max, ...)`` table arrives with its batch size
+    and padded extents (``nprob``/``pad`` kinds, both read off
+    ``table.shape`` by the dispatcher); per-problem context arrives as
+    the batcher's stacked buffers — ``(B, 1)`` bounds, ``(B, Lmax)``
+    zero-padded sequences with their stride, ``(B, 1)`` scalar
+    columns — keyed by the *member* context names so the dispatcher
+    reads straight from ``pack_group``'s ctx. Shared matrices and
+    HMMs marshal exactly as in :func:`native_param_spec`.
+    """
+    vt = value_ctype(kernel)
+    params: List[Param] = [
+        Param("btab", f"{vt}*", "table"),
+        Param("nprob", "long", "nprob"),
+        Param("part_lo", "long", "part"),
+        Param("part_hi", "long", "part"),
+    ]
+    for d in kernel.dims:
+        params.append(Param(f"pad_{d}", "long", "pad"))
+    for d in kernel.dims:
+        params.append(
+            Param(f"b_ub_{d}", "const long*", "i64[]", f"ub_{d}")
+        )
+    refs = kernel.referenced_names()
+    for s in sorted(refs["seqs"]):
+        params += [
+            Param(f"b_seq_{s}", "const long*", "i64[]", f"seq_{s}"),
+            Param(f"b_seq_{s}_cols", "long", "cols", f"seq_{s}"),
+        ]
+    scalar_kinds = _scalar_kinds(kernel)
+    for a in sorted(refs["scalars"]):
+        if scalar_kinds.get(a, "scalar_f64") == "scalar_int":
+            params.append(
+                Param(f"b_arg_{a}", "const long*", "i64[]", f"arg_{a}")
+            )
+        else:
+            params.append(
+                Param(f"b_arg_{a}", "const double*", "f64[]", f"arg_{a}")
+            )
+    params += _shared_model_params(kernel, refs)
     return params
 
 
@@ -216,6 +300,54 @@ def native_eligibility(kernel: Kernel) -> Eligibility:
     )
 
 
+def batched_eligibility(kernel: Kernel) -> Eligibility:
+    """Why (or why not) a map group of this kernel can run as one
+    batched native launch.
+
+    The batched entry reuses the per-problem body verbatim (each
+    member runs its own nest over its own bounds), so it is eligible
+    exactly when the per-problem native path is — with one named
+    nuance: windowed kernels batch through the *plain* body
+    (``ok-plain-body``), because the stack-resident ring buffer is a
+    single-problem residency optimisation and the batched table's
+    member slices are written in full regardless.
+    """
+    base = native_eligibility(kernel)
+    if not base.ok:
+        return base
+    if supports_window(kernel):
+        return Eligibility(
+            True, "ok-plain-body",
+            f"kernel {kernel.name!r} batches natively with the plain "
+            f"(non-windowed) body; the Section 4.8 ring buffer is a "
+            f"per-problem residency optimisation and is not emitted "
+            f"for batched launches",
+        )
+    return Eligibility(
+        True, "ok-batched",
+        f"kernel {kernel.name!r} runs whole map groups as one native "
+        f"launch: outer problem loop over the padded (B, ...) table, "
+        f"each member's own loop nest inside",
+    )
+
+
+#: Thread-control exports, one pair per translation unit. Serial
+#: builds keep the symbols (so the dispatcher can always resolve
+#: them) but make them report a fixed single thread.
+_THREAD_HELPERS = """\
+#ifdef _OPENMP
+#include <omp.h>
+void repro_set_threads(long n) {
+  if (n >= 1) omp_set_num_threads((int) n);
+}
+long repro_max_threads(void) { return omp_get_max_threads(); }
+#else
+void repro_set_threads(long n) { (void) n; }
+long repro_max_threads(void) { return 1; }
+#endif
+"""
+
+
 def emit_native_source(
     kernel: Kernel, openmp: bool = False
 ) -> str:
@@ -224,8 +356,9 @@ def emit_native_source(
     ``openmp=True`` adds ``#pragma omp parallel for`` over the first
     space loop of each partition (cells of a partition are mutually
     independent — the schedule's defining property — so the parallel
-    sweep is race-free); the pragma is inert unless the library is
-    built with ``-fopenmp``.
+    sweep is race-free) and over the batched entry's problem loop
+    (members write disjoint slices); the pragmas are inert unless the
+    library is built with ``-fopenmp``.
     """
     vt = value_ctype(kernel)
     params = native_param_spec(kernel)
@@ -234,6 +367,7 @@ def emit_native_source(
         f"/* native kernel: {kernel.name} "
         f"(schedule {kernel.schedule}) */",
         _HELPERS,
+        _THREAD_HELPERS,
     ]
     lines.append(f"void {entry_symbol(kernel)}({decl}) {{")
     _emit_body(kernel, lines, vt, windowed=False, openmp=openmp)
@@ -246,7 +380,68 @@ def emit_native_source(
         _emit_body(kernel, lines, vt, windowed=True, openmp=openmp)
         lines.append("}")
     lines.append("")
+    _emit_batched_entry(kernel, lines, vt, openmp=openmp)
+    lines.append("")
     return "\n".join(lines)
+
+
+def _emit_batched_entry(
+    kernel: Kernel, lines: List[str], vt: str, openmp: bool
+) -> None:
+    """Emit ``repro_<name>_batched``: a whole map group in one call.
+
+    An outer loop over the ``B`` problems; inside it, locals shadow
+    the per-problem entry's formals (``farr`` points at this member's
+    padded slice, ``ub_<dim>``/``seq_<s>``/``arg_<a>`` are this
+    member's row of the stacked context), so the body below is the
+    *same* emission as the per-problem entry, only linearising with
+    the padded extents. Each member therefore computes bitwise the
+    cells the per-problem loop would — at any thread count, since the
+    parallel axis is the problem loop and the per-member nest stays
+    serial.
+    """
+    params = native_batched_param_spec(kernel)
+    decl = ", ".join(f"{p.ctext} {p.name}" for p in params)
+    lines.append(
+        f"void {entry_symbol(kernel, batched=True)}({decl}) {{"
+    )
+    pad = "  "
+    tsz = " * ".join(f"pad_{d}" for d in kernel.dims)
+    lines.append(f"{pad}const long _tsz = {tsz};")
+    if openmp:
+        lines.append(
+            f"{pad}#pragma omp parallel for schedule(static)"
+        )
+    lines.append(f"{pad}for (long _b = 0; _b < nprob; _b++) {{")
+    inner = pad + "  "
+    lines.append(f"{inner}{vt}* farr = btab + _b * _tsz;")
+    for d in kernel.dims:
+        lines.append(f"{inner}const long ub_{d} = b_ub_{d}[_b];")
+    refs = kernel.referenced_names()
+    for s in sorted(refs["seqs"]):
+        lines.append(
+            f"{inner}const long* seq_{s} = "
+            f"b_seq_{s} + _b * b_seq_{s}_cols;"
+        )
+    scalar_kinds = _scalar_kinds(kernel)
+    for a in sorted(refs["scalars"]):
+        ctext = (
+            "long"
+            if scalar_kinds.get(a, "scalar_f64") == "scalar_int"
+            else "double"
+        )
+        lines.append(f"{inner}const {ctext} arg_{a} = b_arg_{a}[_b];")
+    cell = CCellEmitter(
+        kernel,
+        windowed=False,
+        strides=tuple(f"pad_{d}" for d in kernel.dims),
+    )
+    _emit_body(
+        kernel, lines, vt, windowed=False, openmp=False,
+        cell=cell, pad=inner,
+    )
+    lines.append(f"{pad}}}")
+    lines.append("}")
 
 
 def _emit_body(
@@ -255,9 +450,11 @@ def _emit_body(
     vt: str,
     windowed: bool,
     openmp: bool,
+    cell: Optional[CCellEmitter] = None,
+    pad: str = "  ",
 ) -> None:
-    pad = "  "
-    cell = CCellEmitter(kernel, windowed=windowed)
+    if cell is None:
+        cell = CCellEmitter(kernel, windowed=windowed)
     time_loop = _time_loop(kernel)
     if time_loop is None:
         if windowed:
@@ -329,7 +526,14 @@ def _emit_nest(
             low = node.lower.c_text()
             high = node.upper.c_text()
             if openmp and not space_seen:
+                # OpenMP's canonical loop form rejects function calls
+                # (our min/max helpers) in the controlling predicate:
+                # hoist the bounds into loop-invariant temporaries.
+                lo_t, hi_t = cell.fresh(), cell.fresh()
+                lines.append(f"{pad}const long {lo_t} = {low};")
+                lines.append(f"{pad}const long {hi_t} = {high};")
                 lines.append(f"{pad}#pragma omp parallel for")
+                low, high = lo_t, hi_t
             lines.append(
                 f"{pad}for (long {node.var} = {low}; "
                 f"{node.var} <= {high}; {node.var}++) {{"

@@ -68,7 +68,16 @@ class Kernel:
 
     def referenced_names(self) -> Dict[str, Set[str]]:
         """Names of sequences, matrices, models and scalars the cell
-        expression touches (drives context preparation)."""
+        expression touches (drives context preparation).
+
+        Memoised on the instance (same idiom as the cache key's
+        ``_cache_source_form``): context preparation asks per problem,
+        and a lane-batched map group shares one kernel across every
+        member, so the IR walk should run once, not once per member.
+        """
+        cached = self.__dict__.get("_referenced_names")
+        if cached is not None:
+            return cached
         seqs: Set[str] = set()
         matrices: Set[str] = set()
         hmms: Set[str] = set()
@@ -86,12 +95,14 @@ class Kernel:
                 hmms.add(node.hmm)
             elif isinstance(node, ir.ArgRef):
                 scalars.add(node.name)
-        return {
+        refs = {
             "seqs": seqs,
             "matrices": matrices,
             "hmms": hmms,
             "scalars": scalars,
         }
+        self.__dict__["_referenced_names"] = refs
+        return refs
 
     # -- serialisation -------------------------------------------------------
     #

@@ -433,10 +433,23 @@ class ExecutionSupervisor:
     def _demote_if_circuit_open(self, compiled):
         """Swap a circuit-broken sandboxed kernel for its demoted twin.
 
-        No-op for everything else (plain kernels, batched launches, a
-        sandboxed kernel whose breaker is still closed — a transient
-        crash there is retried on native as usual).
+        Lane-batched launches carry their own rung ladder: they
+        expose ``demote_if_circuit_open()`` (native-batched →
+        vector-batched → scalar sweep, same object), so the launch
+        keeps its single-launch shape through the demotion and the
+        replay simply reruns it on the lower rung. No-op for
+        everything else (plain kernels, a sandboxed kernel whose
+        breaker is still closed — a transient crash there is retried
+        on native as usual).
         """
+        demote = getattr(compiled, "demote_if_circuit_open", None)
+        if demote is not None:
+            if demote():
+                engine = self.engine
+                engine.native_demotions = (
+                    getattr(engine, "native_demotions", 0) + 1
+                )
+            return compiled
         run = getattr(compiled, "run", None)
         if not getattr(run, "sandboxed", False):
             return compiled

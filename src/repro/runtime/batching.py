@@ -14,7 +14,7 @@ instead of queueing behind each other.
 Grouping (:func:`plan_batches`) is deliberately conservative: two
 problems batch only when they share the *same compiled kernel object*
 (same function, schedule, probability mode and backend — the engine's
-kernel cache already canonicalises this) on the vector backend, and
+kernel cache already canonicalises this) on a batchable backend, and
 the same model/matrix binding objects (those context arrays are
 shared across the batch, not packed per problem). Per-problem
 quantities — domain bounds, sequences, scalar arguments — are packed
@@ -22,6 +22,24 @@ as ``(B, 1)`` columns and padded ``(B, Lmax)`` rows; the generated
 kernel masks every store with the problem's own validity, so padding
 cells are never written (the unpack step slices each problem back out
 of its row).
+
+Two rungs can run a packed group, mirroring the per-problem ladder:
+
+* **native-batched** — the compiled backend's batched entry point
+  (:func:`repro.ir.cbackend.native_batched_param_spec`): one
+  ``ctypes`` call runs every member's own loop nest, optionally with
+  OpenMP across members. Bitwise-identical to the per-problem native
+  loop at any thread count.
+* **vector-batched** — the NumPy batched twin
+  (:func:`repro.ir.npbackend.emit_batched_source`), which masks
+  per-problem validity lane-wise.
+
+:class:`BatchedLaunch` picks the rung from the group's compiled
+backend and degrades gracefully — a failed native batched build (or
+an open sandbox circuit breaker) demotes the launch to
+vector-batched when the kernel is vector-eligible, else to a scalar
+per-member sweep, without losing the single-launch shape the
+resilience layer supervises.
 
 :class:`BatchedLaunch` adapts a packed batch to the compiled-kernel
 protocol the resilience layer speaks (``run(T, ctx, part_lo,
@@ -34,7 +52,7 @@ divergence oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence as Seq, Tuple
+from typing import Dict, List, Optional, Sequence as Seq, Tuple
 
 import numpy as np
 
@@ -45,6 +63,9 @@ from .context import build_context
 #: Smallest group worth packing: a singleton gains nothing over the
 #: plain vector path and would only add pad/unpack overhead.
 MIN_BATCH = 2
+
+#: Per-problem backends whose map groups have a batched twin.
+BATCHABLE_BACKENDS = ("vector", "native")
 
 
 @dataclass
@@ -81,13 +102,19 @@ def plan_batches(
 
     ``prepared`` is the engine's ``(bindings, domain, compiled)``
     list. Problems group when they share the compiled kernel object
-    (vector backend only — the batched codegen is its twin) and the
+    (on a :data:`BATCHABLE_BACKENDS` rung — vector groups run the
+    batched NumPy twin, native groups the batched C entry) and the
     identical HMM/matrix binding objects; groups smaller than
     ``min_batch`` are dropped (those problems run the ordinary path).
+    Mixed-rung groups cannot arise: the compiled object identity is
+    part of the key and already encodes the backend.
     """
     groups: Dict[tuple, List[int]] = {}
     for index, (bound, _domain, compiled) in enumerate(prepared):
-        if getattr(compiled, "backend", "scalar") != "vector":
+        if (
+            getattr(compiled, "backend", "scalar")
+            not in BATCHABLE_BACKENDS
+        ):
             continue
         refs = compiled.kernel.referenced_names()
         shared = tuple(
@@ -165,6 +192,22 @@ def pack_group(
     )
 
 
+def batched_native_eligibility(kernel) -> "Eligibility":
+    """Why (or why not) map groups of this kernel can run the
+    batched-native rung *in this process*: the toolchain must be
+    available and the kernel must pass
+    :func:`repro.ir.cbackend.batched_eligibility` (named rules —
+    ``ok-batched``, ``ok-plain-body``, ``cross-table-read``,
+    ``codegen``, ``no-compiler``, ``disabled``)."""
+    from ..ir import cbackend
+    from . import native as native_rt
+
+    verdict = native_rt.available()
+    if not verdict.ok:
+        return verdict
+    return cbackend.batched_eligibility(kernel)
+
+
 class BatchedLaunch:
     """A packed batch speaking the compiled-kernel protocol.
 
@@ -176,17 +219,37 @@ class BatchedLaunch:
     member's range; the generated kernel clamps and masks internally,
     so out-of-range epochs are no-ops for the members they miss).
 
+    The launch runs on a **rung** — ``"native"`` (the batched C
+    entry, picked when the group compiled native), ``"vector"`` (the
+    batched NumPy twin) or ``"scalar"`` (per-member sweep, the floor
+    every kernel supports). ``run`` degrades one rung at a time on
+    :class:`~repro.lang.errors.NativeBuildError`, and
+    :meth:`demote_if_circuit_open` lets the supervisor push an
+    already-crashing group off native before a replay.
+
     ``reference_run`` gives the divergence oracle an independent
     backend: every member replayed on the *scalar* generator over its
     own slice of the padded table.
     """
 
-    backend = "vector-batched"
-
-    def __init__(self, batch: PackedBatch) -> None:
+    def __init__(
+        self, batch: PackedBatch, rung: Optional[str] = None
+    ) -> None:
         self.batch = batch
         self.compiled = batch.compiled
+        if rung is None:
+            rung = (
+                "native"
+                if getattr(self.compiled, "backend", "") == "native"
+                else "vector"
+            )
+        self.rung = rung
         self._scalar_run = None
+
+    @property
+    def backend(self) -> str:
+        """Backend label for reports/oracles: ``"<rung>-batched"``."""
+        return f"{self.rung}-batched"
 
     @property
     def kernel(self):
@@ -200,18 +263,81 @@ class BatchedLaunch:
 
     @property
     def source(self) -> str:
-        """The batched generated source."""
-        self.compiled.ensure_batched()
-        return self.compiled.batched_source
+        """The batched generated source for the current rung."""
+        if self.rung == "native":
+            self.compiled.ensure_batched_native()
+            return self.compiled.source
+        if self.rung == "vector":
+            self.compiled.ensure_batched()
+            return self.compiled.batched_source
+        from ..ir.pybackend import emit_kernel_source
+
+        return emit_kernel_source(self.kernel)
+
+    def demote(self) -> str:
+        """Drop one rung: native → vector when the kernel is
+        vector-eligible, else (and from vector) → scalar. Returns the
+        new rung."""
+        if self.rung == "native":
+            from ..ir import npbackend
+
+            self.rung = (
+                "vector"
+                if npbackend.eligibility(self.kernel).ok
+                else "scalar"
+            )
+        else:
+            self.rung = "scalar"
+        return self.rung
+
+    def demote_if_circuit_open(self) -> bool:
+        """Supervisor hook: when the group's kernel has an open
+        sandbox circuit breaker, leave the native rung *before* the
+        next replay (one batched crash already costs a worker; a
+        replay into an open breaker would just crash again)."""
+        if self.rung != "native":
+            return False
+        run = getattr(self.compiled, "batched_native_run", None)
+        if run is None:
+            run = getattr(self.compiled, "run", None)
+        if not getattr(run, "sandboxed", False):
+            return False
+        from . import sandbox
+
+        if sandbox.get_breaker().allows(run.digest):
+            return False
+        self.demote()
+        return True
 
     def run(self, table, ctx, part_lo=None, part_hi=None):
-        """One batched sweep over the global partition range."""
-        return self.compiled.ensure_batched()(
-            table, ctx, part_lo=part_lo, part_hi=part_hi
-        )
+        """One batched sweep over the global partition range.
 
-    def reference_run(self, table, ctx, part_lo=None, part_hi=None):
-        """Scalar per-member replay (the oracle's reference backend)."""
+        A native build/load failure is permanent for this process, so
+        it demotes the launch (native → vector → scalar) and retries
+        on the spot — the table is untouched by a failed build.
+        Sandbox *crash* faults are deliberately not caught here: the
+        supervisor owns replay-and-demote for those.
+        """
+        from ..lang.errors import NativeBuildError
+
+        while True:
+            if self.rung == "native":
+                try:
+                    batched = self.compiled.ensure_batched_native()
+                except NativeBuildError:
+                    self.demote()
+                    continue
+                return batched(
+                    table, ctx, part_lo=part_lo, part_hi=part_hi
+                )
+            if self.rung == "vector":
+                return self.compiled.ensure_batched()(
+                    table, ctx, part_lo=part_lo, part_hi=part_hi
+                )
+            return self._scalar_sweep(table, part_lo, part_hi)
+
+    def _scalar_sweep(self, table, part_lo=None, part_hi=None):
+        """Every member on the scalar generator, in its own slice."""
         if self._scalar_run is None:
             from ..ir.pybackend import compile_kernel
 
@@ -226,3 +352,7 @@ class BatchedLaunch:
                 view, pctx, part_lo=part_lo, part_hi=part_hi
             )
         return table
+
+    def reference_run(self, table, ctx, part_lo=None, part_hi=None):
+        """Scalar per-member replay (the oracle's reference backend)."""
+        return self._scalar_sweep(table, part_lo, part_hi)

@@ -99,6 +99,9 @@ class CompiledKernel:
     backend: str = "scalar"
     batched_run: object = None  # lazy lane-batched twin (vector only)
     batched_source: Optional[str] = None
+    #: Lazy batched-native callable (native backend only) — the
+    #: ``repro_<name>_batched`` entry of the same shared object.
+    batched_native_run: object = None
     #: Path of the compiled shared object (native backend only).
     so_path: Optional[str] = None
 
@@ -135,6 +138,39 @@ class CompiledKernel:
                 npbackend.compile_batched_kernel(self.kernel)
             )
         return self.batched_run
+
+    def ensure_batched_native(self):
+        """Load (once) and return the batched-native callable.
+
+        Only meaningful for native-backend products: the
+        ``repro_<name>_batched`` entry lives in the *same* shared
+        object as the per-problem run, so this is a symbol load, not
+        a compile. Raises
+        :class:`~repro.lang.errors.NativeBuildError` when this is not
+        a native product or the artifact cannot serve the symbol
+        (e.g. a stale shared-cache ``.so`` from before the batched
+        entry existed) — callers demote to the vector-batched rung.
+        """
+        if self.batched_native_run is None:
+            from ..lang.errors import NativeBuildError
+            from . import native as native_rt
+
+            if self.backend != "native" or not self.so_path:
+                raise NativeBuildError(
+                    f"kernel {self.kernel.name!r} compiled on the "
+                    f"{self.backend!r} backend; batched-native needs "
+                    f"a native product"
+                )
+            try:
+                self.batched_native_run = native_rt.load_batched(
+                    self.kernel, self.so_path
+                )
+            except (OSError, AttributeError) as err:
+                raise NativeBuildError(
+                    f"batched entry unavailable in "
+                    f"{self.so_path}: {err}"
+                ) from err
+        return self.batched_native_run
 
     def cuda_source(self, windowed: bool = False) -> str:
         """The synthesised CUDA text; ``windowed=True`` emits the
@@ -184,6 +220,10 @@ class MapResult:
     batched_costs: List[KernelCost] = field(
         repr=False, default_factory=list
     )
+    #: Which rung each packed group actually ran on, in group order
+    #: (``"native-batched"`` / ``"vector-batched"`` /
+    #: ``"scalar-batched"`` after demotions).
+    batched_backends: List[str] = field(default_factory=list)
 
     @property
     def seconds(self) -> float:
@@ -261,6 +301,13 @@ class Engine:
         # lets a memo hit consult the crash circuit breaker without
         # rebuilding the kernel.
         self._resolved: Dict[tuple, tuple] = {}
+        # Memoised schedule search: (function identity, domain
+        # extents, bound, solver) -> schedule. A lane-batched map
+        # group solves one schedule for the whole batch instead of
+        # one per member — on a 64-problem profile search the solver
+        # otherwise dominates the host-side cost of the launch. The
+        # function object rides along in the value to pin its id.
+        self._schedules: Dict[tuple, tuple] = {}
 
     def cache_info(self) -> CacheInfo:
         """Counter snapshot of the kernel cache (both tiers), extended
@@ -624,9 +671,20 @@ class Engine:
             from ..schedule.schedule import validate_user_schedule
 
             return validate_user_schedule(func, user_schedule, domain)
-        return find_schedule(
+        key = (
+            id(func),
+            tuple(domain.extents),
+            self.schedule_bound,
+            self.solver,
+        )
+        memo = self._schedules.get(key)
+        if memo is not None and memo[0] is func:
+            return memo[1]
+        schedule = find_schedule(
             func, domain, bound=self.schedule_bound, solver=self.solver
         )
+        self._schedules[key] = (func, schedule)
+        return schedule
 
     # -- context preparation --------------------------------------------------
 
@@ -952,20 +1010,37 @@ class Engine:
                 execute and self.batching and not self.sanitize
                 and len(prepared) > 1
             ):
-                from .batching import pack_group, plan_batches
+                from .batching import (
+                    BatchedLaunch, pack_group, plan_batches,
+                )
 
                 batch_groups = plan_batches(prepared)
                 batched = {
                     index for group in batch_groups for index in group
                 }
             batched_costs: List[KernelCost] = []
+            batched_backends: List[str] = []
             for group in batch_groups:
                 bound0, _, compiled = prepared[group[0]]
                 members = [
                     (prepared[i][0], prepared[i][1]) for i in group
                 ]
                 packed = pack_group(compiled, members, indices=group)
-                compiled.ensure_batched()(packed.table, packed.ctx)
+                launch = BatchedLaunch(packed)
+                try:
+                    launch.run(packed.table, packed.ctx)
+                except Exception as err:
+                    if not self._is_sandbox_fault(err):
+                        raise
+                    # A sandboxed batched launch crashed (or its
+                    # breaker is open): one disposable worker died,
+                    # the parent table is untouched. Demote the whole
+                    # group one rung and rerun from a clean table.
+                    self.native_demotions += 1
+                    launch.demote()
+                    packed.table[...] = 0
+                    launch.run(packed.table, packed.ctx)
+                batched_backends.append(launch.backend)
                 for slot, index in enumerate(group):
                     p_bound, p_domain, _ = prepared[index]
                     coords = (
@@ -981,12 +1056,19 @@ class Engine:
                         coords,
                         reduce,
                     )
+                if launch.rung == "native":
+                    from . import native as native_rt
+
+                    threads = native_rt.effective_threads()
+                else:
+                    threads = 1
                 batched_costs.append(
                     batched_launch_cost(
                         compiled.kernel,
                         [domain for _, domain in members],
                         self.spec,
                         mean_degree=self.mean_degree(func, bound0),
+                        threads=threads,
                     )
                 )
 
@@ -1002,6 +1084,7 @@ class Engine:
                 lane_batches=len(batch_groups),
                 lane_batched_problems=len(batched),
                 batched_costs=batched_costs,
+                batched_backends=batched_backends,
             )
 
         # Inter/hybrid: functional execution is unchanged; pricing

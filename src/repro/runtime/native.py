@@ -28,9 +28,16 @@ Robustness contract:
   sha256 of (source, compiler, flags), so recompilation is skipped
   whenever the artifact already exists.
 
-``REPRO_NATIVE_OMP=1`` additionally emits ``#pragma omp parallel
-for`` over each partition's lane loop and builds with ``-fopenmp``
-when the compiler supports it (the paper's parfor over cells).
+OpenMP is **on by default when the toolchain probe finds
+``-fopenmp``**: the emitter adds ``#pragma omp parallel for`` over
+each partition's lane loop (the paper's parfor over cells) and over
+the batched entry's problem loop, and the build adds ``-fopenmp``.
+``REPRO_NATIVE_OMP=0`` forces the serial build — bitwise-identical
+by construction, since the parallel axes (cells of one partition,
+problems of one batch) never share a written cell and every
+reduction stays serial inside its cell. ``REPRO_NATIVE_THREADS=N``
+caps the OpenMP team size (applied via the emitted
+``repro_set_threads`` export when each library loads).
 """
 
 from __future__ import annotations
@@ -165,10 +172,54 @@ def available() -> Eligibility:
 
 
 def _use_openmp() -> bool:
-    if os.environ.get("REPRO_NATIVE_OMP") != "1":
+    """OpenMP policy: default on when the toolchain probe found
+    ``-fopenmp``; ``REPRO_NATIVE_OMP=0`` opts out (``1`` and unset
+    are equivalent). Checked fresh on every build so tests can flip
+    the environment without resetting caches."""
+    if os.environ.get("REPRO_NATIVE_OMP") == "0":
         return False
     _cc, omp, _detail = toolchain()
     return omp
+
+
+def thread_count() -> Optional[int]:
+    """The ``REPRO_NATIVE_THREADS`` cap, or ``None`` when unset or
+    unparseable (let the OpenMP runtime pick)."""
+    raw = os.environ.get("REPRO_NATIVE_THREADS")
+    if not raw:
+        return None
+    try:
+        n = int(raw)
+    except ValueError:
+        return None
+    return n if n >= 1 else None
+
+
+def effective_threads() -> int:
+    """How many threads a native launch will use: 1 when OpenMP is
+    off (env opt-out or unsupported toolchain), else the
+    ``REPRO_NATIVE_THREADS`` cap, else every core."""
+    if not _use_openmp():
+        return 1
+    forced = thread_count()
+    if forced is not None:
+        return forced
+    return max(1, os.cpu_count() or 1)
+
+
+def _apply_thread_cap(lib: ctypes.CDLL) -> None:
+    """Push the ``REPRO_NATIVE_THREADS`` cap into a freshly loaded
+    library via its ``repro_set_threads`` export (a no-op symbol in
+    serial builds, so this is always safe)."""
+    forced = thread_count()
+    if forced is None:
+        return
+    setter = getattr(lib, "repro_set_threads", None)
+    if setter is None:
+        return  # pre-existing cache artifact without the export
+    setter.restype = None
+    setter.argtypes = [ctypes.c_long]
+    setter(forced)
 
 
 def build_shared_object(source: str) -> str:
@@ -276,6 +327,20 @@ def probe_shared_object(so_path: str) -> None:
     _PROBED[so_path] = True
 
 
+def _argtypes_for(spec) -> List[object]:
+    """ctypes argtypes matching a :func:`native_param_spec` (or
+    batched) parameter list."""
+    types: List[object] = []
+    for param in spec:
+        if "*" in param.ctext:
+            types.append(ctypes.c_void_p)
+        elif param.ctext == "double":
+            types.append(ctypes.c_double)
+        else:
+            types.append(ctypes.c_long)
+    return types
+
+
 class NativeRun:
     """The compiled-kernel callable for a loaded shared object.
 
@@ -294,30 +359,20 @@ class NativeRun:
         self.so_path = so_path
         self.spec = spec or GTX480
         self._lib = ctypes.CDLL(so_path)
+        _apply_thread_cap(self._lib)
         self._spec = cbackend.native_param_spec(kernel)
         self._plain = getattr(
             self._lib, cbackend.entry_symbol(kernel)
         )
         self._plain.restype = None
-        self._plain.argtypes = self._argtypes()
+        self._plain.argtypes = _argtypes_for(self._spec)
         self._windowed = None
         if cbackend.supports_window(kernel):
             self._windowed = getattr(
                 self._lib, cbackend.entry_symbol(kernel, windowed=True)
             )
             self._windowed.restype = None
-            self._windowed.argtypes = self._argtypes()
-
-    def _argtypes(self) -> List[object]:
-        types: List[object] = []
-        for param in self._spec:
-            if param.kind in ("table", "i64[]", "i32[]", "f64[]"):
-                types.append(ctypes.c_void_p)
-            elif param.ctext == "double":
-                types.append(ctypes.c_double)
-            else:
-                types.append(ctypes.c_long)
-        return types
+            self._windowed.argtypes = _argtypes_for(self._spec)
 
     def _use_window(self, ctx: Dict[str, object]) -> bool:
         if self._windowed is None:
@@ -375,6 +430,73 @@ class NativeRun:
         return T
 
 
+class NativeBatchedRun:
+    """Callable for the batched entry point of a loaded library.
+
+    Speaks the *batched* calling convention of the vector batcher's
+    compiled twin — ``run(T, ctx, part_lo=None, part_hi=None)`` where
+    ``T`` is the padded ``(B, d0max, ...)`` group table and ``ctx``
+    is ``pack_group``'s stacked context (``(B, 1)`` bounds,
+    ``(B, Lmax)`` sequences, ``(B, 1)`` scalar columns, shared
+    models) — so a whole same-kernel map group is one ``ctypes``
+    call. Batch size and padded extents marshal straight off
+    ``T.shape``; nothing else about the convention is new.
+    """
+
+    batched = True
+
+    def __init__(self, kernel: Kernel, so_path: str) -> None:
+        self.kernel = kernel
+        self.so_path = so_path
+        self._lib = ctypes.CDLL(so_path)
+        _apply_thread_cap(self._lib)
+        self._spec = cbackend.native_batched_param_spec(kernel)
+        self._entry = getattr(
+            self._lib, cbackend.entry_symbol(kernel, batched=True)
+        )
+        self._entry.restype = None
+        self._entry.argtypes = _argtypes_for(self._spec)
+
+    def __call__(
+        self,
+        T: np.ndarray,
+        ctx: Dict[str, object],
+        part_lo: Optional[int] = None,
+        part_hi: Optional[int] = None,
+    ) -> np.ndarray:
+        table = np.ascontiguousarray(T)
+        args: List[object] = []
+        keepalive: List[np.ndarray] = []
+        pad_axis = 1
+        for param in self._spec:
+            if param.kind == "table":
+                args.append(table.ctypes.data)
+            elif param.kind == "nprob":
+                args.append(int(table.shape[0]))
+            elif param.kind == "pad":
+                args.append(int(table.shape[pad_axis]))
+                pad_axis += 1
+            elif param.name == "part_lo":
+                args.append(_NO_LO if part_lo is None else int(part_lo))
+            elif param.name == "part_hi":
+                args.append(_NO_HI if part_hi is None else int(part_hi))
+            elif param.kind == "cols":
+                args.append(int(np.asarray(ctx[param.key]).shape[1]))
+            else:
+                dtype = {
+                    "i64[]": np.int64,
+                    "i32[]": np.int32,
+                    "f64[]": np.float64,
+                }[param.kind]
+                arr = np.ascontiguousarray(ctx[param.key], dtype=dtype)
+                keepalive.append(arr)
+                args.append(arr.ctypes.data)
+        self._entry(*args)
+        if table is not T:
+            np.copyto(T, table)
+        return T
+
+
 def compile_native(kernel: Kernel):
     """Emit, build, probe and load one kernel natively.
 
@@ -416,3 +538,19 @@ def load_compiled(kernel: Kernel, so_path: str):
     """
     probe_shared_object(so_path)
     return _make_run(kernel, so_path)
+
+
+def load_batched(kernel: Kernel, so_path: str):
+    """Batched-entry callable for an already-built artifact.
+
+    The library was probed when its per-problem run loaded; loading a
+    second handle for the batched symbol is the same ``dlopen``
+    (refcounted by the loader). Sandboxed processes get a proxy that
+    ships whole batched launches to a worker instead.
+    """
+    from . import sandbox
+
+    probe_shared_object(so_path)
+    if sandbox.enabled():
+        return sandbox.SandboxedNativeRun(kernel, so_path, batched=True)
+    return NativeBatchedRun(kernel, so_path)

@@ -116,14 +116,18 @@ def _handle_launch(request: dict, runs: dict) -> dict:
         elif kind == "hang":
             time.sleep(float(fault.get("seconds") or 3600.0))
         from ..ir.kernel import Kernel
-        from .native import NativeRun
+        from .native import NativeBatchedRun, NativeRun
 
-        digest = request["digest"]
-        run = runs.get(digest)
+        batched = bool(request.get("batched"))
+        # Plain and batched callables for one kernel memoise under
+        # distinct keys (same .so, different entry symbol/spec).
+        memo_key = request["digest"] + (":batched" if batched else "")
+        run = runs.get(memo_key)
         if run is None:
             kernel = Kernel.from_payload(request["payload"])
-            run = NativeRun(kernel, request["so_path"])
-            runs[digest] = run
+            cls = NativeBatchedRun if batched else NativeRun
+            run = cls(kernel, request["so_path"])
+            runs[memo_key] = run
         table = np.array(request["table"], copy=True)
         out = run(
             table,
@@ -445,8 +449,14 @@ class NativeSandbox:
         part_hi: Optional[int] = None,
         fault: Optional[dict] = None,
         deadline: Optional[float] = None,
+        batched: bool = False,
     ) -> np.ndarray:
         """Run one kernel launch in a worker; copy the result into ``T``.
+
+        ``batched=True`` routes the request through the worker's
+        batched entry point: ``T`` is then a whole map group's padded
+        ``(B, ...)`` table and one crash costs one disposable worker,
+        not the service.
 
         Raises ``WorkerCrash`` when the worker dies mid-launch and
         ``SandboxHang`` when it misses the deadline (in which case it
@@ -472,6 +482,7 @@ class NativeSandbox:
                     "part_lo": part_lo,
                     "part_hi": part_hi,
                     "fault": fault,
+                    "batched": batched,
                 }
             )
             reply = worker.read_reply(time.monotonic() + deadline)
@@ -616,10 +627,14 @@ class SandboxedNativeRun:
 
     sandboxed = True
 
-    def __init__(self, kernel, so_path: str) -> None:
+    def __init__(self, kernel, so_path: str, batched: bool = False) -> None:
         self.kernel = kernel
         self.so_path = so_path
+        self.batched = batched
         self.payload = kernel.to_payload()
+        # Plain and batched launches of one kernel share a digest on
+        # purpose: the breaker tracks the *kernel's* crash history,
+        # and a batched crash should demote per-problem launches too.
         self.digest = hashlib.sha256(self.payload).hexdigest()
 
     def __call__(
@@ -651,6 +666,7 @@ class SandboxedNativeRun:
                 part_hi=part_hi,
                 fault=fault,
                 deadline=deadline,
+                batched=self.batched,
             )
         except Exception as err:
             from ..resilience.faults import DeviceFault

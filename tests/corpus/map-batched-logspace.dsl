@@ -1,0 +1,30 @@
+// fuzz: name = map-batched-logspace
+// fuzz: origin = seeded
+// fuzz: prob-mode = logspace
+// fuzz: note = a log-space forward map batch (the Figure 14 shape): the batched native rung must agree with the scalar per-member sweep through the same logaddexp chains, including a size-one member
+// fuzz: map-call = f(m, m.end, _, |_|)
+// fuzz: map-texts = ["acgt", "c", "ttgcaacg", "gg"]
+alphabet dna = "acgt"
+
+hmm m [dna] {
+  state begin : start
+  state hot emits { a: 0.1, c: 0.4, g: 0.4, t: 0.1 }
+  state cold emits { a: 0.4, c: 0.1, g: 0.1, t: 0.4 }
+  state fin : end
+  trans begin -> hot : 0.5
+  trans begin -> cold : 0.5
+  trans hot -> hot : 0.8
+  trans hot -> cold : 0.1
+  trans hot -> fin : 0.1
+  trans cold -> cold : 0.8
+  trans cold -> hot : 0.1
+  trans cold -> fin : 0.1
+}
+
+prob f(hmm h, state[h] s, seq[*] x, index[x] i) =
+  if i == 0 then (if s.isstart then 1.0 else 0.0)
+  else (if s.isend then 1.0 else s.emission[x[i - 1]])
+    * sum(t in s.transitionsto : t.prob * f(t.start, i - 1))
+
+let x = "ccgg"
+print f(m, m.end, x, |x|)

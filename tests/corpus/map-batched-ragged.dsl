@@ -1,0 +1,16 @@
+// fuzz: name = map-batched-ragged
+// fuzz: origin = seeded
+// fuzz: prob-mode = direct
+// fuzz: note = a ragged lane batch with an empty member and a one-char member: the batched native entry pads to the widest member, so every member must still run its exact serial nest (no mask, per-member bound columns)
+// fuzz: map-call = d(q, |q|, _, |_|)
+// fuzz: map-texts = ["", "a", "abba", "babab", "bb"]
+alphabet al = "ab"
+
+int d(seq[al] s, index[s] i, seq[al] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i - 1] == t[j - 1] then d(i - 1, j - 1)
+  else (d(i - 1, j) min d(i, j - 1) min d(i - 1, j - 1)) + 1
+
+let q = "abab"
+print d(q, |q|, q, |q|)

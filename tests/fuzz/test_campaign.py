@@ -45,8 +45,8 @@ class TestCampaign:
         assert payload["cases_run"] == 5
         assert set(payload["classifications"]) == {
             "crash", "service-crash", "divergence",
-            "service-divergence", "eligibility-mismatch",
-            "lint-gap", "rejected", "parity-ok",
+            "map-native-divergence", "service-divergence",
+            "eligibility-mismatch", "lint-gap", "rejected", "parity-ok",
         }
         assert payload["failures"] == []
 

@@ -3,13 +3,16 @@
 import pytest
 
 from repro.ir.cbackend import (
+    batched_eligibility,
     emit_native_source,
     entry_symbol,
+    native_batched_param_spec,
     native_eligibility,
     native_param_spec,
     supports_window,
     value_ctype,
 )
+from repro.lang.errors import CodegenError
 from repro.ir.kernel import build_kernel
 from repro.lang.parser import parse_function
 from repro.lang.typecheck import check_function
@@ -178,3 +181,105 @@ class TestParamSpec:
         params = native_param_spec(edit_kernel)
         decl = ", ".join(f"{p.ctext} {p.name}" for p in params)
         assert f"void repro_d({decl})" in text
+
+
+class TestBatchedEmission:
+    def test_batched_entry_present(self, edit_kernel):
+        text = emit_native_source(edit_kernel)
+        symbol = entry_symbol(edit_kernel, batched=True)
+        assert symbol == "repro_d_batched"
+        assert f"void {symbol}(" in text
+
+    def test_windowed_batched_refused(self, edit_kernel):
+        """The ring buffer is a per-problem residency optimisation;
+        there is no windowed batched entry to name."""
+        with pytest.raises(CodegenError):
+            entry_symbol(edit_kernel, windowed=True, batched=True)
+
+    def test_windowed_kernel_batches_via_plain_body(self, edit_kernel):
+        assert supports_window(edit_kernel)
+        verdict = batched_eligibility(edit_kernel)
+        assert verdict.ok
+        assert verdict.rule == "ok-plain-body"
+
+    def test_plain_kernel_rule(self):
+        kernel = kernel_for(FORWARD, Schedule.of(s=0, i=1), {})
+        verdict = batched_eligibility(kernel)
+        assert verdict.ok
+        assert verdict.rule == "ok-batched"
+
+    def test_cross_table_read_refused(self):
+        from repro.ir import expr as ir
+        import dataclasses
+
+        kernel = kernel_for(EDIT_DISTANCE, Schedule.of(i=1, j=1))
+        cross = ir.TableRead(
+            indices=(ir.DimRef("i"), ir.DimRef("j")),
+            table="other",
+        )
+        body = dataclasses.replace(kernel.body, cell=cross)
+        kernel = dataclasses.replace(kernel, body=body)
+        verdict = batched_eligibility(kernel)
+        assert not verdict.ok
+        assert verdict.rule == "cross-table-read"
+
+    def test_ragged_tails_index_by_pad_strides(self, edit_kernel):
+        """Members narrower than the padded batch table must stride
+        by the pad extents, not their own ``ub + 1`` — otherwise a
+        ragged member reads its neighbour's rows."""
+        text = emit_native_source(edit_kernel)
+        body = text[text.index("repro_d_batched"):]
+        assert "long* farr = btab + _b * _tsz;" in body
+        assert "* (pad_j) +" in body
+        assert "* (ub_j + 1) +" not in body
+
+    def test_per_member_bound_columns(self, edit_kernel):
+        """Each batch member shadows its own bounds and sequences
+        from the (B,)-shaped columns before running its exact nest."""
+        text = emit_native_source(edit_kernel)
+        body = text[text.index("repro_d_batched"):]
+        assert "const long ub_i = b_ub_i[_b];" in body
+        assert "const long ub_j = b_ub_j[_b];" in body
+        assert "const long* seq_s = b_seq_s + _b * b_seq_s_cols;" in body
+
+    def test_openmp_outer_loop_only(self, edit_kernel):
+        """With OpenMP on, the batched entry parallelises the problem
+        loop; the member nests inside stay serial (determinism: each
+        member's cells execute in exact serial order)."""
+        omp = emit_native_source(edit_kernel, openmp=True)
+        batched = omp[omp.index("repro_d_batched"):]
+        assert (
+            "#pragma omp parallel for schedule(static)\n"
+            "  for (long _b = 0; _b < nprob; _b++)" in batched
+        )
+        # exactly one pragma in the batched entry
+        assert batched.count("#pragma omp parallel for") == 1
+        serial = emit_native_source(edit_kernel)
+        assert "#pragma omp" not in serial[
+            serial.index("repro_d_batched"):
+        ]
+
+    def test_thread_helpers_emitted(self, edit_kernel):
+        """repro_set_threads/repro_max_threads ship in every TU, with
+        serial stubs when the TU compiles without OpenMP."""
+        text = emit_native_source(edit_kernel)
+        assert "void repro_set_threads(long n)" in text
+        assert "long repro_max_threads(void)" in text
+        assert "#ifdef _OPENMP" in text
+
+    def test_batched_spec_matches_declaration(self, edit_kernel):
+        text = emit_native_source(edit_kernel)
+        params = native_batched_param_spec(edit_kernel)
+        decl = ", ".join(f"{p.ctext} {p.name}" for p in params)
+        assert f"void repro_d_batched({decl})" in text
+
+    def test_batched_spec_kinds(self, edit_kernel):
+        params = native_batched_param_spec(edit_kernel)
+        kinds = [p.kind for p in params]
+        assert kinds[:2] == ["table", "nprob"]
+        by_name = {p.name: p for p in params}
+        assert by_name["pad_i"].kind == "pad"
+        assert by_name["pad_j"].kind == "pad"
+        assert by_name["b_ub_i"].key == "ub_i"
+        assert by_name["b_seq_s"].key == "seq_s"
+        assert by_name["b_seq_s_cols"].kind == "cols"

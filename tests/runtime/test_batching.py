@@ -266,3 +266,130 @@ class TestBatchedLaunch:
         for slot, domain in enumerate(batch.domains):
             sel = (slot,) + tuple(slice(0, e) for e in domain.extents)
             assert (primary[sel] == reference[sel]).all()
+
+
+class TestNativeRung:
+    """The batched-native rung: ladder position, demotion, parity."""
+
+    from repro.runtime import native as _native_rt
+
+    have_cc = _native_rt.available().ok
+
+    def launch_for(self, edit_func, backend="native"):
+        engine = Engine(backend=backend)
+        prepared, _, _, _ = engine.prepare_map(
+            edit_func, BASE, edit_problems()
+        )
+        (group,) = plan_batches(prepared)
+        compiled = prepared[group[0]][2]
+        members = [(prepared[i][0], prepared[i][1]) for i in group]
+        return BatchedLaunch(pack_group(compiled, members, group))
+
+    def native_launch(self, edit_func):
+        return self.launch_for(edit_func, "native")
+
+    def test_vector_compiled_starts_on_vector_rung(self, edit_func):
+        launch = self.launch_for(edit_func, "vector")
+        assert launch.rung == "vector"
+        assert launch.backend == "vector-batched"
+
+    def test_demotion_ladder_bottoms_out_at_scalar(self, edit_func):
+        launch = self.launch_for(edit_func, "vector")
+        assert launch.demote() == "scalar"
+        assert launch.backend == "scalar-batched"
+
+    @pytest.mark.skipif(not have_cc, reason="no C compiler")
+    def test_native_compiled_starts_on_native_rung(self, edit_func):
+        launch = self.native_launch(edit_func)
+        assert launch.rung == "native"
+        assert launch.backend == "native-batched"
+        assert launch.demote() == "vector"
+        assert launch.demote() == "scalar"
+
+    @pytest.mark.skipif(not have_cc, reason="no C compiler")
+    def test_native_rung_matches_scalar_sweep(self, edit_func):
+        launch = self.native_launch(edit_func)
+        batch = launch.batch
+        native = batch.table.copy()
+        launch.run(native, batch.ctx)
+        assert launch.rung == "native"
+        reference = batch.table.copy()
+        launch.reference_run(reference, batch.ctx)
+        for slot, domain in enumerate(batch.domains):
+            sel = (slot,) + tuple(slice(0, e) for e in domain.extents)
+            assert (
+                native[sel].tobytes() == reference[sel].tobytes()
+            )
+
+    @pytest.mark.skipif(not have_cc, reason="no C compiler")
+    def test_build_failure_demotes_to_vector(self, edit_func):
+        """A native compiled whose shared object went missing demotes
+        gracefully: the launch lands on the vector rung and still
+        fills the exact table."""
+        launch = self.native_launch(edit_func)
+        launch.compiled.so_path = "/nonexistent/kernel.so"
+        launch.compiled.batched_native_run = None
+        batch = launch.batch
+        table = batch.table.copy()
+        launch.run(table, batch.ctx)
+        assert launch.rung == "vector"
+        assert launch.backend == "vector-batched"
+        reference = batch.table.copy()
+        launch.reference_run(reference, batch.ctx)
+        for slot, domain in enumerate(batch.domains):
+            sel = (slot,) + tuple(slice(0, e) for e in domain.extents)
+            assert (table[sel] == reference[sel]).all()
+
+    def test_ensure_batched_native_refuses_vector_compiled(
+        self, edit_func
+    ):
+        from repro.lang.errors import NativeBuildError
+
+        launch = self.launch_for(edit_func, "vector")
+        with pytest.raises(NativeBuildError):
+            launch.compiled.ensure_batched_native()
+
+    @pytest.mark.skipif(not have_cc, reason="no C compiler")
+    def test_map_run_reports_native_batched(self, edit_func):
+        result = Engine(backend="native").map_run(
+            edit_func, BASE, edit_problems()
+        )
+        assert result.batched_backends == ["native-batched"]
+        assert result.lane_batched_problems == len(WORDS)
+
+    @pytest.mark.skipif(not have_cc, reason="no C compiler")
+    def test_openmp_off_is_bitwise_identical(
+        self, edit_func, monkeypatch
+    ):
+        """REPRO_NATIVE_OMP=0 compiles a pragma-free TU (a different
+        content hash, so a fresh .so); the batched rung must fill
+        bit-identical tables either way."""
+        default = Engine(backend="native").map_run(
+            edit_func, BASE, edit_problems()
+        )
+        monkeypatch.setenv("REPRO_NATIVE_OMP", "0")
+        serial = Engine(backend="native").map_run(
+            edit_func, BASE, edit_problems()
+        )
+        assert serial.batched_backends == ["native-batched"]
+        assert [int(v) for v in serial.values] == [
+            int(v) for v in default.values
+        ]
+
+    @pytest.mark.skipif(not have_cc, reason="no C compiler")
+    def test_forced_single_thread_is_bitwise_identical(
+        self, edit_func, monkeypatch
+    ):
+        """REPRO_NATIVE_THREADS=1 caps the OpenMP problem loop; the
+        per-member nests are untouched, so results cannot move."""
+        default = Engine(backend="native").map_run(
+            edit_func, BASE, edit_problems()
+        )
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "1")
+        capped = Engine(backend="native").map_run(
+            edit_func, BASE, edit_problems()
+        )
+        assert capped.batched_backends == ["native-batched"]
+        assert [int(v) for v in capped.values] == [
+            int(v) for v in default.values
+        ]
