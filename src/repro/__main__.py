@@ -273,6 +273,10 @@ def explain_main(argv) -> int:
                 failures += 1
                 continue
         kernel = build_kernel(func, schedule, args.prob_mode)
+        from .verify.races import parallelism_certificate
+
+        parallel = parallelism_certificate(kernel)
+        record["parallel"] = parallel.to_dict()
         verdict = npbackend.eligibility(kernel)
         from .ir.cbackend import native_eligibility
         from .runtime import native as native_rt
@@ -371,6 +375,7 @@ def explain_main(argv) -> int:
                 else:
                     emit(f"  batched-native: [{batched.rule}] "
                          f"{batched.detail}")
+        emit(f"  parallel: {parallel.summary}")
         try:
             certificate, _diags = verify_schedule(
                 func,
@@ -494,7 +499,10 @@ def lint_main(argv) -> int:
         description="Statically verify schedules and table accesses "
         "of a DSL script (caret diagnostics, stable rule ids).",
     )
-    parser.add_argument("script", help="path to a .dsl program")
+    parser.add_argument(
+        "script", nargs="?", default=None,
+        help="path to a .dsl program",
+    )
     parser.add_argument(
         "--nominal-extent", type=int, default=None,
         help="stand-in extent L for the unknown problem size "
@@ -512,8 +520,27 @@ def lint_main(argv) -> int:
         "--quiet", action="store_true",
         help="suppress info-severity diagnostics",
     )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every stable rule id with its severity and "
+        "description, then exit",
+    )
     args = parser.parse_args(argv)
 
+    if args.list_rules:
+        from .verify.diagnostics import RULES
+
+        width = max(len(name) for name in RULES)
+        try:
+            for name, (severity, description) in RULES.items():
+                print(f"{name:<{width}}  {severity:<8} {description}")
+        except BrokenPipeError:
+            # piped through `head`; the reader got what it wanted
+            sys.stderr.close()
+        return 0
+
+    if args.script is None:
+        parser.error("a script path is required (or --list-rules)")
     path = Path(args.script)
     if not path.exists():
         parser.error(f"no such script: {path}")

@@ -54,6 +54,11 @@ class CampaignReport:
     classifications: Dict[str, int] = field(default_factory=dict)
     shapes: Dict[str, int] = field(default_factory=dict)
     skips: Dict[str, int] = field(default_factory=dict)
+    #: per-rule coverage: how many cases exercised each stable rule
+    #: id (lint diagnostics, eligibility verdicts, parallel-axis
+    #: rules) — the feedback signal for steering the generator at
+    #: under-covered rules.
+    rules: Dict[str, int] = field(default_factory=dict)
     failures: List[FailureRecord] = field(default_factory=list)
     budget_exhausted: bool = False
     cases_run: int = 0
@@ -86,6 +91,12 @@ class CampaignReport:
                 for reason, count in sorted(self.skips.items())
             )
             lines.append(f"skips: {skips}")
+        if self.rules:
+            rules = " ".join(
+                f"{rule}={count}"
+                for rule, count in sorted(self.rules.items())
+            )
+            lines.append(f"rules exercised: {rules}")
         if not self.failures:
             lines.append("failures: none")
         for failure in self.failures:
@@ -117,6 +128,7 @@ class CampaignReport:
                 },
                 "shapes": dict(sorted(self.shapes.items())),
                 "skips": dict(sorted(self.skips.items())),
+                "rules": dict(sorted(self.rules.items())),
                 "failures": [
                     {
                         "index": f.index,
@@ -220,6 +232,8 @@ def _run_cases(
         )
         for skip in outcome.skips:
             report.skips[skip] = report.skips.get(skip, 0) + 1
+        for rule in outcome.rules:
+            report.rules[rule] = report.rules.get(rule, 0) + 1
         if progress is not None:
             progress(index, classification)
         if classification not in FAILURE_CLASSES:

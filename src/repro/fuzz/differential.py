@@ -31,8 +31,18 @@ Verdicts (:data:`FAILURE_CLASSES` are the failing ones):
 * ``eligibility-mismatch`` — a forced backend's behaviour contradicts
   its eligibility verdict (or its error hides the failed rule);
 * ``divergence`` — two rungs produce different answers;
+* ``race-gap`` — the parallel-safety analyzer and reality disagree in
+  either direction: a CONFIRMED space axis diverges under a
+  multi-threaded native run (analyzer unsound for this kernel), or an
+  axis is REFUSED on a kernel every leg agrees on (analyzer
+  incomplete — generated kernels carry verified schedules, so every
+  refusal is a completeness regression worth a reproducer);
 * ``crash`` — any leg dies in a way neither the lint nor the
   taxonomy above accounts for.
+
+Every outcome also carries the set of stable rule ids the case
+exercised (lint diagnostics, eligibility verdicts, parallel-axis
+rules), which campaign reports aggregate into per-rule coverage.
 """
 
 from __future__ import annotations
@@ -67,6 +77,7 @@ FAILURE_CLASSES = (
     "crash",
     "service-crash",
     "divergence",
+    "race-gap",
     "map-native-divergence",
     "service-divergence",
     "eligibility-mismatch",
@@ -117,6 +128,9 @@ class CaseOutcome:
     legs: Dict[str, LegResult] = field(default_factory=dict)
     lint_errors: Tuple[str, ...] = ()
     skips: Tuple[str, ...] = ()
+    #: stable rule ids this case exercised (sorted); campaign reports
+    #: aggregate them into per-rule coverage counts.
+    rules: Tuple[str, ...] = ()
 
     @property
     def failed(self) -> bool:
@@ -167,6 +181,18 @@ class DifferentialHarness:
     # -- classification ------------------------------------------------------
 
     def classify(self, case: FuzzCase) -> CaseOutcome:
+        """Run every applicable leg and produce the verdict.
+
+        The outcome carries every stable rule id the case exercised
+        (collected as a side-channel during classification so the ~15
+        early-return verdict sites stay untouched).
+        """
+        self._last_rules: set = set()
+        outcome = self._classify(case)
+        outcome.rules = tuple(sorted(self._last_rules))
+        return outcome
+
+    def _classify(self, case: FuzzCase) -> CaseOutcome:
         """Run every applicable leg and produce the verdict."""
         from ..lang.source import SourceText
         from ..service.programs import ServiceProgram
@@ -198,6 +224,7 @@ class DifferentialHarness:
             str(d.message)
             for d in lint.report.by_severity(Severity.ERROR)
         )
+        self._last_rules.update(d.rule for d in lint.report)
 
         run_kwargs = dict(
             at=at, initial=initial,
@@ -228,7 +255,31 @@ class DifferentialHarness:
         from ..runtime import native as native_rt
 
         kernel = scalar.value_kernel
+        # Parallel-safety certificate: feeds both directions of the
+        # race-gap check and the rules-coverage report. Certify on
+        # the extents the case actually ran (the scalar table's
+        # shape): the engine may have validated a schedule only on
+        # this concrete box, and judging it against the nominal
+        # stand-in box would manufacture spurious refusals.
+        try:
+            from ..verify.races import parallelism_certificate
+
+            extents = (
+                tuple(int(e) for e in scalar.table.shape)
+                if scalar.table is not None
+                else None
+            )
+            parallel = parallelism_certificate(kernel, extents)
+        except Exception:
+            parallel = None
+        if parallel is not None:
+            for axis in parallel.axes:
+                if axis.status == "refused" and axis.rule:
+                    self._last_rules.add(axis.rule)
+            if parallel.ok:
+                self._last_rules.add("R-PAR-CERT")
         vector_verdict = npbackend.eligibility(kernel)
+        self._last_rules.add(vector_verdict.rule)
         vector = self._run_leg("vector", case, func, bindings, run_kwargs)
         legs["vector"] = vector
         mismatch = self._eligibility_mismatch(
@@ -247,6 +298,7 @@ class DifferentialHarness:
 
         if self.use_native and native_rt.available().ok:
             nat_verdict = native_eligibility(kernel)
+            self._last_rules.add(nat_verdict.rule)
             nat = self._run_leg("native", case, func, bindings, run_kwargs)
             legs["native"] = nat
             mismatch = self._eligibility_mismatch(
@@ -272,20 +324,39 @@ class DifferentialHarness:
             leg = legs[name]
             if leg.status != "ok":
                 continue
-            if leg.table is not None and not tables_agree(
+            agree_tables = leg.table is None or tables_agree(
                 scalar.table, leg.table
+            )
+            agree_values = values_agree(scalar.value, leg.value)
+            if agree_tables and agree_values:
+                continue
+            # A native miss under a live CONFIRMED space certificate
+            # with real threads is the analyzer being *unsound* for
+            # this kernel — a strictly worse finding than a plain
+            # codegen divergence, so it gets its own class.
+            if (
+                name == "native"
+                and parallel is not None
+                and parallel.space.confirmed
+                and native_rt.effective_threads() > 1
             ):
                 return CaseOutcome(
-                    case, "divergence",
-                    f"scalar and {name} tables disagree",
+                    case, "race-gap",
+                    f"space axis certified race-free but the "
+                    f"multi-threaded native leg diverges from "
+                    f"scalar (scalar={scalar.value!r} "
+                    f"native={leg.value!r})",
                     legs, lint_errors, tuple(skips),
                 )
-            if not values_agree(scalar.value, leg.value):
-                return CaseOutcome(
-                    case, "divergence",
-                    f"scalar={scalar.value!r} {name}={leg.value!r}",
-                    legs, lint_errors, tuple(skips),
-                )
+            detail = (
+                f"scalar and {name} tables disagree"
+                if not agree_tables
+                else f"scalar={scalar.value!r} {name}={leg.value!r}"
+            )
+            return CaseOutcome(
+                case, "divergence", detail,
+                legs, lint_errors, tuple(skips),
+            )
 
         # -- the divergence oracle on the auto rung ---------------------------
         oracle_detail = self._oracle_leg(
@@ -357,6 +428,27 @@ class DifferentialHarness:
                     case, map_detail[0], map_detail[1],
                     legs, lint_errors, tuple(skips),
                 )
+
+        # -- analyzer completeness --------------------------------------------
+        # Every leg agrees, static and dynamic checks are clean — if
+        # the parallel-safety analyzer still refused an axis, that is
+        # a completeness gap: generated kernels carry verified
+        # schedules, whose S-delta proofs are exactly what the space
+        # obligation re-derives, so a refusal here deserves a shrunk
+        # reproducer even though the serial fallback keeps it correct.
+        if parallel is not None and not parallel.ok:
+            refused = [
+                a for a in parallel.axes if a.status == "refused"
+            ]
+            return CaseOutcome(
+                case, "race-gap",
+                "analyzer refused "
+                + ", ".join(
+                    f"{a.axis} [{a.rule}]: {a.detail}" for a in refused
+                )
+                + " on a kernel every leg agrees on",
+                legs, lint_errors, tuple(skips),
+            )
 
         return CaseOutcome(
             case, "parity-ok", "", legs, lint_errors, tuple(skips)

@@ -39,13 +39,16 @@ path (the native mirror of the vector batcher in
   C entry simply runs each member's *own* loop nest over its own
   bounds inside an outer problem loop — no masking, no clamping, and
   bitwise-identical cells to the per-problem entry. The problem loop
-  is the race-free parallel axis (members write disjoint padded
-  slices), so with OpenMP it carries ``#pragma omp parallel for``;
-  the serial build of the identical loop produces identical bits.
+  is the parallel axis; with OpenMP it carries ``#pragma omp parallel
+  for`` *when* :mod:`repro.verify.races` has proved the members'
+  padded slices disjoint (``R-BATCH-OVERLAP``) — race freedom is a
+  per-kernel certificate, not an assumption — and the serial build of
+  the identical loop produces identical bits.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -63,11 +66,11 @@ from .npbackend import Eligibility
 _HELPERS = C_HELPERS + """\
 #include <math.h>
 
-static double min(double a, double b) { return a < b ? a : b; }
-static double max(double a, double b) { return a > b ? a : b; }
-static double idiv(double a, double b) { return trunc(a / b); }
-static double safelog(double x) { return x > 0.0 ? log(x) : -INFINITY; }
-static double logaddexp(double a, double b) {
+static inline double min(double a, double b) { return a < b ? a : b; }
+static inline double max(double a, double b) { return a > b ? a : b; }
+static inline double idiv(double a, double b) { return trunc(a / b); }
+static inline double safelog(double x) { return x > 0.0 ? log(x) : -INFINITY; }
+static inline double logaddexp(double a, double b) {
   if (a == -INFINITY) return b;
   if (b == -INFINITY) return a;
   double m = a > b ? a : b;
@@ -349,17 +352,47 @@ long repro_max_threads(void) { return 1; }
 
 
 def emit_native_source(
-    kernel: Kernel, openmp: bool = False
+    kernel: Kernel, openmp: bool = False, certificate=None
 ) -> str:
     """Emit the complete C99 translation unit for one kernel.
 
-    ``openmp=True`` adds ``#pragma omp parallel for`` over the first
-    space loop of each partition (cells of a partition are mutually
-    independent — the schedule's defining property — so the parallel
-    sweep is race-free) and over the batched entry's problem loop
-    (members write disjoint slices); the pragmas are inert unless the
+    ``openmp=True`` requests ``#pragma omp parallel for`` over the
+    first space loop of each partition and over the batched entry's
+    problem loop — but a pragma is only *emitted* for an axis the
+    parallel-safety verifier CONFIRMED (:mod:`repro.verify.races`
+    re-proves intra-partition disjointness, batched-slice
+    disjointness and ring safety per kernel; the emitter no longer
+    trusts the schedule's independence claim as a comment). An axis
+    without a certificate degrades to serial emission — the TU is
+    simply pragma-free there, so its content hash differs from the
+    proved TU's and the build cache keeps the variants apart. A
+    refused ring suppresses the windowed entry outright; the runtime
+    falls back to the plain entry. The pragmas are inert unless the
     library is built with ``-fopenmp``.
+
+    ``certificate`` overrides the verifier's own judgement (tests use
+    it to force refusals); when ``None`` and ``openmp=True``, the
+    memoised certificate is computed on demand.
     """
+    if openmp and certificate is None:
+        from ..verify.races import parallelism_certificate
+
+        certificate = parallelism_certificate(kernel)
+
+    def _unused_casts(params, body_lines, pad="  "):
+        # A shared model marshals every column of its context whether
+        # or not this kernel's equations read them all; silence the
+        # (correct) -Wunused-parameter so -Wall -Wextra -Werror and
+        # sanitizer builds stay noise-free.
+        text = "\n".join(body_lines)
+        return [
+            f"{pad}(void) {p.name};"
+            for p in params
+            if not re.search(rf"\b{re.escape(p.name)}\b", text)
+        ]
+    space_omp = bool(openmp) and certificate.space.confirmed
+    batch_omp = bool(openmp) and certificate.batch.confirmed
+    ring_ok = certificate is None or certificate.ring.status != "refused"
     vt = value_ctype(kernel)
     params = native_param_spec(kernel)
     decl = ", ".join(f"{p.ctext} {p.name}" for p in params)
@@ -369,24 +402,39 @@ def emit_native_source(
         _HELPERS,
         _THREAD_HELPERS,
     ]
+    if certificate is not None:
+        lines.insert(1, f"/* parallel-safety: {certificate.summary} */")
+    body: List[str] = []
+    _emit_body(kernel, body, vt, windowed=False, openmp=space_omp)
     lines.append(f"void {entry_symbol(kernel)}({decl}) {{")
-    _emit_body(kernel, lines, vt, windowed=False, openmp=openmp)
+    lines.extend(_unused_casts(params, body))
+    lines.extend(body)
     lines.append("}")
-    if supports_window(kernel):
+    if supports_window(kernel) and ring_ok:
+        body = []
+        _emit_body(kernel, body, vt, windowed=True, openmp=space_omp)
         lines.append("")
         lines.append(
             f"void {entry_symbol(kernel, windowed=True)}({decl}) {{"
         )
-        _emit_body(kernel, lines, vt, windowed=True, openmp=openmp)
+        lines.extend(_unused_casts(params, body))
+        lines.extend(body)
         lines.append("}")
     lines.append("")
-    _emit_batched_entry(kernel, lines, vt, openmp=openmp)
+    _emit_batched_entry(
+        kernel, lines, vt, openmp=batch_omp,
+        unused_casts=_unused_casts,
+    )
     lines.append("")
     return "\n".join(lines)
 
 
 def _emit_batched_entry(
-    kernel: Kernel, lines: List[str], vt: str, openmp: bool
+    kernel: Kernel,
+    lines: List[str],
+    vt: str,
+    openmp: bool,
+    unused_casts=None,
 ) -> None:
     """Emit ``repro_<name>_batched``: a whole map group in one call.
 
@@ -402,24 +450,22 @@ def _emit_batched_entry(
     """
     params = native_batched_param_spec(kernel)
     decl = ", ".join(f"{p.ctext} {p.name}" for p in params)
-    lines.append(
-        f"void {entry_symbol(kernel, batched=True)}({decl}) {{"
-    )
     pad = "  "
+    body: List[str] = []
     tsz = " * ".join(f"pad_{d}" for d in kernel.dims)
-    lines.append(f"{pad}const long _tsz = {tsz};")
+    body.append(f"{pad}const long _tsz = {tsz};")
     if openmp:
-        lines.append(
+        body.append(
             f"{pad}#pragma omp parallel for schedule(static)"
         )
-    lines.append(f"{pad}for (long _b = 0; _b < nprob; _b++) {{")
+    body.append(f"{pad}for (long _b = 0; _b < nprob; _b++) {{")
     inner = pad + "  "
-    lines.append(f"{inner}{vt}* farr = btab + _b * _tsz;")
+    body.append(f"{inner}{vt}* farr = btab + _b * _tsz;")
     for d in kernel.dims:
-        lines.append(f"{inner}const long ub_{d} = b_ub_{d}[_b];")
+        body.append(f"{inner}const long ub_{d} = b_ub_{d}[_b];")
     refs = kernel.referenced_names()
     for s in sorted(refs["seqs"]):
-        lines.append(
+        body.append(
             f"{inner}const long* seq_{s} = "
             f"b_seq_{s} + _b * b_seq_{s}_cols;"
         )
@@ -430,17 +476,23 @@ def _emit_batched_entry(
             if scalar_kinds.get(a, "scalar_f64") == "scalar_int"
             else "double"
         )
-        lines.append(f"{inner}const {ctext} arg_{a} = b_arg_{a}[_b];")
+        body.append(f"{inner}const {ctext} arg_{a} = b_arg_{a}[_b];")
     cell = CCellEmitter(
         kernel,
         windowed=False,
         strides=tuple(f"pad_{d}" for d in kernel.dims),
     )
     _emit_body(
-        kernel, lines, vt, windowed=False, openmp=False,
+        kernel, body, vt, windowed=False, openmp=False,
         cell=cell, pad=inner,
     )
-    lines.append(f"{pad}}}")
+    body.append(f"{pad}}}")
+    lines.append(
+        f"void {entry_symbol(kernel, batched=True)}({decl}) {{"
+    )
+    if unused_casts is not None:
+        lines.extend(unused_casts(params, body))
+    lines.extend(body)
     lines.append("}")
 
 

@@ -28,8 +28,11 @@ Two rungs can run a packed group, mirroring the per-problem ladder:
 * **native-batched** — the compiled backend's batched entry point
   (:func:`repro.ir.cbackend.native_batched_param_spec`): one
   ``ctypes`` call runs every member's own loop nest, optionally with
-  OpenMP across members. Bitwise-identical to the per-problem native
-  loop at any thread count.
+  OpenMP across members — emitted only when the parallel-safety
+  analyzer proved the members' padded slices disjoint
+  (:mod:`repro.verify.races`, rule ``R-BATCH-OVERLAP`` on refusal).
+  Bitwise-identical to the per-problem native loop at any thread
+  count.
 * **vector-batched** — the NumPy batched twin
   (:func:`repro.ir.npbackend.emit_batched_source`), which masks
   per-problem validity lane-wise.

@@ -360,6 +360,23 @@ class Engine:
                     func, domain,
                     schedule=schedule, prob_mode=self.prob_mode,
                 )
+                # Parallel-safety certificates on the real extents: a
+                # refused axis is a warning (the native build simply
+                # goes serial there), never a VerificationError.
+                from ..ir.kernel import build_kernel
+                from ..verify.races import analyze_parallelism
+
+                try:
+                    parallel = analyze_parallelism(
+                        build_kernel(
+                            func, schedule, prob_mode=self.prob_mode
+                        ),
+                        extents=domain.extents,
+                    )
+                except AnalysisError:
+                    parallel = None
+                if parallel is not None:
+                    diagnostics += parallel.diagnostics()
             errors = tuple(
                 d for d in diagnostics if d.severity == "error"
             )

@@ -37,7 +37,28 @@ by construction, since the parallel axes (cells of one partition,
 problems of one batch) never share a written cell and every
 reduction stays serial inside its cell. ``REPRO_NATIVE_THREADS=N``
 caps the OpenMP team size (applied via the emitted
-``repro_set_threads`` export when each library loads).
+``repro_set_threads`` export when each library loads). The pragmas
+themselves are certificate-gated: :func:`repro.ir.cbackend
+.emit_native_source` consults :mod:`repro.verify.races` and emits a
+pragma only on axes with a CONFIRMED parallel-safety verdict, so an
+unproved kernel builds a pragma-free (serial-native) TU with its own
+content hash.
+
+``REPRO_NATIVE_SANITIZE=address,undefined`` builds *instrumented*
+translation units — the dynamic, independent check on the static
+race certificates. The sanitizer flags join the build flags (and
+therefore the content-address digest, so instrumented and plain
+artifacts never collide); the ``dlopen`` probe subprocess and the
+sandbox workers run with ``ASAN_OPTIONS=verify_asan_link_order=0``
+(the Python binary is not ASan-linked, so the runtime arrives via
+the ``.so`` rather than first in the initial library list) plus
+``detect_leaks=0`` (the interpreter's own allocations are not this
+backend's findings). Because ASan reads ``/proc/self/environ``
+directly — immune to ``putenv`` after start-up — sanitized libraries
+are **never** loaded in-process: every launch routes through the
+sandbox worker pool. Sanitized artifacts are also never embedded
+into ``native-so`` service-cache records
+(:mod:`repro.service.cache` skips them).
 """
 
 from __future__ import annotations
@@ -182,6 +203,71 @@ def _use_openmp() -> bool:
     return omp
 
 
+#: Recognised ``REPRO_NATIVE_SANITIZE`` components and their flags.
+_SANITIZERS = {
+    "address": "-fsanitize=address",
+    "undefined": "-fsanitize=undefined",
+}
+
+
+def sanitize_flags() -> Tuple[str, ...]:
+    """Extra cflags for ``REPRO_NATIVE_SANITIZE`` (empty when unset).
+
+    The variable is a comma-separated subset of ``address`` and
+    ``undefined``; unknown names raise immediately (a typo silently
+    building uninstrumented kernels would defeat the whole point).
+    Instrumented builds keep symbols and frames so findings name the
+    emitted entry points. Read fresh on every build, like the OpenMP
+    opt-out.
+    """
+    raw = os.environ.get("REPRO_NATIVE_SANITIZE", "").strip()
+    if not raw:
+        return ()
+    flags: List[str] = []
+    for name in raw.split(","):
+        name = name.strip().lower()
+        if not name:
+            continue
+        if name not in _SANITIZERS:
+            raise NativeBuildError(
+                f"unknown sanitizer {name!r} in REPRO_NATIVE_SANITIZE"
+                f" (expected a comma list of: "
+                f"{', '.join(sorted(_SANITIZERS))})"
+            )
+        flags.append(_SANITIZERS[name])
+    if not flags:
+        return ()
+    return tuple(flags) + ("-g", "-fno-omit-frame-pointer")
+
+
+def sanitize_active() -> bool:
+    """Is this process building instrumented translation units?"""
+    return bool(sanitize_flags())
+
+
+def _sanitizer_env() -> Dict[str, str]:
+    """Runtime options every sanitized load needs.
+
+    ``verify_asan_link_order=0`` because the interpreter is not
+    ASan-linked (the runtime enters via our ``dlopen``-ed ``.so``);
+    ``detect_leaks=0`` because LSan would report the interpreter's
+    own allocations at exit; ``halt_on_error=1`` so a UBSan finding
+    fails the probe subprocess instead of scrolling past.
+    """
+    return {
+        "ASAN_OPTIONS": "verify_asan_link_order=0:detect_leaks=0",
+        "UBSAN_OPTIONS": "halt_on_error=1:print_stacktrace=1",
+    }
+
+
+def _export_sanitizer_env() -> None:
+    """Publish the sanitizer runtime options process-wide (children —
+    probe subprocesses, sandbox workers — inherit them; an explicit
+    user setting wins)."""
+    for key, value in _sanitizer_env().items():
+        os.environ.setdefault(key, value)
+
+
 def thread_count() -> Optional[int]:
     """The ``REPRO_NATIVE_THREADS`` cap, or ``None`` when unset or
     unparseable (let the OpenMP runtime pick)."""
@@ -236,6 +322,10 @@ def build_shared_object(source: str) -> str:
     flags = list(_CFLAGS)
     if _use_openmp():
         flags.append("-fopenmp")
+    sanitize = sanitize_flags()
+    if sanitize:
+        flags.extend(sanitize)
+        _export_sanitizer_env()
     digest = hashlib.sha256(
         "\x00".join([cc, " ".join(flags), source]).encode("utf-8")
     ).hexdigest()
@@ -300,6 +390,10 @@ def probe_shared_object(so_path: str) -> None:
     """
     if _PROBED.get(so_path):
         return
+    env = None
+    if sanitize_active():
+        _export_sanitizer_env()
+        env = dict(os.environ)
     try:
         result = subprocess.run(
             [
@@ -307,7 +401,7 @@ def probe_shared_object(so_path: str) -> None:
                 "import ctypes, sys; ctypes.CDLL(sys.argv[1])",
                 so_path,
             ],
-            capture_output=True, timeout=60,
+            capture_output=True, timeout=60, env=env,
         )
     except (OSError, subprocess.TimeoutExpired) as err:
         raise NativeBuildError(
@@ -366,13 +460,19 @@ class NativeRun:
         )
         self._plain.restype = None
         self._plain.argtypes = _argtypes_for(self._spec)
+        # A window-capable kernel whose ring certificate was refused
+        # builds without the windowed entry (the emitter suppresses
+        # it); the plain entry serves every launch then.
         self._windowed = None
         if cbackend.supports_window(kernel):
             self._windowed = getattr(
-                self._lib, cbackend.entry_symbol(kernel, windowed=True)
+                self._lib,
+                cbackend.entry_symbol(kernel, windowed=True),
+                None,
             )
-            self._windowed.restype = None
-            self._windowed.argtypes = _argtypes_for(self._spec)
+            if self._windowed is not None:
+                self._windowed.restype = None
+                self._windowed.argtypes = _argtypes_for(self._spec)
 
     def _use_window(self, ctx: Dict[str, object]) -> bool:
         if self._windowed is None:
@@ -522,10 +622,18 @@ def _make_run(kernel: Kernel, so_path: str):
     .configure`) the ``.so`` is never ``CDLL``-ed into this process:
     the proxy ships launches to a worker subprocess instead, so a
     segfault in the generated C kills only the worker.
+
+    Sanitized builds are *always* sandboxed: the ASan runtime reads
+    ``/proc/self/environ`` directly, so ``verify_asan_link_order=0``
+    cannot be injected into an already-running interpreter — only a
+    freshly exec'd worker (whose initial environ carries the exported
+    options) can ``dlopen`` the instrumented library. A finding
+    aborts the worker, which surfaces as a contained crash instead of
+    taking the session down.
     """
     from . import sandbox
 
-    if sandbox.enabled():
+    if sandbox.enabled() or sanitize_active():
         return sandbox.SandboxedNativeRun(kernel, so_path)
     return NativeRun(kernel, so_path)
 
@@ -551,6 +659,6 @@ def load_batched(kernel: Kernel, so_path: str):
     from . import sandbox
 
     probe_shared_object(so_path)
-    if sandbox.enabled():
+    if sandbox.enabled() or sanitize_active():
         return sandbox.SandboxedNativeRun(kernel, so_path, batched=True)
     return NativeBatchedRun(kernel, so_path)

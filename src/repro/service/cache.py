@@ -137,6 +137,17 @@ def encode_compiled(compiled) -> bytes:
     }
     so_path = getattr(compiled, "so_path", None)
     if getattr(compiled, "backend", "scalar") == "native":
+        from ..runtime import native
+
+        if native.sanitize_active():
+            # Instrumented (REPRO_NATIVE_SANITIZE) artifacts are a
+            # diagnostic build: embedding one would hand every warm
+            # process an ASan/UBSan-linked library it cannot dlopen
+            # in-process. Memory tier only; the disk tier misses.
+            raise ValueError(
+                "refusing to embed a sanitizer-instrumented shared "
+                "object in a cache record"
+            )
         if not so_path:
             raise ValueError(
                 "native compilation product has no shared object path"

@@ -11,6 +11,10 @@ machine-readable :class:`~repro.verify.diagnostics.Diagnostic` type:
   analysis of the lowered IR: out-of-bounds table and sequence reads,
   read-before-write under the schedule, dead equation arms, unused
   calling parameters;
+* :mod:`repro.verify.races` — parallel-safety certificates for the
+  OpenMP axes: intra-partition disjointness, batched-slice
+  disjointness, ring-buffer safety; the native emitter withholds
+  every pragma an axis has not earned;
 * :mod:`repro.verify.sanitizer` — poison-fill execution with
   per-partition read/write tracking that fails at partition barriers;
 * :mod:`repro.verify.lint` — the program-level orchestration behind
@@ -18,18 +22,29 @@ machine-readable :class:`~repro.verify.diagnostics.Diagnostic` type:
 """
 
 from .access import analyze_access
-from .diagnostics import Diagnostic, Report, Severity
+from .diagnostics import RULES, Diagnostic, Report, Severity
 from .lint import LintResult, lint_checked, lint_text
+from .races import (
+    AxisVerdict,
+    ParallelismCertificate,
+    analyze_parallelism,
+    parallelism_certificate,
+)
 from .sanitizer import run_sanitized, sanitized_partition_scan
 from .soundness import ScheduleCertificate, verify_schedule
 
 __all__ = [
     "Diagnostic",
     "Report",
+    "RULES",
     "Severity",
     "ScheduleCertificate",
     "verify_schedule",
     "analyze_access",
+    "AxisVerdict",
+    "ParallelismCertificate",
+    "analyze_parallelism",
+    "parallelism_certificate",
     "run_sanitized",
     "sanitized_partition_scan",
     "LintResult",

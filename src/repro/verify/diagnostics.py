@@ -37,14 +37,62 @@ them):
                               sequence
 ``S-WRITE-MISS``    error     runtime: a domain cell was never written
 ==================  ========  =========================================
+
+Parallel-safety rules (:mod:`repro.verify.races`) and backend
+eligibility join the same registry; the authoritative machine-readable
+table is :data:`RULES` below — ``python -m repro lint --list-rules``
+prints it, and fuzz campaign reports count which rules a campaign
+actually exercised.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..lang.source import SourceText, Span
+
+#: Every stable rule identifier, with the severity its pass reports it
+#: at and a one-line description. Append-only: tests, CI budgets and
+#: campaign coverage reports key on these names.
+RULES: Dict[str, Tuple[str, str]] = {
+    # -- schedule soundness (repro.verify.soundness) ------------------
+    "V-SCHED-DELTA": ("error", "a call site's S(x) - S(r(x)) is not provably positive over the domain box"),
+    "V-SCHED-CERT": ("info", "positive schedule certificate: partition count + minimum delta per call site"),
+    "V-MUTUAL": ("info", "member of a mutual-recursion group; outside the single-function verifier's scope"),
+    "V-NO-SCHEDULE": ("error", "no valid schedule exists (or the declared schedule is invalid)"),
+    "V-FRONTEND": ("error", "the script did not parse or type-check"),
+    # -- static access analysis (repro.verify.access) -----------------
+    "A-OOB-TABLE": ("error", "a table read can land outside the domain box"),
+    "A-OOB-SEQ": ("error", "a sequence read can land outside the sequence"),
+    "A-RBW": ("error", "a guarded read the schedule does not order after its write"),
+    "A-DEAD-ARM": ("warning", "an equation arm no point of the box can reach"),
+    "A-UNUSED-PARAM": ("warning", "a calling parameter the body never reads"),
+    # -- parallel-safety certificates (repro.verify.races) ------------
+    "R-SPACE-WW": ("warning", "same-partition writes not provably disjoint; space-loop pragma withheld"),
+    "R-SPACE-RW": ("warning", "a same-partition read/write pair is feasible; space-loop pragma withheld"),
+    "R-BATCH-OVERLAP": ("warning", "batched member slices (or shared columns) not provably disjoint; problem-loop pragma withheld"),
+    "R-RING-COLLIDE": ("warning", "two live ring-buffer rows can collide; windowed entry withheld"),
+    "R-PAR-CERT": ("info", "positive parallel-safety certificate: every applicable axis proved race-free"),
+    # -- runtime sanitizer (repro.verify.sanitizer) -------------------
+    "S-POISON-READ": ("error", "runtime: a cell was read while poisoned"),
+    "S-PART-OVERLAP": ("error", "runtime: a cell read and written in the same partition (intra-partition race)"),
+    "S-PART-MISMATCH": ("error", "runtime: a cell written outside its schedule partition"),
+    "S-OOB": ("error", "runtime: an index left the table or a sequence"),
+    "S-WRITE-MISS": ("error", "runtime: a domain cell was never written"),
+    # -- backend eligibility (repro.ir.npbackend / cbackend /
+    # runtime.native Eligibility.rule codes; the engine quotes the
+    # failed code in [brackets] when a forced backend is refused) ----
+    "rank": ("info", "eligibility: the vector/batched backend only renders rank-1/2 nests"),
+    "nest-shape": ("info", "eligibility: the loop nest shape has no vector/batched rendering"),
+    "cross-table-read": ("info", "eligibility: the body reads another function's table"),
+    "codegen": ("info", "eligibility: the C emitter cannot render the kernel body"),
+    "no-compiler": ("info", "eligibility: no working C compiler on this host"),
+    "disabled": ("info", "eligibility: native backend disabled by REPRO_NATIVE_DISABLE"),
+    "ok": ("info", "eligibility: the backend accepts the kernel"),
+    "ok-plain-body": ("info", "eligibility: batched via the plain (non-windowed) body"),
+    "ok-batched": ("info", "eligibility: the batched native entry accepts the kernel"),
+}
 
 
 class Severity:

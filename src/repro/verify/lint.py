@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.domain import Domain
+from ..ir.kernel import build_kernel
 from ..lang import ast
 from ..lang.errors import AnalysisError, DslError, ScheduleError
 from ..lang.parser import parse_program
@@ -36,6 +37,7 @@ from ..schedule.schedule import validate_user_schedule
 from ..schedule.solver import find_schedule
 from .access import analyze_access
 from .diagnostics import Diagnostic, Report, Severity
+from .races import ParallelismCertificate, analyze_parallelism
 from .soundness import ScheduleCertificate, verify_schedule
 
 #: Default nominal extent parameter ``L``: recursion dimensions get
@@ -50,6 +52,9 @@ class LintResult:
 
     report: Report
     certificates: Dict[str, ScheduleCertificate] = field(
+        default_factory=dict
+    )
+    parallelism: Dict[str, "ParallelismCertificate"] = field(
         default_factory=dict
     )
     source: Optional[SourceText] = None
@@ -147,6 +152,25 @@ def lint_checked(
                 func, domain, schedule=schedule, prob_mode=prob_mode
             )
         )
+
+        if schedule is not None:
+            # Parallel-safety certificates (the OpenMP-axis proofs):
+            # refusals are warnings — the native build degrades the
+            # axis to serial rather than rejecting the program.
+            try:
+                kernel = build_kernel(
+                    func, schedule, prob_mode=prob_mode
+                )
+                parallel = analyze_parallelism(
+                    kernel, extents=domain.extents
+                )
+            except (DslError, AnalysisError):
+                parallel = None
+            if parallel is not None:
+                result.parallelism[name] = parallel
+                result.report.extend(
+                    parallel.diagnostics(span=func.definition.span)
+                )
     return result
 
 

@@ -1,0 +1,621 @@
+"""Static parallel-safety analysis of compiled kernels.
+
+The native backend parallelises two axes with OpenMP — the space loop
+over a partition's cells and the batched entry's problem loop — and
+the Section 4.8 ring buffer additionally relies on no two *live* rows
+colliding. Until this pass existed, those claims were comments in
+:mod:`repro.ir.cbackend`; here they are re-proved per kernel, in the
+same independent-verifier discipline as
+:mod:`repro.verify.soundness`, and the emitter refuses to emit a
+pragma on any axis without a CONFIRMED verdict.
+
+Three obligations, three stable rules:
+
+* **space** (``R-SPACE-WW`` / ``R-SPACE-RW``) — cells of one
+  partition are mutually independent. Writes are disjoint because
+  every cell stores to its own coordinates (the loop nest's store map
+  is the identity — checked structurally, not assumed). Reads are
+  proved strictly earlier: for every own-table read ``r(x)`` under
+  its DNF path condition, the region ``path /\\ in-box(r(x)) /\\
+  S(r(x)) >= S(x)`` must be infeasible (the access pass's ``A-RBW``
+  region, re-derived here from symbolic read footprints).
+* **batch** (``R-BATCH-OVERLAP``) — members of a batched launch write
+  disjoint pad-stride slices. With every access inside the member's
+  box and ``pad_d >= extent_d`` per dimension (which
+  :func:`repro.runtime.batching.pack_group` establishes by padding to
+  the group maxima), the row-major index is at most
+  ``prod(pad) - 1``, so slice ``b`` never reaches slice ``b + 1``.
+  The ``(B,)``-shaped bound/sequence/scalar columns must marshal
+  read-only (``const`` in the batched parameter spec).
+* **ring** (``R-RING-COLLIDE``) — the windowed entry keeps
+  ``window + 1`` partitions resident. No feasible read may look back
+  more than ``window`` partitions (maximised exactly per footprint),
+  no live partition delta may alias a ring row (``delta % rows == 0``
+  for ``0 < delta <= window``), and the ring column must be injective
+  within a partition (every non-column dimension needs a nonzero
+  schedule coefficient, else ``R-SPACE-WW``: two cells of one
+  partition would share a slot).
+
+Index components the affine abstraction cannot express (opaque
+transition binders) are treated as *free*: a fresh variable spanning
+the whole dimension extent stands in, which over-approximates the
+footprint — a CONFIRMED verdict therefore holds for every value the
+runtime can marshal. Free components do not break box membership
+(state-typed values are dimension-valid by the marshalling contract,
+the same stance the access pass takes).
+
+The analyzer accepts mutation knobs (``window``, ``window_col``,
+``ring_rows``, ``pad_extents``) so tests can perturb a proved-safe
+kernel into a racy one and watch the matching rule fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.affine import Affine
+from ..analysis.domain import Domain
+from ..ir import expr as ir
+from ..ir.kernel import Kernel
+from ..polyhedral import loopast
+from .access import _Analyzer
+from .diagnostics import Diagnostic, Severity
+from .exact import constrained_min, feasible
+
+__all__ = [
+    "CONFIRMED",
+    "REFUSED",
+    "NOT_APPLICABLE",
+    "AxisVerdict",
+    "ParallelismCertificate",
+    "ReadFootprint",
+    "analyze_parallelism",
+    "collect_read_footprints",
+    "parallelism_certificate",
+]
+
+#: Axis verdict states. ``CONFIRMED`` is the only state that permits
+#: a pragma; ``NOT_APPLICABLE`` means the axis does not exist for the
+#: kernel (e.g. no ring buffer without a constant window).
+CONFIRMED = "confirmed"
+REFUSED = "refused"
+NOT_APPLICABLE = "not-applicable"
+
+#: Nominal per-dimension extent for certificates of symbolic kernels
+#: (mirrors lint's stand-in domain: extents are unknown until run
+#: time; uniform-descent conclusions are box-size-independent).
+NOMINAL_EXTENT = 12
+
+
+@dataclass(frozen=True)
+class AxisVerdict:
+    """One parallel axis's verdict.
+
+    ``witness`` is the worst-case point (variable assignment) behind
+    a refusal, when the exact minimiser produced one; ``exact`` is
+    False when only the LP relaxation supported the refusal (still a
+    refusal — the verifier never parallelises on a maybe).
+    """
+
+    axis: str  # "space" | "batch" | "ring"
+    status: str  # CONFIRMED | REFUSED | NOT_APPLICABLE
+    detail: str
+    rule: Optional[str] = None
+    witness: Optional[Dict[str, int]] = None
+    exact: bool = True
+
+    @property
+    def confirmed(self) -> bool:
+        """May the emitter parallelise this axis?"""
+        return self.status == CONFIRMED
+
+    def to_dict(self) -> dict:
+        """A JSON-safe record (the ``explain --json`` shape)."""
+        record = {
+            "axis": self.axis,
+            "status": self.status,
+            "detail": self.detail,
+        }
+        if self.rule is not None:
+            record["rule"] = self.rule
+        if self.witness is not None:
+            record["witness"] = {
+                k: int(v) for k, v in sorted(self.witness.items())
+            }
+        if not self.exact:
+            record["exact"] = False
+        return record
+
+
+@dataclass(frozen=True)
+class ParallelismCertificate:
+    """Per-axis parallel-safety verdicts for one kernel."""
+
+    function: str
+    schedule: str
+    extents: Tuple[int, ...]
+    space: AxisVerdict
+    batch: AxisVerdict
+    ring: AxisVerdict
+
+    @property
+    def axes(self) -> Tuple[AxisVerdict, ...]:
+        """All three axis verdicts, in report order."""
+        return (self.space, self.batch, self.ring)
+
+    @property
+    def ok(self) -> bool:
+        """No axis refused (not-applicable axes do not count)."""
+        return all(a.status != REFUSED for a in self.axes)
+
+    @property
+    def summary(self) -> str:
+        """One-line verdict, e.g. ``space=confirmed batch=confirmed
+        ring=not-applicable`` (refused axes carry their rule)."""
+        parts = []
+        for axis in self.axes:
+            text = f"{axis.axis}={axis.status}"
+            if axis.status == REFUSED and axis.rule:
+                text += f"[{axis.rule}]"
+            parts.append(text)
+        return " ".join(parts)
+
+    def to_dict(self) -> dict:
+        """A JSON-safe record (the ``explain --json`` shape)."""
+        return {
+            "function": self.function,
+            "schedule": self.schedule,
+            "ok": self.ok,
+            "space": self.space.to_dict(),
+            "batched": self.batch.to_dict(),
+            "ring": self.ring.to_dict(),
+        }
+
+    def diagnostics(self, span=None) -> List[Diagnostic]:
+        """The certificate as verifier findings.
+
+        A refused axis is a *warning*, not an error: the kernel stays
+        correct — the native build simply degrades that axis to
+        serial. A fully clean certificate reports one ``R-PAR-CERT``
+        info line (the positive certificate, like ``V-SCHED-CERT``).
+        """
+        findings: List[Diagnostic] = []
+        for axis in self.axes:
+            if axis.status != REFUSED:
+                continue
+            message = (
+                f"parallel axis {axis.axis!r} refused: {axis.detail}"
+            )
+            if axis.witness:
+                point = ", ".join(
+                    f"{k}={v}" for k, v in sorted(axis.witness.items())
+                )
+                message += f" (witness {point})"
+            findings.append(Diagnostic(
+                Severity.WARNING, axis.rule or "R-SPACE-RW",
+                message, span=span, function=self.function,
+                exact=axis.exact,
+            ))
+        if not findings:
+            findings.append(Diagnostic(
+                Severity.INFO, "R-PAR-CERT",
+                f"parallel-safety certificate: {self.summary}",
+                span=span, function=self.function,
+            ))
+        return findings
+
+
+@dataclass(frozen=True)
+class ReadFootprint:
+    """One own-table read's symbolic footprint.
+
+    ``indices`` holds one affine per dimension, or ``None`` for a
+    free (opaque-binder) component; ``dnf`` is the path condition the
+    read sits under; ``var_bounds`` are the range-binder bounds in
+    scope at the read.
+    """
+
+    indices: Tuple[Optional[Affine], ...]
+    dnf: Tuple[Tuple[Affine, ...], ...]
+    var_bounds: Tuple[Tuple[str, Tuple[int, int]], ...]
+
+
+class _FootprintCollector(_Analyzer):
+    """An access-analysis walk that records own-table read footprints
+    instead of reporting diagnostics (bounds and dead arms are the
+    access pass's business; this pass only needs the regions)."""
+
+    def __init__(self, func, domain: Domain) -> None:
+        super().__init__(func, domain, schedule=None, span_map={})
+        self.reads: List[ReadFootprint] = []
+
+    def _check_table_read(self, node: ir.TableRead, dnf) -> None:
+        if node.table:
+            return  # cross-table reads have no native rendering
+        self.reads.append(ReadFootprint(
+            tuple(self._affine_of(i) for i in node.indices),
+            tuple(tuple(conj) for conj in dnf),
+            tuple(sorted(self._var_bounds().items())),
+        ))
+
+    def _check_seq_read(self, node: ir.SeqRead, dnf) -> None:
+        pass
+
+    def _dead_arm(self, branch, select, label) -> None:
+        pass
+
+
+def collect_read_footprints(
+    kernel: Kernel, domain: Domain
+) -> List[ReadFootprint]:
+    """Symbolic own-table read footprints of the lowered cell body."""
+    collector = _FootprintCollector(kernel.func, domain)
+    collector.walk(kernel.body.cell, [()])
+    return collector.reads
+
+
+def _nominal_domain(kernel: Kernel, extents=None) -> Domain:
+    if extents is None:
+        extents = tuple(NOMINAL_EXTENT + 1 for _ in kernel.dims)
+    return Domain(kernel.dims, tuple(int(e) for e in extents))
+
+
+def _identity_store(kernel: Kernel) -> bool:
+    """Does every loop-nest leaf store to the cell's own coordinates?
+
+    The emitters write ``T[x0, ..., xn]`` at the nest's ``Stmt``
+    leaves with the dimension variables themselves; disjointness of
+    same-partition writes follows because the identity map is
+    injective. This re-checks the structural premise instead of
+    trusting it: every dimension must be bound (a loop variable or an
+    affine assign) on the path to each leaf, and each leaf must be a
+    plain ``Stmt`` (any other store shape would void the argument).
+    """
+    dims = set(kernel.dims)
+
+    def walk(nodes, bound) -> bool:
+        for node in nodes:
+            if isinstance(node, loopast.Loop):
+                if not walk(node.body, bound | {node.var}):
+                    return False
+            elif isinstance(node, loopast.Assign):
+                if not walk(node.body, bound | {node.var}):
+                    return False
+            elif isinstance(node, loopast.Guard):
+                if not walk(node.body, bound):
+                    return False
+            elif isinstance(node, loopast.Stmt):
+                if not dims <= bound:
+                    return False
+            else:
+                return False
+        return True
+
+    bound = {kernel.nest.time_var}
+    return walk(kernel.nest.roots, bound)
+
+
+def _footprint_region(
+    footprint: ReadFootprint,
+    kernel: Kernel,
+    extents: Mapping[str, int],
+) -> Tuple[List[Affine], Dict[str, Tuple[int, int]], Affine]:
+    """One footprint's in-box constraints, variable bounds and
+    partition delta ``S(x) - S(r(x))``.
+
+    Free components become fresh ``_free<k>`` variables spanning the
+    whole dimension (a sound over-approximation of any marshalled
+    value). The returned constraints do **not** include the path
+    condition — callers conjoin per disjunct.
+    """
+    bounds: Dict[str, Tuple[int, int]] = dict(footprint.var_bounds)
+    in_box: List[Affine] = []
+    substitution: Dict[str, Affine] = {}
+    for k, (dim, idx) in enumerate(
+        zip(kernel.dims, footprint.indices)
+    ):
+        if idx is None:
+            name = f"_free{k}"
+            bounds[name] = (0, extents[dim] - 1)
+            idx = Affine.variable(name)
+        else:
+            in_box.append(idx)  # idx >= 0
+            in_box.append(
+                Affine.constant(extents[dim] - 1) - idx
+            )
+        substitution[dim] = idx
+    schedule = kernel.schedule.affine
+    delta = schedule - schedule.substitute(substitution)
+    return in_box, bounds, delta
+
+
+def _space_axis(
+    kernel: Kernel,
+    domain: Domain,
+    footprints: Sequence[ReadFootprint],
+) -> AxisVerdict:
+    """Intra-partition disjointness: the space-loop ``parallel for``."""
+    if not _identity_store(kernel):
+        return AxisVerdict(
+            "space", REFUSED,
+            "the loop nest's store map is not the identity on the "
+            "cell coordinates; same-partition writes cannot be "
+            "proved disjoint",
+            rule="R-SPACE-WW",
+        )
+    extents = domain.extent_map()
+    for footprint in footprints:
+        in_box, bounds, delta = _footprint_region(
+            footprint, kernel, extents
+        )
+        # A same-or-later-partition read: S(x) - S(r(x)) <= 0.
+        late = Affine.constant(0) - delta
+        lp_only = False
+        for conj in footprint.dnf or ((),):
+            result = feasible(
+                tuple(conj) + tuple(in_box) + (late,),
+                extents, bounds,
+            )
+            if result.empty:
+                continue
+            if result.exact:
+                return AxisVerdict(
+                    "space", REFUSED,
+                    "a feasible in-box read is not ordered strictly "
+                    "before its write by the schedule; two cells of "
+                    "one partition would race",
+                    rule="R-SPACE-RW",
+                    witness=result.witness,
+                )
+            lp_only = True
+        if lp_only:
+            return AxisVerdict(
+                "space", REFUSED,
+                "the LP relaxation admits a same-partition read; "
+                "refusing the pragma without an integer proof",
+                rule="R-SPACE-RW", exact=False,
+            )
+    return AxisVerdict(
+        "space", CONFIRMED,
+        "identity store map and every own-table read proved "
+        "strictly earlier under the schedule "
+        f"({len(footprints)} footprint(s))",
+    )
+
+
+def _batch_axis(
+    kernel: Kernel,
+    domain: Domain,
+    footprints: Sequence[ReadFootprint],
+    pad_extents: Optional[Sequence[int]] = None,
+) -> AxisVerdict:
+    """Batched-entry slice disjointness: the problem-loop pragma."""
+    extents = domain.extent_map()
+    # Mutation knob / pack-time re-check: concrete pads must cover
+    # the member extents, else slice b's top row aliases slice b+1.
+    if pad_extents is not None:
+        for dim, pad in zip(kernel.dims, pad_extents):
+            if int(pad) < extents[dim]:
+                return AxisVerdict(
+                    "batch", REFUSED,
+                    f"padded extent {int(pad)} of dimension "
+                    f"{dim!r} is smaller than the member extent "
+                    f"{extents[dim]}; member slices overlap",
+                    rule="R-BATCH-OVERLAP",
+                    witness={dim: int(pad)},
+                )
+    # (B,)-shaped context columns must marshal read-only: every
+    # non-table pointer of the batched spec is const-qualified.
+    from ..ir.cbackend import native_batched_param_spec
+
+    try:
+        spec = native_batched_param_spec(kernel)
+    except Exception as err:  # no batched rendering: nothing to prove
+        return AxisVerdict(
+            "batch", NOT_APPLICABLE,
+            f"no batched parameter spec: {err}",
+        )
+    for param in spec:
+        if param.kind == "table":
+            continue
+        if "*" in param.ctext and "const" not in param.ctext:
+            return AxisVerdict(
+                "batch", REFUSED,
+                f"batched parameter {param.name!r} is a mutable "
+                f"pointer ({param.ctext}); shared columns must be "
+                f"read-only inside the problem loop",
+                rule="R-BATCH-OVERLAP",
+            )
+    # Every access must stay inside the member's own box: an escaping
+    # affine index could land in a neighbour's pad-stride slice.
+    lp_only = False
+    for footprint in footprints:
+        for k, (dim, idx) in enumerate(
+            zip(kernel.dims, footprint.indices)
+        ):
+            if idx is None:
+                continue  # free: dimension-valid by marshalling
+            bounds = dict(footprint.var_bounds)
+            for escape in (
+                Affine.constant(-1) - idx,  # idx <= -1
+                idx - Affine.constant(extents[dim]),  # idx >= extent
+            ):
+                for conj in footprint.dnf or ((),):
+                    result = feasible(
+                        tuple(conj) + (escape,), extents, bounds
+                    )
+                    if result.empty:
+                        continue
+                    if result.exact:
+                        return AxisVerdict(
+                            "batch", REFUSED,
+                            f"a read's {dim!r} index can leave the "
+                            f"member box on a feasible path; the "
+                            f"linearised access may cross into a "
+                            f"neighbouring member's slice",
+                            rule="R-BATCH-OVERLAP",
+                            witness=result.witness,
+                        )
+                    lp_only = True
+    if lp_only:
+        return AxisVerdict(
+            "batch", REFUSED,
+            "the LP relaxation admits an out-of-box access; "
+            "refusing the problem-loop pragma without an integer "
+            "proof",
+            rule="R-BATCH-OVERLAP", exact=False,
+        )
+    return AxisVerdict(
+        "batch", CONFIRMED,
+        "every access stays inside the member box and the context "
+        "columns marshal read-only; with pad_d >= extent_d (the "
+        "pack_group invariant) the row-major index is bounded by "
+        "prod(pad) - 1, so pad-stride slices are disjoint",
+    )
+
+
+def _ring_axis(
+    kernel: Kernel,
+    domain: Domain,
+    footprints: Sequence[ReadFootprint],
+    window: Optional[int] = None,
+    window_col: Optional[int] = None,
+    ring_rows: Optional[int] = None,
+) -> AxisVerdict:
+    """Windowed ring-buffer safety (Section 4.8)."""
+    if window is None:
+        window = kernel.window
+    if window is None or window < 1 or kernel.rank != 2:
+        return AxisVerdict(
+            "ring", NOT_APPLICABLE,
+            "no ring buffer: the kernel has no constant non-zero "
+            "window over a 2-D nest",
+        )
+    rows = int(ring_rows) if ring_rows is not None else window + 1
+    # Live-row aliasing: two partitions at distance 0 < delta <=
+    # window are resident together; they collide when delta is a
+    # multiple of the row count. rows = window + 1 excludes every
+    # such delta; a shrunk ring does not.
+    for delta in range(1, window + 1):
+        if delta % rows == 0:
+            return AxisVerdict(
+                "ring", REFUSED,
+                f"partitions at distance {delta} are live together "
+                f"but share ring row {delta % rows} of {rows}; the "
+                f"ring needs window + 1 = {window + 1} rows",
+                rule="R-RING-COLLIDE",
+                witness={"delta": delta},
+            )
+    # Column injectivity inside one partition: the ring addresses a
+    # cell by (partition mod rows, x[window_col]), so every *other*
+    # dimension must be determined by the partition — a zero
+    # coefficient there leaves two cells of one partition sharing a
+    # slot (a write-write collision).
+    if window_col is None:
+        from ..ir.c_expr import CCellEmitter
+
+        window_col = CCellEmitter(kernel, windowed=True).window_col
+    for k, coeff in enumerate(kernel.schedule.coefficients):
+        if k == int(window_col):
+            continue
+        if coeff == 0:
+            return AxisVerdict(
+                "ring", REFUSED,
+                f"dimension {kernel.dims[k]!r} has schedule "
+                f"coefficient 0 but is not the ring column; two "
+                f"cells of one partition would share a ring slot",
+                rule="R-SPACE-WW",
+                witness={"dim": k},
+            )
+    # Look-back depth: the deepest feasible read distance
+    # max S(x) - S(r(x)) must fit inside the resident window, else a
+    # read lands on a row the ring has already overwritten.
+    extents = domain.extent_map()
+    deepest = 0
+    exact = True
+    for footprint in footprints:
+        in_box, bounds, delta = _footprint_region(
+            footprint, kernel, extents
+        )
+        for conj in footprint.dnf or ((),):
+            result = constrained_min(
+                Affine.constant(0) - delta,
+                extents,
+                tuple(conj) + tuple(in_box),
+                var_bounds=bounds,
+            )
+            if result.empty:
+                continue
+            look_back = -int(result.value)
+            if look_back > window:
+                return AxisVerdict(
+                    "ring", REFUSED,
+                    f"a feasible read looks back {look_back} "
+                    f"partition(s), past the resident window of "
+                    f"{window}; its ring row has been overwritten",
+                    rule="R-RING-COLLIDE",
+                    witness=result.witness,
+                    exact=result.exact,
+                )
+            deepest = max(deepest, look_back)
+            exact = exact and result.exact
+    return AxisVerdict(
+        "ring", CONFIRMED,
+        f"deepest feasible look-back {deepest} <= window {window}, "
+        f"{rows} resident rows alias no live pair, and the ring "
+        f"column is injective within a partition",
+        exact=exact,
+    )
+
+
+def analyze_parallelism(
+    kernel: Kernel,
+    extents: Optional[Sequence[int]] = None,
+    window: Optional[int] = None,
+    window_col: Optional[int] = None,
+    ring_rows: Optional[int] = None,
+    pad_extents: Optional[Sequence[int]] = None,
+) -> ParallelismCertificate:
+    """Prove (or refuse) each parallel axis of ``kernel``.
+
+    ``extents`` picks the analysis box (nominal stand-in when
+    omitted, matching lint). The keyword knobs exist for mutation
+    testing — they override the kernel's own window geometry and the
+    pack-time padded extents so tests can turn a proved-safe kernel
+    racy and assert the matching rule fires.
+    """
+    domain = _nominal_domain(kernel, extents)
+    footprints = collect_read_footprints(kernel, domain)
+    return ParallelismCertificate(
+        function=kernel.name,
+        schedule=str(kernel.schedule),
+        extents=domain.extents,
+        space=_space_axis(kernel, domain, footprints),
+        batch=_batch_axis(
+            kernel, domain, footprints, pad_extents=pad_extents
+        ),
+        ring=_ring_axis(
+            kernel, domain, footprints,
+            window=window, window_col=window_col, ring_rows=ring_rows,
+        ),
+    )
+
+
+def parallelism_certificate(
+    kernel: Kernel, extents: Optional[Sequence[int]] = None
+) -> ParallelismCertificate:
+    """Memoised :func:`analyze_parallelism` (no mutation knobs).
+
+    The native backend consults the certificate on every emission and
+    a lane-batched map group shares one kernel across every member,
+    so the analysis runs once per (kernel instance, box) — the same
+    idiom as :meth:`Kernel.referenced_names`.
+    """
+    key = tuple(int(e) for e in extents) if extents is not None else None
+    cache = kernel.__dict__.setdefault("_parallelism_certs", {})
+    hit = cache.get(key)
+    if hit is None:
+        hit = analyze_parallelism(kernel, extents)
+        cache[key] = hit
+    return hit

@@ -44,10 +44,11 @@ class TestCampaign:
         assert payload["ok"] is True
         assert payload["cases_run"] == 5
         assert set(payload["classifications"]) == {
-            "crash", "service-crash", "divergence",
+            "crash", "service-crash", "divergence", "race-gap",
             "map-native-divergence", "service-divergence",
             "eligibility-mismatch", "lint-gap", "rejected", "parity-ok",
         }
+        assert payload["rules"]
         assert payload["failures"] == []
 
 

@@ -142,6 +142,35 @@ class TestCli:
         assert record["vector"]["ok"] is False
         assert record["vector"]["rule"] == "rank"
 
+    def test_explain_prints_parallel_verdict(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
+        script = tmp_path / "prog.dsl"
+        script.write_text(DEMO)
+        assert main(["explain", str(script)]) == 0
+        out = capsys.readouterr().out
+        assert "parallel: space=confirmed" in out
+
+    def test_explain_json_parallel_block(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
+        script = tmp_path / "prog.dsl"
+        script.write_text(DEMO)
+        assert main(["explain", str(script), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (record,) = payload["functions"]
+        parallel = record["parallel"]
+        assert parallel["ok"] is True
+        assert parallel["space"]["status"] == "confirmed"
+        assert parallel["batched"]["status"] == "confirmed"
+        assert parallel["ring"]["status"] in (
+            "confirmed", "not-applicable"
+        )
+
     def test_logspace_mode(self, tmp_path, capsys):
         script = tmp_path / "fwd.dsl"
         script.write_text(

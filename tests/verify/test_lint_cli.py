@@ -120,6 +120,34 @@ int f(seq[en] s, index[s] i, seq[en] unused) =
                 f"{script.name} failed lint"
             )
 
+    def test_list_rules_prints_registry(self, capsys):
+        from repro.verify.diagnostics import RULES
+
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("A-OOB-TABLE", "R-SPACE-RW", "R-PAR-CERT",
+                     "V-SCHED-CERT"):
+            assert rule in out
+        # every registered rule appears, each on its own line
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) >= len(RULES)
+
+    def test_list_rules_needs_no_script(self, capsys):
+        # without the flag, a missing script is still an error
+        with pytest.raises(SystemExit):
+            main(["lint"])
+
+    def test_lint_reports_parallel_certificate(self, tmp_path):
+        script = tmp_path / "good.dsl"
+        script.write_text(GOOD)
+        from repro.verify import lint_text
+
+        result = lint_text(GOOD, "good.dsl")
+        assert "d" in result.parallelism
+        cert = result.parallelism["d"]
+        assert cert.ok
+        assert "R-PAR-CERT" in [d.rule for d in result.report]
+
 
 class TestExplainShowsVerification:
     def test_explain_prints_certificate(self, tmp_path, capsys):

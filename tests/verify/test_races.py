@@ -1,0 +1,287 @@
+"""Static parallel-safety analyzer tests (races.py).
+
+Covers the three proof obligations (space partition, batched problem
+loop, §4.8 ring buffer), the mutation knobs that turn a proved-safe
+kernel racy, and the end-to-end gate: ``emit_native_source`` must
+refuse a pragma on any axis whose obligation the analyzer could not
+discharge.
+"""
+
+import glob
+import os
+import subprocess
+import tempfile
+
+import pytest
+
+from repro.ir import cbackend
+from repro.ir.kernel import build_kernel
+from repro.lang.parser import parse_function
+from repro.lang.typecheck import check_function
+from repro.runtime import native
+from repro.schedule.schedule import Schedule
+from repro.verify.races import (
+    AxisVerdict,
+    ParallelismCertificate,
+    analyze_parallelism,
+    parallelism_certificate,
+)
+
+EN = {"en": "abcdefghijklmnopqrstuvwxyz"}
+
+EDIT = """
+int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i-1] == t[j-1] then d(i-1, j-1)
+  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1
+"""
+
+have_cc = native.available().ok
+needs_cc = pytest.mark.skipif(
+    not have_cc, reason="no working C compiler in this environment"
+)
+
+
+def edit_kernel(coeffs=(1, 1)):
+    func = check_function(parse_function(EDIT.strip()), EN)
+    return build_kernel(
+        func, Schedule(("i", "j"), coeffs),
+        prob_mode="direct", compute_window=True,
+    )
+
+
+class TestConfirmed:
+    def test_edit_distance_all_axes_confirmed(self):
+        cert = parallelism_certificate(edit_kernel())
+        assert cert.ok
+        assert cert.space.status == "confirmed"
+        assert cert.batch.status == "confirmed"
+        assert cert.ring.status == "confirmed"
+        assert cert.space.exact  # proved, not LP-bounded
+
+    def test_certificate_is_memoised_per_extents(self):
+        kernel = edit_kernel()
+        assert parallelism_certificate(kernel) is (
+            parallelism_certificate(kernel)
+        )
+        other = parallelism_certificate(kernel, (5, 7))
+        assert other is not parallelism_certificate(kernel)
+        assert other is parallelism_certificate(kernel, (5, 7))
+
+    def test_clean_certificate_reports_single_info(self):
+        cert = parallelism_certificate(edit_kernel())
+        findings = cert.diagnostics()
+        assert [d.rule for d in findings] == ["R-PAR-CERT"]
+        assert findings[0].severity == "info"
+
+    def test_to_dict_shape(self):
+        record = parallelism_certificate(edit_kernel()).to_dict()
+        assert record["ok"] is True
+        assert set(record) == {
+            "function", "schedule", "ok", "space", "batched", "ring",
+        }
+        assert record["space"]["status"] == "confirmed"
+
+
+class TestPaperApps:
+    """Acceptance: every example app's kernel earns a clean
+    certificate on its parallelised axes."""
+
+    @pytest.mark.parametrize(
+        "path", sorted(glob.glob("examples/scripts/*.dsl"))
+    )
+    def test_app_axes_confirmed(self, path):
+        import repro
+        from repro.verify.lint import _nominal_domain
+
+        checked = repro.check_program(
+            repro.parse_program(open(path).read())
+        )
+        assert checked.functions
+        for name, func in checked.functions.items():
+            domain = _nominal_domain(func, 12)
+            schedule = repro.find_schedule(func, domain)
+            assert schedule is not None, name
+            kernel = build_kernel(
+                func, schedule, prob_mode="direct", compute_window=True,
+            )
+            cert = parallelism_certificate(kernel)
+            assert cert.ok, f"{path}:{name}: {cert.summary}"
+            assert cert.space.status == "confirmed"
+            # the ring axis is allowed to be not-applicable (no
+            # window geometry), never refused
+            assert cert.ring.status != "refused"
+
+
+class TestRegressionCorpus:
+    """Every corpus kernel's parallelised axes stay CONFIRMED."""
+
+    @pytest.mark.parametrize(
+        "path", sorted(glob.glob("tests/corpus/*.dsl"))
+    )
+    def test_corpus_axes_confirmed(self, path):
+        import repro
+        from repro.lang.errors import DslError
+        from repro.verify.lint import _nominal_domain
+
+        checked = repro.check_program(
+            repro.parse_program(open(path).read())
+        )
+        for name, func in checked.functions.items():
+            try:
+                domain = _nominal_domain(func, 12)
+                schedule = repro.find_schedule(func, domain)
+            except DslError:
+                continue  # mutual group / no solver model: no pragma
+            if schedule is None:
+                continue
+            kernel = build_kernel(
+                func, schedule, prob_mode="direct", compute_window=True,
+            )
+            cert = parallelism_certificate(kernel)
+            assert cert.ok, f"{path}:{name}: {cert.summary}"
+            assert cert.space.status == "confirmed"
+
+
+class TestMutations:
+    """Each knob breaks exactly one obligation and names its rule."""
+
+    def test_same_partition_collision_refused(self):
+        # S = i puts (i, j) and (i, j') in one partition while the
+        # body reads d(i, j-1): an intra-partition read of a cell
+        # another thread may be writing.
+        cert = parallelism_certificate(edit_kernel((1, 0)))
+        assert not cert.ok
+        assert cert.space.status == "refused"
+        assert cert.space.rule == "R-SPACE-RW"
+        assert cert.space.witness  # a concrete racing point
+        assert "R-SPACE-RW" in [
+            d.rule for d in cert.diagnostics()
+        ]
+        assert all(
+            d.severity == "warning" for d in cert.diagnostics()
+        )
+
+    def test_overlapping_pad_extents_refused(self):
+        cert = analyze_parallelism(
+            edit_kernel(), pad_extents=(5, 13)
+        )
+        assert cert.batch.status == "refused"
+        assert cert.batch.rule == "R-BATCH-OVERLAP"
+        assert cert.batch.witness == {"i": 5}
+
+    def test_shrunk_ring_refused(self):
+        # Two rows for a look-back of two: antidiagonal t and t-2
+        # alias the same ring row.
+        cert = analyze_parallelism(edit_kernel(), ring_rows=2)
+        assert cert.ring.status == "refused"
+        assert cert.ring.rule == "R-RING-COLLIDE"
+        assert cert.ring.witness == {"delta": 2}
+
+    def test_non_injective_ring_column_refused(self):
+        # window_col=0 leaves dim 1 unmapped under S = i: distinct
+        # cells of one ring row would collide.
+        cert = analyze_parallelism(
+            edit_kernel((1, 0)), window_col=0
+        )
+        assert cert.ring.status == "refused"
+        assert cert.ring.rule == "R-SPACE-WW"
+
+
+class TestPragmaGating:
+    def test_confirmed_certificate_admits_pragmas(self):
+        src = cbackend.emit_native_source(edit_kernel(), openmp=True)
+        assert src.count("#pragma omp") == 3
+        assert "/* parallel-safety: space=confirmed" in src
+
+    def test_serial_emission_is_unannotated(self):
+        # openmp=False must stay byte-stable: no certificate is
+        # computed, no comment or pragma appears.
+        src = cbackend.emit_native_source(edit_kernel(), openmp=False)
+        assert "#pragma omp" not in src
+        assert "parallel-safety" not in src
+
+    def test_refused_space_axis_strips_space_pragmas(self):
+        racy = edit_kernel((1, 0))
+        src = cbackend.emit_native_source(racy, openmp=True)
+        # only the (still-confirmed) batched problem loop keeps its
+        # pragma; both space loops degrade to serial
+        assert src.count("#pragma omp") == 1
+        assert "refused[R-SPACE-RW]" in src
+
+    def test_refused_ring_axis_suppresses_windowed_entry(self):
+        kernel = edit_kernel()
+        cert = parallelism_certificate(kernel)
+        doctored = ParallelismCertificate(
+            function=cert.function,
+            schedule=cert.schedule,
+            extents=cert.extents,
+            space=cert.space,
+            batch=cert.batch,
+            ring=AxisVerdict(
+                "ring", "refused", "doctored", rule="R-RING-COLLIDE",
+            ),
+        )
+        src = cbackend.emit_native_source(
+            kernel, openmp=True, certificate=doctored
+        )
+        assert cbackend.entry_symbol(kernel, windowed=True) not in src
+
+    @needs_cc
+    def test_racy_kernel_still_builds_and_runs(self):
+        # The gate degrades, never rejects: a racy schedule compiles
+        # to a correct serial-space TU.
+        racy = edit_kernel((1, 0))
+        src = cbackend.emit_native_source(racy, openmp=True)
+        with tempfile.TemporaryDirectory() as tmp:
+            cpath = os.path.join(tmp, "racy.c")
+            with open(cpath, "w") as f:
+                f.write(src)
+            out = os.path.join(tmp, "racy.so")
+            subprocess.run(
+                ["gcc", "-std=c99", "-O2", "-fPIC", "-shared",
+                 "-fopenmp", "-o", out, cpath],
+                check=True, capture_output=True,
+            )
+
+
+class TestWarningClean:
+    """Emitted C compiles under ``-Wall -Wextra -Werror``."""
+
+    @needs_cc
+    @pytest.mark.parametrize(
+        "path", sorted(glob.glob("examples/scripts/*.dsl"))
+    )
+    @pytest.mark.parametrize("openmp", [False, True])
+    def test_app_translation_units_warning_free(self, path, openmp):
+        import repro
+        from repro.verify.lint import _nominal_domain
+
+        checked = repro.check_program(
+            repro.parse_program(open(path).read())
+        )
+        for name, func in checked.functions.items():
+            domain = _nominal_domain(func, 12)
+            schedule = repro.find_schedule(func, domain)
+            kernel = build_kernel(
+                func, schedule, prob_mode="direct", compute_window=True,
+            )
+            src = cbackend.emit_native_source(kernel, openmp=openmp)
+            with tempfile.TemporaryDirectory() as tmp:
+                cpath = os.path.join(tmp, "tu.c")
+                with open(cpath, "w") as f:
+                    f.write(src)
+                cmd = [
+                    "gcc", "-std=c99", "-O2", "-fPIC", "-shared",
+                    "-Wall", "-Wextra", "-Werror",
+                    "-o", os.devnull, cpath,
+                ]
+                if openmp:
+                    cmd.insert(1, "-fopenmp")
+                result = subprocess.run(
+                    cmd, capture_output=True, text=True
+                )
+                assert result.returncode == 0, (
+                    f"{path}:{name}\n{result.stderr}"
+                )
