@@ -18,7 +18,11 @@ Header format, one ``// fuzz: key = value`` line per key::
 Recognised keys: ``name``, ``origin``, ``prob-mode`` (engine mode
 for the replay, default ``direct``), ``expect`` (space-separated
 golden printed values, checked against the scalar leg), ``note``,
-and the map-leg pair ``map-call`` / ``map-texts``: a map template
+``schedule`` (``autotune`` adds a scalar leg under the
+cost-model-guided autotuner, compared against the min-partition
+baseline like any backend — the fuzzer's ``schedule-divergence``
+check in corpus form), and the map-leg pair ``map-call`` /
+``map-texts``: a map template
 call (``d(a, |a|, _, |_|)``) plus a JSON list of member texts (JSON,
 so empty-string members survive). Entries carrying both replay the
 lane-batched map path on every backend — scalar loop, batched-vector
@@ -199,11 +203,25 @@ def replay_entry(
             script.rstrip("\n")
             + f"\nmap fuzzmap = {entry.map_call} over fuzzdb\n"
         )
-    for backend in backends:
+    legs = list(backends)
+    if entry.meta.get("schedule") == "autotune":
+        # Extra leg: scalar backend under the autotuned schedule. A
+        # valid schedule only reorders the sweep, so this leg must
+        # agree with the scalar baseline exactly.
+        legs.append("autotune")
+    for backend in legs:
         if backend == "native" and not native_rt.available().ok:
             skipped.append("native: no toolchain")
             continue
-        engine = Engine(backend=backend, prob_mode=entry.prob_mode)
+        engine = Engine(
+            backend="scalar" if backend == "autotune" else backend,
+            prob_mode=entry.prob_mode,
+            schedule=(
+                "autotune"
+                if backend == "autotune"
+                else "min-partition"
+            ),
+        )
         try:
             if map_texts is not None and entry.map_call:
                 runner = ProgramRunner(engine)

@@ -95,19 +95,34 @@ def problems_per_sm(
     )
 
 
+#: Sentinel for "use the kernel's own window" — distinct from an
+#: explicit ``window=None`` (a candidate schedule with non-uniform
+#: look-back, hence no constant window at all).
+_KERNEL_WINDOW = object()
+
+
 def window_fits_shared(
     kernel: Kernel,
     schedule: Schedule,
     domain: Domain,
     spec: DeviceSpec,
     value_bytes: int = 8,
+    window=_KERNEL_WINDOW,
 ) -> bool:
-    """Can the sliding window live in shared memory? (Section 4.8)."""
-    if kernel.window is None:
+    """Can the sliding window live in shared memory? (Section 4.8).
+
+    ``window`` overrides the kernel's own window size, so a candidate
+    schedule can be priced against one built kernel (op counts are
+    schedule-independent) without re-lowering per candidate — the
+    autotuner's hot loop.
+    """
+    if window is _KERNEL_WINDOW:
+        window = kernel.window
+    if window is None:
         return False
     sizes = partition_sizes(schedule, domain)
     widest = int(sizes.max()) if len(sizes) else 0
-    rows = kernel.window + 1
+    rows = window + 1
     return rows * widest * value_bytes <= spec.shared_memory_bytes
 
 
@@ -152,12 +167,18 @@ def kernel_cost(
     mean_degree: float = 1.0,
     use_window: bool = True,
     schedule: Optional[Schedule] = None,
+    window=_KERNEL_WINDOW,
 ) -> KernelCost:
-    """Price one problem's kernel execution on the device."""
+    """Price one problem's kernel execution on the device.
+
+    ``schedule``/``window`` override the kernel's own, letting the
+    autotuner price alternative schedules against a single lowered
+    kernel (the operation counts do not depend on the schedule).
+    """
     schedule = schedule or kernel.schedule
     sizes = partition_sizes(schedule, domain)
     in_shared = use_window and window_fits_shared(
-        kernel, schedule, domain, spec
+        kernel, schedule, domain, spec, window=window
     )
     per_cell = cell_cost_cycles(
         kernel, spec, mean_degree, table_in_shared=in_shared
@@ -179,6 +200,36 @@ def kernel_cost(
         compute_cycles=compute_total,
         memory_cycles=memory_total,
         sync_cycles=sync_total,
+    )
+
+
+def cost_lower_bound(
+    kernel: Kernel,
+    domain: Domain,
+    spec: DeviceSpec,
+    partitions: int,
+    mean_degree: float = 1.0,
+) -> float:
+    """Cycles no schedule with ``>= partitions`` partitions can beat.
+
+    Two monotone facts make this a sound branch-and-bound floor for
+    the autotuner (and they are what the cost-model property tests
+    pin down):
+
+    * every partition closes with one barrier, so sync cycles are at
+      least ``partitions * sync_cycles`` — and a *partial* coefficient
+      vector's span only grows as more dimensions are assigned;
+    * the cell work is at least ``ceil(cells / warp)`` warp-batches
+      (``sum(ceil(s_i/w)) >= ceil(sum(s_i)/w)``), each priced at the
+      cheapest memory tier (the shared-window rate).
+    """
+    per_cell = cell_cost_cycles(
+        kernel, spec, mean_degree, table_in_shared=True
+    )
+    batches = ceil(domain.size / spec.warp_size)
+    return (
+        partitions * spec.sync_cycles
+        + batches * (per_cell["compute"] + per_cell["memory"])
     )
 
 

@@ -246,6 +246,7 @@ class Engine:
         batching: bool = True,
         verify: str = "schedule",
         sanitize: bool = False,
+        schedule: str = "min-partition",
     ) -> None:
         # ``backend=None`` (the default) defers to the REPRO_BACKEND
         # environment variable, then "auto". An env-provided backend
@@ -259,6 +260,8 @@ class Engine:
             raise ValueError(f"unknown backend {backend!r}")
         if verify not in ("off", "schedule", "full"):
             raise ValueError(f"unknown verify mode {verify!r}")
+        if schedule not in ("min-partition", "autotune"):
+            raise ValueError(f"unknown schedule mode {schedule!r}")
         self.spec = device or GTX480
         self.device = SimulatedDevice(self.spec)
         self.prob_mode = prob_mode
@@ -308,6 +311,16 @@ class Engine:
         # otherwise dominates the host-side cost of the launch. The
         # function object rides along in the value to pin its id.
         self._schedules: Dict[tuple, tuple] = {}
+        #: ``"min-partition"`` keeps the Section 4.6 solver's answer;
+        #: ``"autotune"`` runs the cost-model-guided portfolio search
+        #: (``schedule.autotune``), memoised per exact extents and
+        #: persisted per (kernel digest, size bucket) in the kernel
+        #: cache so warm processes skip the search entirely.
+        self.schedule_mode = schedule
+        self.autotune_searches = 0
+        self.autotune_hits = 0
+        #: The most recent AutotuneResult (``explain`` reports it).
+        self.last_autotune = None
 
     def cache_info(self) -> CacheInfo:
         """Counter snapshot of the kernel cache (both tiers), extended
@@ -315,6 +328,8 @@ class Engine:
         return self._cache.cache_info()._replace(
             verified=self.verified_schedules,
             verify_failures=self.verify_failures,
+            autotune_searches=self.autotune_searches,
+            autotune_hits=self.autotune_hits,
         )
 
     # -- verification ---------------------------------------------------------
@@ -682,12 +697,20 @@ class Engine:
         func: CheckedFunction,
         domain: Domain,
         user_schedule: Optional[ast.Expr] = None,
+        bindings: Optional[Bindings] = None,
     ) -> Schedule:
-        """Pick the schedule: verify the user's, or search."""
+        """Pick the schedule: verify the user's, search, or autotune.
+
+        ``bindings`` (optional) lets the autotuner's measured-feedback
+        mode build a real context to time candidates against; without
+        it the search stays purely analytic.
+        """
         if user_schedule is not None:
             from ..schedule.schedule import validate_user_schedule
 
             return validate_user_schedule(func, user_schedule, domain)
+        if self.schedule_mode == "autotune":
+            return self._autotuned_schedule(func, domain, bindings)
         key = (
             id(func),
             tuple(domain.extents),
@@ -702,6 +725,123 @@ class Engine:
         )
         self._schedules[key] = (func, schedule)
         return schedule
+
+    def _autotuned_schedule(
+        self,
+        func: CheckedFunction,
+        domain: Domain,
+        bindings: Optional[Bindings] = None,
+    ) -> Schedule:
+        """The autotune path of :meth:`schedule_for`, three tiers deep:
+        exact-extents memo, persistent (kernel digest, size bucket)
+        record, then the full portfolio search (whose winner is
+        persisted for the next process)."""
+        from ..analysis.criteria import schedule_criteria
+        from ..schedule.autotune import (
+            autotune_schedule,
+            measure_from_env,
+        )
+        from ..service.cache import (
+            ScheduleRecord,
+            autotune_cache_key,
+            domain_bucket,
+        )
+
+        memo_key = (
+            id(func),
+            tuple(domain.extents),
+            self.schedule_bound,
+            self.prob_mode,
+            "autotune",
+        )
+        memo = self._schedules.get(memo_key)
+        if memo is not None and memo[0] is func:
+            self.autotune_hits += 1
+            return memo[1]
+        criteria = schedule_criteria(func)
+        cache_key = autotune_cache_key(
+            func,
+            self.prob_mode,
+            self.schedule_bound,
+            self.spec.name,
+            domain_bucket(domain.extents),
+        )
+        record = self._cache.lookup(cache_key)
+        if isinstance(record, ScheduleRecord):
+            schedule = record.schedule
+            # The bucket is coarser than the extents: re-validate the
+            # cached winner against the *actual* box before trusting
+            # it (and fall through to a fresh search if it no longer
+            # holds — e.g. a record from a different extent mix).
+            if tuple(schedule.dims) == tuple(
+                func.dim_names
+            ) and schedule.is_valid(criteria, domain):
+                self.autotune_hits += 1
+                self._schedules[memo_key] = (func, schedule)
+                return schedule
+        measure = measure_from_env()
+        measure_fn = (
+            self._autotune_measure_fn(func, domain, bindings)
+            if measure > 0 and bindings is not None
+            else None
+        )
+        result = autotune_schedule(
+            func,
+            domain,
+            self.spec,
+            prob_mode=self.prob_mode,
+            bound=self.schedule_bound,
+            solver=self.solver,
+            mean_degree=(
+                self.mean_degree(func, bindings) if bindings else 1.0
+            ),
+            measure=measure if measure_fn is not None else 0,
+            measure_fn=measure_fn,
+        )
+        self.autotune_searches += 1
+        self.last_autotune = result
+        self._schedules[memo_key] = (func, result.schedule)
+        self._cache.store(
+            cache_key,
+            ScheduleRecord(
+                result.schedule,
+                meta={
+                    "default": list(result.default.coefficients),
+                    "predicted_cycles": result.predicted.cycles,
+                    "default_predicted_cycles": (
+                        result.default_predicted.cycles
+                    ),
+                    "enumerated": result.stats.enumerated,
+                    "pruned": result.stats.pruned,
+                },
+            ),
+        )
+        return result.schedule
+
+    def _autotune_measure_fn(
+        self,
+        func: CheckedFunction,
+        domain: Domain,
+        bindings: Bindings,
+    ):
+        """Compile-and-time closure for measured autotune feedback.
+
+        Any failure (ineligible backend, build error, sandbox fault)
+        returns None — that candidate simply stays analytic.
+        """
+
+        def measure(schedule: Schedule) -> Optional[float]:
+            try:
+                compiled = self.compile(func, schedule, domain)
+                ctx = self.build_context(compiled, bindings, domain)
+                table = self._table_for(compiled.kernel, domain)
+                started = time.perf_counter()
+                compiled.run(table, ctx)
+                return time.perf_counter() - started
+            except Exception:
+                return None
+
+        return measure
 
     # -- context preparation --------------------------------------------------
 
@@ -828,7 +968,9 @@ class Engine:
         """Solve one problem end to end on the simulated device."""
         bound = Bindings(dict(bindings))
         domain = self.domain_of(func, bound, initial)
-        schedule = self.schedule_for(func, domain, user_schedule)
+        schedule = self.schedule_for(
+            func, domain, user_schedule, bindings=bound
+        )
         self.verify_compiled(func, schedule, domain)
         compiled = self.compile(func, schedule, domain)
         ctx = self.build_context(compiled, bound, domain)
@@ -894,12 +1036,19 @@ class Engine:
         resilience supervisor (which executes the prepared problems
         under checkpointed supervision instead).
         """
-        try:
-            schedule_set: Optional[ScheduleSet] = derive_schedule_set(
-                func, bound=self.schedule_bound
-            )
-        except ScheduleError:
-            schedule_set = None
+        if self.schedule_mode == "autotune":
+            # The compile-time schedule set encodes the min-partition
+            # goal; autotune decisions are per size bucket instead
+            # (memoised + persisted, so a map group still searches
+            # once per bucket, not once per problem).
+            schedule_set: Optional[ScheduleSet] = None
+        else:
+            try:
+                schedule_set = derive_schedule_set(
+                    func, bound=self.schedule_bound
+                )
+            except ScheduleError:
+                schedule_set = None
 
         prepared = []
         for overrides in problems:
@@ -908,7 +1057,9 @@ class Engine:
             if schedule_set is not None:
                 schedule = schedule_set.select(domain.extent_map())
             else:
-                schedule = self.schedule_for(func, domain)
+                schedule = self.schedule_for(
+                    func, domain, bindings=bound
+                )
             self.verify_compiled(func, schedule, domain)
             compiled = self.compile(func, schedule, domain)
             prepared.append((bound, domain, compiled))

@@ -42,7 +42,11 @@ from typing import Dict, List, NamedTuple, Optional, Tuple
 #: by re-exec'ing generated source, ``"native-so"`` additionally
 #: embeds the compiled shared object (sha256-verified before it is
 #: ever ``dlopen``'d).
-KEY_FORMAT = 3
+#: v4: adds the ``"autotune-schedule"`` kind — the autotuner's winner
+#: persisted per (kernel digest, domain-size bucket) so warm
+#: processes and service replicas skip the search. Old-schema
+#: entries are evicted by the MAGIC check as before.
+KEY_FORMAT = 4
 
 #: Leading magic of every on-disk record. Checked *before* the pickle
 #: payload is touched: entries written by an older (or entirely
@@ -74,19 +78,22 @@ class CacheInfo(NamedTuple):
     #: verifier confirmed / rejected for this engine.
     verified: int = 0
     verify_failures: int = 0
+    #: Filled by ``Engine.cache_info()`` in autotune mode: full
+    #: portfolio searches run vs winners reused from a memo or the
+    #: persistent (kernel digest, size bucket) record.
+    autotune_searches: int = 0
+    autotune_hits: int = 0
 
 
-def canonical_kernel_form(
-    func, schedule, prob_mode: str, backend: str
-) -> str:
-    """The canonical text a cache key hashes.
+def function_source_form(func) -> str:
+    """The checked function's canonical source text (memoised).
 
-    ``str(func.definition)`` is the checked function's source form
-    (return type, parameter types, body) — everything compilation
-    reads from the function. Alphabet contents, matrices and models
-    are *runtime* context (the generated code reads them from ``ctx``)
-    and are deliberately absent. The source form is memoised on the
-    function object — ``map`` workloads derive a key per problem.
+    ``str(func.definition)`` is the function's source form (return
+    type, parameter types, body) — everything compilation reads from
+    the function. Alphabet contents, matrices and models are
+    *runtime* context (the generated code reads them from ``ctx``)
+    and are deliberately absent. Memoised on the function object —
+    ``map`` workloads derive a key per problem.
     """
     form = getattr(func, "_cache_source_form", None)
     if form is None:
@@ -95,6 +102,14 @@ def canonical_kernel_form(
             func._cache_source_form = form
         except AttributeError:  # frozen/slotted functions: recompute
             pass
+    return form
+
+
+def canonical_kernel_form(
+    func, schedule, prob_mode: str, backend: str
+) -> str:
+    """The canonical text a cache key hashes."""
+    form = function_source_form(func)
     return "\n".join(
         (
             f"v{KEY_FORMAT}",
@@ -115,6 +130,68 @@ def kernel_cache_key(
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+def domain_bucket(extents) -> Tuple[int, ...]:
+    """Round each extent up to a power of two.
+
+    Autotune decisions are cached per bucket, not per exact extent:
+    the winning schedule is a shared-memory-fit question, stable
+    within a factor-of-two size band, and exact-extent keys would
+    re-search for every database sequence length in a ``map``.
+    """
+    return tuple(
+        1 if e <= 1 else 1 << (int(e) - 1).bit_length()
+        for e in extents
+    )
+
+
+def autotune_cache_key(
+    func, prob_mode: str, bound: int, spec_name: str, bucket
+) -> str:
+    """Key of a persisted autotune decision.
+
+    Hashes the kernel-determining inputs (function source form,
+    probability mode), the search parameters (coefficient bound,
+    device spec), and the domain-size bucket — everything that can
+    change which schedule wins. Deliberately *not* the schedule
+    itself: the schedule is the cached value.
+    """
+    text = "\n".join(
+        (
+            f"v{KEY_FORMAT}",
+            "autotune",
+            function_source_form(func),
+            prob_mode,
+            str(int(bound)),
+            spec_name,
+            ",".join(str(int(b)) for b in bucket),
+        )
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ScheduleRecord:
+    """A persisted autotuner decision (record kind
+    ``"autotune-schedule"``).
+
+    Stores the winning :class:`~repro.schedule.schedule.Schedule`
+    plus free-form provenance ``meta`` (predicted cycles, default
+    coefficients, search stats). Quacks enough like a compilation
+    product for both cache tiers: ``record_kind`` routes
+    serialisation, ``backend`` shows up in the
+    :meth:`LRUKernelCache.cache_info` breakdown.
+    """
+
+    record_kind = "autotune-schedule"
+    backend = "autotune"
+
+    def __init__(self, schedule, meta: Optional[dict] = None) -> None:
+        self.schedule = schedule
+        self.meta = dict(meta or {})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ScheduleRecord({self.schedule}, meta={self.meta!r})"
+
+
 def encode_compiled(compiled) -> bytes:
     """Serialize a ``CompiledKernel`` for the disk tier.
 
@@ -126,7 +203,21 @@ def encode_compiled(compiled) -> bytes:
     ``"native-so"``) with its sha256, so a warm process on the same
     platform skips the C compiler entirely; the digest is re-verified
     at decode time before the bytes go anywhere near ``dlopen``.
+
+    :class:`ScheduleRecord` values (autotuner decisions) serialise as
+    kind ``"autotune-schedule"`` — no source, no artifact, just the
+    winning schedule's JSON form and its provenance.
     """
+    if getattr(compiled, "record_kind", None) == "autotune-schedule":
+        record = {
+            "format": KEY_FORMAT,
+            "kind": "autotune-schedule",
+            "schedule": compiled.schedule.to_json(),
+            "meta": compiled.meta,
+        }
+        return MAGIC + pickle.dumps(
+            record, protocol=pickle.HIGHEST_PROTOCOL
+        )
     record = {
         "format": KEY_FORMAT,
         "kind": "python-src",
@@ -203,6 +294,13 @@ def decode_compiled(data: bytes, so_dir: Optional[str] = None):
         if record["format"] != KEY_FORMAT:
             raise ValueError(
                 f"cache record format {record['format']!r} != {KEY_FORMAT}"
+            )
+        if record.get("kind") == "autotune-schedule":
+            from ..schedule.schedule import Schedule
+
+            return ScheduleRecord(
+                Schedule.from_json(record["schedule"]),
+                record.get("meta", {}),
             )
         kernel = Kernel.from_payload(record["payload"])
         source = record["source"]

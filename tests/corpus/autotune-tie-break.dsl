@@ -1,0 +1,17 @@
+// fuzz: name = autotune-tie-break
+// fuzz: origin = seeded
+// fuzz: prob-mode = direct
+// fuzz: schedule = autotune
+// fuzz: note = diagonal-only descent: (1,0) and (0,1) tie at equal predicted cost, so the shared tie_break_key must resolve identically on every replay, and the autotuned table must match the min-partition baseline bitwise
+// fuzz: expect = 6 4
+alphabet al = "ab"
+
+int g(seq[al] s, index[s] i, seq[al] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else g(i - 1, j - 1) + 1
+
+let a = "ababab"
+let b = "baba"
+print g(a, |a|, b, |b|)
+print g(b, |b|, b, |b|)

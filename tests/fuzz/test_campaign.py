@@ -46,7 +46,8 @@ class TestCampaign:
         assert set(payload["classifications"]) == {
             "crash", "service-crash", "divergence", "race-gap",
             "map-native-divergence", "service-divergence",
-            "eligibility-mismatch", "lint-gap", "rejected", "parity-ok",
+            "schedule-divergence", "eligibility-mismatch", "lint-gap",
+            "rejected", "parity-ok",
         }
         assert payload["rules"]
         assert payload["failures"] == []

@@ -101,3 +101,15 @@ class TestFormat:
 
     def test_missing_directory_is_empty(self, tmp_path):
         assert load_corpus(str(tmp_path / "nope")) == []
+
+
+class TestAutotuneEntries:
+    def test_autotune_key_adds_leg(self):
+        (entry,) = [
+            e for e in ENTRIES if e.meta.get("schedule") == "autotune"
+        ]
+        assert entry.name == "autotune-tie-break"
+        report = replay_entry(entry)
+        assert report.ok, report.detail
+        assert "autotune" in report.values
+        assert report.values["autotune"] == report.values["scalar"]

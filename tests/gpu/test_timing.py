@@ -8,6 +8,7 @@ from repro.analysis.domain import Domain
 from repro.gpu.spec import DeviceSpec, GTX480, XEON_E5520, XEON_E5520_SSE
 from repro.gpu.timing import (
     batched_launch_cost,
+    cost_lower_bound,
     cpu_cost_seconds,
     kernel_cost,
     partition_sizes,
@@ -157,6 +158,166 @@ class TestBatchedLaunchCost:
         assert cost.cycles == pytest.approx(
             cost.compute_cycles + cost.memory_cycles + cost.sync_cycles
         )
+
+
+class TestCostLowerBound:
+    """The autotuner's branch-and-bound floor must be sound."""
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        coeffs=st.tuples(st.integers(-4, 4), st.integers(-4, 4)),
+        extents=st.tuples(st.integers(1, 40), st.integers(1, 40)),
+    )
+    def test_never_exceeds_true_cost(self, coeffs, extents):
+        kernel = edit_kernel()
+        schedule = Schedule(("i", "j"), coeffs)
+        domain = Domain(("i", "j"), extents)
+        cost = kernel_cost(kernel, domain, GTX480, schedule=schedule)
+        floor = cost_lower_bound(
+            kernel, domain, GTX480, cost.partitions
+        )
+        assert floor <= cost.cycles
+
+    def test_holds_at_global_memory_pricing_too(self):
+        """The floor prices memory at the shared rate; a schedule
+        whose window spills to global memory clears it by a wide
+        margin — exactly the gap the autotuner exploits."""
+        kernel = edit_kernel()
+        domain = Domain.of(i=64, j=64)
+        spilled = kernel_cost(
+            kernel, domain, GTX480, use_window=False
+        )
+        floor = cost_lower_bound(
+            kernel, domain, GTX480, spilled.partitions
+        )
+        assert floor < spilled.cycles
+
+    def test_monotone_in_partitions(self):
+        """A partial coefficient vector's span only grows as more
+        dimensions are assigned, so the bound must grow with it."""
+        kernel = edit_kernel()
+        domain = Domain.of(i=64, j=64)
+        floors = [
+            cost_lower_bound(kernel, domain, GTX480, p)
+            for p in range(1, 300, 25)
+        ]
+        assert floors == sorted(floors)
+        assert floors[0] < floors[-1]
+
+    def test_single_cell_domain(self):
+        kernel = edit_kernel()
+        domain = Domain.of(i=1, j=1)
+        floor = cost_lower_bound(kernel, domain, GTX480, 1)
+        cost = kernel_cost(kernel, domain, GTX480)
+        assert 0 < floor <= cost.cycles
+
+
+class TestCostModelProperties:
+    """Monotonicity facts the autotuner's pruning relies on."""
+
+    def test_sync_term_linear_in_partitions(self):
+        kernel = edit_kernel()
+        domain = Domain.of(i=64, j=48)
+        for coeffs in [(1, 1), (1, 2), (2, 1), (0, 1)]:
+            schedule = Schedule(("i", "j"), coeffs)
+            cost = kernel_cost(
+                kernel, domain, GTX480, schedule=schedule
+            )
+            assert cost.sync_cycles == (
+                cost.partitions * GTX480.sync_cycles
+            )
+
+    def test_memory_traffic_monotone_shared_vs_global(self):
+        """Swapping the table between shared and global rates moves
+        memory cycles in the right direction, compute untouched."""
+        kernel = edit_kernel()
+        domain = Domain.of(i=128, j=128)
+        shared = kernel_cost(kernel, domain, GTX480, use_window=True)
+        spilled = kernel_cost(
+            kernel, domain, GTX480, use_window=False
+        )
+        assert shared.window_in_shared
+        assert shared.memory_cycles < spilled.memory_cycles
+        assert shared.compute_cycles == spilled.compute_cycles
+        assert shared.sync_cycles == spilled.sync_cycles
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        extents=st.tuples(st.integers(2, 30), st.integers(2, 30)),
+    )
+    def test_more_memory_ops_cost_more(self, extents):
+        """A kernel with strictly more table reads per cell never
+        prices cheaper on the same schedule and domain."""
+        lean = edit_kernel()
+        # The lean recursion plus two extra table reads in the
+        # min-chain: identical sequence traffic, strictly more table
+        # traffic.
+        rich_src = """
+int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i-1] == t[j-1] then d(i-1, j-1)
+  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)
+        min d(i-1, j-1) min d(i-1, j-1)) + 1
+"""
+        func = check_function(parse_function(rich_src.strip()), EN)
+        rich = build_kernel(func, Schedule(("i", "j"), (1, 1)))
+        assert rich.counts.table_reads > lean.counts.table_reads
+        assert rich.counts.seq_reads == lean.counts.seq_reads
+        domain = Domain(("i", "j"), extents)
+        assert (
+            kernel_cost(rich, domain, GTX480).memory_cycles
+            >= kernel_cost(lean, domain, GTX480).memory_cycles
+        )
+
+    def test_threads_divide_cell_work_not_sync(self):
+        """``batched_launch_cost(threads=N)`` models the OpenMP
+        problem loop: compute and memory split across cores, barriers
+        stay serial."""
+        kernel = edit_kernel()
+        domains = [Domain.of(i=33, j=33) for _ in range(8)]
+        serial = batched_launch_cost(kernel, domains, GTX480)
+        threaded = batched_launch_cost(
+            kernel, domains, GTX480, threads=4
+        )
+        assert threaded.compute_cycles == pytest.approx(
+            serial.compute_cycles / 4
+        )
+        assert threaded.memory_cycles == pytest.approx(
+            serial.memory_cycles / 4
+        )
+        assert threaded.sync_cycles == serial.sync_cycles
+        assert threaded.cycles < serial.cycles
+
+    def test_threads_floor_at_one(self):
+        kernel = edit_kernel()
+        domains = [Domain.of(i=9, j=9)]
+        base = batched_launch_cost(kernel, domains, GTX480)
+        clamped = batched_launch_cost(
+            kernel, domains, GTX480, threads=0
+        )
+        assert clamped.cycles == base.cycles
+
+    def test_zero_coefficient_schedule_degenerate(self):
+        """``S = j`` runs whole columns as partitions: partition
+        count equals the j extent, and the model still decomposes."""
+        kernel = edit_kernel()
+        domain = Domain.of(i=16, j=9)
+        cost = kernel_cost(
+            kernel, domain, GTX480, schedule=Schedule.of(i=0, j=1)
+        )
+        assert cost.partitions == 9
+        assert cost.cells == domain.size
+        assert cost.cycles == pytest.approx(
+            cost.compute_cycles + cost.memory_cycles + cost.sync_cycles
+        )
+
+    def test_size_one_domain(self):
+        kernel = edit_kernel()
+        cost = kernel_cost(kernel, Domain.of(i=1, j=1), GTX480)
+        assert cost.partitions == 1
+        assert cost.cells == 1
+        assert cost.cycles > 0
 
 
 class TestCpuCost:

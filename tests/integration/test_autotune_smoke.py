@@ -1,0 +1,198 @@
+"""Autotune smoke: the five paper applications under
+``Engine(verify="full", schedule="autotune")``.
+
+The CI ``autotune-smoke`` job runs exactly this module. Three
+guarantees per app:
+
+* the autotuned run agrees with the min-partition baseline (a valid
+  schedule only reorders the sweep);
+* every adopted schedule clears the full verifier stack —
+  ``verify="full"`` re-proves the winner at compile time on top of
+  the autotuner's own gate;
+* a warm process (fresh engines over the same persistent cache
+  directory) reuses every cached winner with **zero** re-searches.
+"""
+
+import pytest
+
+from repro import check_function, parse_function
+from repro.apps.profile_hmm import ProfileSearch, tk_model
+from repro.apps.rna_folding import RNA, RnaFolding
+from repro.apps.smith_waterman import SmithWaterman
+from repro.apps.viterbi_decode import ViterbiDecoder
+from repro.extensions.hmm import HmmBuilder
+from repro.runtime.engine import Engine
+from repro.runtime.sequences import random_dna, random_protein
+from repro.runtime.values import DNA, ENGLISH, Sequence
+from repro.service.cache import PersistentKernelCache
+
+EDIT_SRC = (
+    "int d(seq[en] s, index[s] i, seq[en] t, index[t] j) = "
+    "if i == 0 then j else if j == 0 then i "
+    "else if s[i-1] == t[j-1] then d(i-1, j-1) "
+    "else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1"
+)
+
+
+@pytest.fixture(scope="module")
+def edit_func():
+    return check_function(
+        parse_function(EDIT_SRC), {"en": ENGLISH.chars}
+    )
+
+
+@pytest.fixture(scope="module")
+def two_state_hmm():
+    return (
+        HmmBuilder("h", DNA)
+        .start("b")
+        .add_state("at", {"a": 0.45, "c": 0.05, "g": 0.05, "t": 0.45})
+        .add_state("gc", {"a": 0.05, "c": 0.45, "g": 0.45, "t": 0.05})
+        .end("e")
+        .transition("b", "at", 0.5)
+        .transition("b", "gc", 0.5)
+        .transition("at", "at", 0.85)
+        .transition("at", "gc", 0.1)
+        .transition("at", "e", 0.05)
+        .transition("gc", "gc", 0.85)
+        .transition("gc", "at", 0.1)
+        .transition("gc", "e", 0.05)
+        .build()
+    )
+
+
+def run_apps(engine_factory, edit_func, hmm):
+    """One pass over the five paper apps; returns the per-app values
+    and the engines that produced them."""
+    engines = {}
+
+    def engine(prob_mode="direct"):
+        e = engine_factory(prob_mode)
+        return e
+
+    values = {}
+    engines["smith-waterman"] = e = engine()
+    values["smith-waterman"] = (
+        SmithWaterman(engine=e)
+        .align(random_protein(40, seed=1), random_protein(48, seed=2))
+        .value
+    )
+    engines["edit-distance"] = e = engine()
+    values["edit-distance"] = e.run(
+        edit_func,
+        {
+            "s": Sequence("kitten", ENGLISH),
+            "t": Sequence("sitting", ENGLISH),
+        },
+    ).value
+    engines["profile-forward"] = e = engine("logspace")
+    values["profile-forward"] = ProfileSearch(
+        tk_model(), engine=e
+    ).likelihood(random_protein(24, seed=3))
+    engines["viterbi"] = e = engine()
+    values["viterbi"] = (
+        ViterbiDecoder(hmm, engine=e)
+        .decode(random_dna(20, seed=4))
+        .probability
+    )
+    engines["nussinov"] = e = engine()
+    values["nussinov"] = (
+        RnaFolding(engine=e)
+        .fold(Sequence("gggaaacccaugcu", RNA))
+        .score
+    )
+    return values, engines
+
+
+class TestAutotuneSmoke:
+    @pytest.fixture(scope="class")
+    def cache_dir(self, tmp_path_factory):
+        return str(tmp_path_factory.mktemp("autotune-cache"))
+
+    @pytest.fixture(scope="class")
+    def cold(self, cache_dir, edit_func, two_state_hmm):
+        return run_apps(
+            lambda prob: Engine(
+                verify="full",
+                schedule="autotune",
+                prob_mode=prob,
+                kernel_cache=PersistentKernelCache(cache_dir),
+            ),
+            edit_func,
+            two_state_hmm,
+        )
+
+    def test_matches_min_partition_baseline(
+        self, cold, edit_func, two_state_hmm
+    ):
+        baseline, _ = run_apps(
+            lambda prob: Engine(verify="full", prob_mode=prob),
+            edit_func,
+            two_state_hmm,
+        )
+        values, _ = cold
+        assert values["edit-distance"] == baseline["edit-distance"] == 3
+        assert values["smith-waterman"] == baseline["smith-waterman"]
+        assert values["nussinov"] == baseline["nussinov"]
+        assert values["profile-forward"] == pytest.approx(
+            baseline["profile-forward"]
+        )
+        assert values["viterbi"] == pytest.approx(baseline["viterbi"])
+
+    def test_every_app_searched_once_and_verified(self, cold):
+        _, engines = cold
+        for name, engine in engines.items():
+            assert engine.autotune_searches == 1, name
+            # verify="full" re-proved every compiled schedule on top
+            # of the autotuner's own winner gate.
+            assert engine.verified_schedules >= 1, name
+            assert engine.verify_failures == 0, name
+            result = engine.last_autotune
+            assert result is not None, name
+            assert result.predicted.cycles <= (
+                result.default_predicted.cycles
+            ), name
+
+    def test_warm_process_reuses_every_winner(
+        self, cold, cache_dir, edit_func, two_state_hmm
+    ):
+        """Fresh engines over the warm directory: zero re-searches,
+        identical answers."""
+        values, engines = run_apps(
+            lambda prob: Engine(
+                verify="full",
+                schedule="autotune",
+                prob_mode=prob,
+                kernel_cache=PersistentKernelCache(cache_dir),
+            ),
+            edit_func,
+            two_state_hmm,
+        )
+        cold_values, _ = cold
+        assert values == cold_values
+        for name, engine in engines.items():
+            assert engine.autotune_searches == 0, name
+            assert engine.autotune_hits >= 1, name
+            info = engine.cache_info()
+            assert info.autotune_searches == 0, name
+            assert info.autotune_hits >= 1, name
+
+
+class TestAutotuneMapPath:
+    def test_profile_search_database_sweep(self):
+        """The lane-batched ``map`` path autotunes once for the
+        whole batch (per extents), not once per member."""
+        engine = Engine(
+            verify="full", schedule="autotune", prob_mode="logspace"
+        )
+        search = ProfileSearch(tk_model(), engine=engine)
+        database = [random_protein(24, seed=s) for s in range(6)]
+        autotuned = search.search(database)
+        baseline = ProfileSearch(
+            tk_model(),
+            engine=Engine(verify="full", prob_mode="logspace"),
+        ).search(database)
+        assert autotuned.likelihoods == pytest.approx(
+            baseline.likelihoods
+        )
+        assert 1 <= engine.autotune_searches <= len(database)

@@ -1,0 +1,304 @@
+"""Tests for cost-model-guided schedule autotuning."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.criteria import schedule_criteria
+from repro.analysis.domain import Domain
+from repro.gpu.spec import GTX480
+from repro.gpu.timing import kernel_cost
+from repro.ir.kernel import build_kernel
+from repro.lang.parser import parse_function
+from repro.lang.typecheck import check_function
+from repro.schedule.autotune import (
+    AutotuneResult,
+    Candidate,
+    autotune_schedule,
+    measure_from_env,
+)
+from repro.schedule.schedule import Schedule
+from repro.schedule.solver import tie_break_key
+from repro.schedule.window import window_size
+
+EN = {"en": "abcdefghijklmnopqrstuvwxyz"}
+AL = {"al": "ab"}
+
+EDIT_DISTANCE = """
+int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else if s[i-1] == t[j-1] then d(i-1, j-1)
+  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1
+"""
+
+#: Diagonal-only descent: (1, 0) and (0, 1) are both valid single
+#: partition-per-step schedules with *identical* predicted cost on a
+#: square domain — the tie-break regression shape.
+DIAGONAL_ONLY = """
+int g(seq[al] s, index[s] i, seq[al] t, index[t] j) =
+  if i == 0 then j
+  else if j == 0 then i
+  else g(i - 1, j - 1) + 1
+"""
+
+#: A spec whose shared memory the min-partition diagonal spills at
+#: modest extents, so the window-residency trade-off (the reason the
+#: autotuner exists) shows up without paper-scale domains.
+TINY_SHARED = replace(GTX480, shared_memory_bytes=1024)
+
+
+def checked(source, alphabets=EN):
+    return check_function(parse_function(source.strip()), alphabets)
+
+
+class TestTieBreaking:
+    """Equal-cost winners resolve by the solvers' shared key."""
+
+    def test_two_winner_tie_resolved_by_shared_key(self):
+        func = checked(DIAGONAL_ONLY, AL)
+        result = autotune_schedule(func, Domain.of(i=9, j=9), bound=3)
+        # Both minimal schedules survive into the portfolio at
+        # exactly equal predicted cost...
+        by_coeffs = {
+            c.schedule.coefficients: c for c in result.candidates
+        }
+        assert (0, 1) in by_coeffs and (1, 0) in by_coeffs
+        assert (
+            by_coeffs[0, 1].predicted.cycles
+            == by_coeffs[1, 0].predicted.cycles
+        )
+        # ...and the adopted one is the tie_break_key minimum, the
+        # same answer the Section 4.6 solver's own tie-break gives.
+        assert tie_break_key((0, 1)) < tie_break_key((1, 0))
+        assert result.schedule == Schedule(("i", "j"), (0, 1))
+        assert result.schedule == result.default
+        assert not result.improved
+
+    def test_portfolio_ranked_by_cost_then_key(self):
+        func = checked(DIAGONAL_ONLY, AL)
+        result = autotune_schedule(func, Domain.of(i=9, j=9), bound=3)
+        keys = [
+            (c.predicted.cycles, tie_break_key(c.schedule.coefficients))
+            for c in result.candidates
+        ]
+        assert keys == sorted(keys)
+
+    def test_deterministic_across_repeated_searches(self):
+        func = checked(EDIT_DISTANCE)
+        domain = Domain.of(i=40, j=64)
+        runs = [
+            autotune_schedule(func, domain, TINY_SHARED, bound=3)
+            for _ in range(3)
+        ]
+        schedules = {r.schedule for r in runs}
+        assert len(schedules) == 1
+        portfolios = {
+            tuple(c.schedule.coefficients for c in r.candidates)
+            for r in runs
+        }
+        assert len(portfolios) == 1
+
+
+class TestPruningSoundness:
+    """The dominance-pruned search never misses the true optimum."""
+
+    @pytest.mark.parametrize("spec", [GTX480, TINY_SHARED])
+    @pytest.mark.parametrize(
+        "extents", [(16, 16), (40, 64), (64, 63)]
+    )
+    def test_matches_exhaustive_search(self, spec, extents):
+        bound = 3
+        func = checked(EDIT_DISTANCE)
+        domain = Domain(("i", "j"), extents)
+        criteria = schedule_criteria(func)
+        kernel = build_kernel(func, Schedule(("i", "j"), (1, 1)))
+        best = None
+        for a in range(-bound, bound + 1):
+            for b in range(-bound, bound + 1):
+                if a == 0 and b == 0:
+                    continue
+                schedule = Schedule(("i", "j"), (a, b))
+                if not schedule.is_valid(criteria, domain):
+                    continue
+                cost = kernel_cost(
+                    kernel,
+                    domain,
+                    spec,
+                    schedule=schedule,
+                    window=window_size(schedule, criteria),
+                )
+                if best is None or cost.cycles < best:
+                    best = cost.cycles
+        result = autotune_schedule(
+            func, domain, spec, bound=bound, verify_winner=False
+        )
+        assert result.predicted.cycles == best
+        assert result.predicted.cycles <= result.default_predicted.cycles
+
+    def test_pruning_actually_prunes(self):
+        func = checked(EDIT_DISTANCE)
+        result = autotune_schedule(
+            func, Domain.of(i=64, j=64), bound=4
+        )
+        total_vectors = (2 * 4 + 1) ** 2 - 1
+        assert result.stats.pruned > 0
+        assert result.stats.enumerated < total_vectors
+        # Lazy validity: only model-competitive vectors pay for the
+        # criteria check, so it can never exceed the enumerated count.
+        assert result.stats.validity_checks <= result.stats.enumerated
+
+
+class TestWindowResidencyWin:
+    """The autotuner's raison d'etre: trading partitions for a
+    shared-memory-resident window."""
+
+    def test_beats_min_partition_when_diagonal_spills(self):
+        func = checked(EDIT_DISTANCE)
+        result = autotune_schedule(
+            func, Domain.of(i=64, j=64), TINY_SHARED, bound=4
+        )
+        assert result.improved
+        assert result.default == Schedule(("i", "j"), (1, 1))
+        assert not result.default_predicted.window_in_shared
+        assert result.predicted.window_in_shared
+        assert result.predicted_speedup > 1.0
+        # The winner carries its independent re-proof.
+        assert result.certificate is not None
+        assert result.certificate.ok
+        assert result.parallelism is not None
+
+    def test_keeps_default_when_window_fits(self):
+        func = checked(EDIT_DISTANCE)
+        result = autotune_schedule(
+            func, Domain.of(i=24, j=24), bound=3
+        )
+        assert not result.improved
+        assert result.schedule == Schedule(("i", "j"), (1, 1))
+        assert result.predicted_speedup == 1.0
+
+    def test_winner_is_valid_for_the_domain(self):
+        func = checked(EDIT_DISTANCE)
+        domain = Domain.of(i=64, j=64)
+        result = autotune_schedule(func, domain, TINY_SHARED)
+        criteria = schedule_criteria(func)
+        assert result.schedule.is_valid(criteria, domain)
+
+
+class TestNonRecursive:
+    def test_nothing_to_tune(self):
+        func = checked("int f(seq[en] s, index[s] i) = i * 2")
+        result = autotune_schedule(func, Domain.of(i=100))
+        assert not result.improved
+        assert result.stats.enumerated == 0
+        assert result.stats.pruned == 0
+        assert result.candidates == (
+            Candidate(result.default, result.default_predicted),
+        )
+
+
+class TestMeasuredFeedback:
+    def test_measure_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_AUTOTUNE_MEASURE", raising=False)
+        assert measure_from_env() == 0
+        monkeypatch.setenv("REPRO_AUTOTUNE_MEASURE", "3")
+        assert measure_from_env() == 3
+        monkeypatch.setenv("REPRO_AUTOTUNE_MEASURE", "-2")
+        assert measure_from_env() == 0
+        monkeypatch.setenv("REPRO_AUTOTUNE_MEASURE", "garbage")
+        assert measure_from_env() == 0
+
+    def test_measurement_overrides_model_order(self):
+        func = checked(EDIT_DISTANCE)
+        timed = []
+
+        def measure_fn(schedule):
+            timed.append(schedule.coefficients)
+            # Invert the model's preference: the analytically *worst*
+            # measured candidate reports the best wall-clock.
+            return float(sum(abs(a) for a in schedule.coefficients))
+
+        result = autotune_schedule(
+            func,
+            Domain.of(i=64, j=64),
+            TINY_SHARED,
+            bound=3,
+            measure=3,
+            measure_fn=measure_fn,
+        )
+        assert 1 <= len(timed) <= 3
+        assert result.stats.measured == len(timed)
+        measured = [
+            c for c in result.candidates
+            if c.measured_seconds is not None
+        ]
+        assert measured
+        # Measured candidates outrank analytic ones and sort by
+        # seconds among themselves.
+        winner = min(
+            measured,
+            key=lambda c: (
+                c.measured_seconds,
+                tie_break_key(c.schedule.coefficients),
+            ),
+        )
+        assert result.schedule == winner.schedule
+
+    def test_failing_measure_fn_stays_analytic(self):
+        func = checked(EDIT_DISTANCE)
+
+        def measure_fn(schedule):
+            raise RuntimeError("no stopwatch")
+
+        analytic = autotune_schedule(
+            func, Domain.of(i=64, j=64), TINY_SHARED, bound=3
+        )
+        result = autotune_schedule(
+            func,
+            Domain.of(i=64, j=64),
+            TINY_SHARED,
+            bound=3,
+            measure=2,
+            measure_fn=measure_fn,
+        )
+        assert result.stats.measured == 0
+        assert result.schedule == analytic.schedule
+
+    def test_measure_off_never_calls_fn(self):
+        func = checked(EDIT_DISTANCE)
+
+        def measure_fn(schedule):  # pragma: no cover - must not run
+            raise AssertionError("measure_fn called with measure=0")
+
+        result = autotune_schedule(
+            func,
+            Domain.of(i=32, j=32),
+            bound=3,
+            measure=0,
+            measure_fn=measure_fn,
+        )
+        assert result.stats.measured == 0
+
+
+class TestVerificationGate:
+    def test_unverified_search_returns_no_certificates(self):
+        func = checked(EDIT_DISTANCE)
+        result = autotune_schedule(
+            func,
+            Domain.of(i=64, j=64),
+            TINY_SHARED,
+            verify_winner=False,
+        )
+        assert result.improved
+        assert result.certificate is None
+        assert result.parallelism is None
+
+    def test_result_shape(self):
+        func = checked(EDIT_DISTANCE)
+        result = autotune_schedule(func, Domain.of(i=16, j=16))
+        assert isinstance(result, AutotuneResult)
+        assert result.stats.search_seconds >= 0.0
+        assert not result.stats.cache_hit
+        assert all(
+            isinstance(c, Candidate) for c in result.candidates
+        )

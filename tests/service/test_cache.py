@@ -393,3 +393,153 @@ class TestBackendBreakdown:
         scalar.run(edit_func, ARGS)  # evicts the vector entry
         info = cache.cache_info()
         assert dict(info.backends) == {"scalar": 1}
+
+
+class TestAutotuneRecords:
+    """The v4 record kind: persisted autotune winners."""
+
+    def _record(self):
+        from repro.service.cache import ScheduleRecord
+
+        return ScheduleRecord(
+            Schedule(("i", "j"), (1, 2)),
+            meta={"default": [1, 1], "predicted_cycles": 123.0},
+        )
+
+    def test_encode_decode_round_trip(self):
+        from repro.service.cache import ScheduleRecord
+
+        record = self._record()
+        restored = decode_compiled(encode_compiled(record))
+        assert isinstance(restored, ScheduleRecord)
+        assert restored.schedule == record.schedule
+        assert restored.meta == record.meta
+        assert restored.record_kind == "autotune-schedule"
+        assert restored.backend == "autotune"
+
+    def test_persists_through_disk_tier(self, tmp_path):
+        from repro.service.cache import ScheduleRecord
+
+        warm = PersistentKernelCache(str(tmp_path))
+        warm.store("autotune-key", self._record())
+        assert "autotune-key" in warm.disk_keys()
+        cold = PersistentKernelCache(str(tmp_path))
+        restored = cold.lookup("autotune-key")
+        assert isinstance(restored, ScheduleRecord)
+        assert restored.schedule == Schedule(("i", "j"), (1, 2))
+
+    def test_corrupt_schedule_payload_quarantined(self, tmp_path):
+        cache = PersistentKernelCache(str(tmp_path))
+        cache.store("autotune-key", self._record())
+        (name,) = record_names(tmp_path)
+        path = tmp_path / name
+        from repro.service.cache import MAGIC
+
+        body = {
+            "format": __import__("repro").service.cache.KEY_FORMAT,
+            "kind": "autotune-schedule",
+            "schedule": {"dims": ["i"]},  # missing coefficients
+            "meta": {},
+        }
+        path.write_bytes(MAGIC + pickle.dumps(body))
+        cold = PersistentKernelCache(str(tmp_path))
+        assert cold.lookup("autotune-key") is None
+        assert cold.cache_info().corrupt_evictions == 1
+
+    def test_domain_bucket_powers_of_two(self):
+        from repro.service.cache import domain_bucket
+
+        assert domain_bucket((1, 1)) == (1, 1)
+        assert domain_bucket((2, 3)) == (2, 4)
+        assert domain_bucket((64, 65)) == (64, 128)
+        assert domain_bucket((2305,)) == (4096,)
+        assert domain_bucket(()) == ()
+
+    def test_autotune_key_components_differentiate(self, edit_func):
+        from repro.service.cache import autotune_cache_key
+
+        base = autotune_cache_key(
+            edit_func, "direct", 10, "gpu", (64, 64)
+        )
+        assert base == autotune_cache_key(
+            edit_func, "direct", 10, "gpu", (64, 64)
+        )
+        assert len(base) == 64
+        assert base != autotune_cache_key(
+            edit_func, "logspace", 10, "gpu", (64, 64)
+        )
+        assert base != autotune_cache_key(
+            edit_func, "direct", 4, "gpu", (64, 64)
+        )
+        assert base != autotune_cache_key(
+            edit_func, "direct", 10, "other", (64, 64)
+        )
+        assert base != autotune_cache_key(
+            edit_func, "direct", 10, "gpu", (64, 128)
+        )
+
+    def test_key_is_content_addressed(self, edit_func):
+        """Re-parsing the same source yields the same key; a
+        different body under the same name yields a different one."""
+        from repro import check_function, parse_function
+        from repro.service.cache import autotune_cache_key
+        from tests.service.conftest import EDIT_FUNC_SRC
+
+        twin = check_function(
+            parse_function(EDIT_FUNC_SRC), {"en": ENGLISH.chars}
+        )
+        other = check_function(
+            parse_function(
+                "int d(seq[en] s, index[s] i) = "
+                "if i == 0 then 0 else d(i-1) + 1"
+            ),
+            {"en": ENGLISH.chars},
+        )
+        key = autotune_cache_key(edit_func, "direct", 10, "gpu", (64,))
+        assert key == autotune_cache_key(
+            twin, "direct", 10, "gpu", (64,)
+        )
+        assert key != autotune_cache_key(
+            other, "direct", 10, "gpu", (64,)
+        )
+
+    def test_engine_reuses_persisted_winner(self, tmp_path, edit_func):
+        """Warm directory, cold process: the search runs exactly
+        once across engine lifetimes."""
+        cold = Engine(
+            schedule="autotune",
+            kernel_cache=PersistentKernelCache(str(tmp_path)),
+        )
+        expected = cold.run(edit_func, ARGS).value
+        assert expected == 3
+        assert cold.autotune_searches == 1
+        info = cold.cache_info()
+        assert info.autotune_searches == 1
+        assert info.autotune_hits == 0
+
+        warm = Engine(
+            schedule="autotune",
+            kernel_cache=PersistentKernelCache(str(tmp_path)),
+        )
+        assert warm.run(edit_func, ARGS).value == expected
+        assert warm.autotune_searches == 0
+        assert warm.cache_info().autotune_hits == 1
+
+    def test_in_process_memo(self, edit_func):
+        engine = Engine(schedule="autotune")
+        engine.run(edit_func, ARGS)
+        engine.run(edit_func, ARGS)
+        assert engine.autotune_searches == 1
+        assert engine.autotune_hits >= 1
+
+    def test_min_partition_engine_never_searches(self, edit_func):
+        engine = Engine()
+        engine.run(edit_func, ARGS)
+        info = engine.cache_info()
+        assert engine.autotune_searches == 0
+        assert info.autotune_searches == 0
+        assert info.autotune_hits == 0
+
+    def test_unknown_schedule_mode_rejected(self):
+        with pytest.raises(ValueError, match="schedule mode"):
+            Engine(schedule="fastest")
